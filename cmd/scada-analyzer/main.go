@@ -1,0 +1,182 @@
+// Command scada-analyzer is the paper's SCADA Analyzer tool: it loads a
+// SCADA configuration, verifies a resiliency specification, and reports
+// either the certified resiliency (unsat) or the threat vectors that
+// violate it (sat).
+//
+// Usage:
+//
+//	scada-analyzer -config system.scada [-property observability] \
+//	    [-k1 1 -k2 1] [-k 2] [-r 1] [-enumerate 10] [-max-resiliency]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scadaver/internal/core"
+	"scadaver/internal/hardening"
+	"scadaver/internal/lint"
+	"scadaver/internal/scadanet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scada-analyzer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scada-analyzer", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to a .scada configuration (required; '-' for stdin)")
+		property   = fs.String("property", "observability", "property: observability | secured | baddata")
+		k1         = fs.Int("k1", -1, "IED failure budget (default: from config)")
+		k2         = fs.Int("k2", -1, "RTU failure budget (default: from config)")
+		k          = fs.Int("k", -1, "combined failure budget (overrides k1/k2)")
+		r          = fs.Int("r", -1, "corrupted-measurement budget for baddata (default: from config)")
+		enumerate  = fs.Int("enumerate", 10, "max threat vectors to enumerate when violated (0 = none)")
+		maxRes     = fs.Bool("max-resiliency", false, "also report maximum IED-only and RTU-only resiliency")
+		stats      = fs.Bool("stats", false, "print solver statistics")
+		harden     = fs.Bool("harden", false, "when violated, synthesize a remediation plan")
+		hardenOut  = fs.String("harden-out", "", "write the hardened configuration to this file")
+		lintOnly   = fs.Bool("lint", false, "run the misconfiguration linter and exit")
+		jsonOut    = fs.Bool("json", false, "emit the verification result as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-config is required")
+	}
+
+	in := os.Stdin
+	if *configPath != "-" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cfg, err := scadanet.ParseConfig(in)
+	if err != nil {
+		return err
+	}
+
+	if *lintOnly {
+		rep := lint.Check(cfg, nil)
+		fmt.Fprint(out, rep)
+		if rep.HasErrors() {
+			return fmt.Errorf("lint found configuration errors")
+		}
+		return nil
+	}
+
+	var prop core.Property
+	switch *property {
+	case "observability", "obs":
+		prop = core.Observability
+	case "secured", "secured-observability":
+		prop = core.SecuredObservability
+	case "baddata", "bad-data-detectability":
+		prop = core.BadDataDetectability
+	default:
+		return fmt.Errorf("unknown property %q", *property)
+	}
+
+	q := core.Query{Property: prop, K1: cfg.K1, K2: cfg.K2, R: cfg.R}
+	if *k1 >= 0 {
+		q.K1 = *k1
+	}
+	if *k2 >= 0 {
+		q.K2 = *k2
+	}
+	if *r >= 0 {
+		q.R = *r
+	}
+	if *k >= 0 {
+		q.Combined = true
+		q.K = *k
+	}
+
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "system: %d states, %d measurements, %d IEDs, %d RTUs, %d links\n",
+		cfg.Msrs.NStates, cfg.Msrs.Len(),
+		len(cfg.Net.DevicesOfKind(scadanet.IED)),
+		len(cfg.Net.DevicesOfKind(scadanet.RTU)),
+		len(cfg.Net.Links()))
+
+	res, err := analyzer.Verify(q)
+	if err != nil {
+		return err
+	}
+	var vectors []core.ThreatVector
+	if !res.Resilient() && *enumerate > 0 {
+		if vectors, err = analyzer.EnumerateThreats(q, *enumerate); err != nil {
+			return err
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Resilient bool                `json:"resilient"`
+			Result    *core.Result        `json:"result"`
+			Threats   []core.ThreatVector `json:"threats,omitempty"`
+		}{res.Resilient(), res, vectors})
+	}
+
+	fmt.Fprintln(out, res)
+	if *stats {
+		fmt.Fprintln(out, "solver:", res.Stats)
+	}
+	if vectors != nil {
+		fmt.Fprintf(out, "threat vectors (%d):\n", len(vectors))
+		for _, v := range vectors {
+			fmt.Fprintf(out, "  %v\n", v)
+		}
+	}
+
+	if !res.Resilient() && *harden {
+		plan, err := hardening.Synthesize(cfg, q, hardening.Options{})
+		if err != nil && !errors.Is(err, hardening.ErrNoProgress) {
+			return err
+		}
+		fmt.Fprint(out, plan)
+		if plan.Achieved && *hardenOut != "" {
+			f, err := os.Create(*hardenOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := scadanet.WriteConfig(f, plan.Config); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "hardened configuration written to %s\n", *hardenOut)
+		}
+	}
+
+	if *maxRes {
+		mi, err := analyzer.MaxResiliency(prop, q.R, true, false)
+		if err != nil {
+			return err
+		}
+		mr, err := analyzer.MaxResiliency(prop, q.R, false, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "maximum resiliency: %d IED-only failures, %d RTU-only failures\n", mi, mr)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const configPath = "../../testdata/case5bus.scada"
+
+func TestRunObservability(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-property", "observability"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(1,1)-resilient observability: HOLDS") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestRunSecuredWithThreats(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-property", "secured", "-enumerate", "10", "-stats"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "threat vectors") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "solver:") {
+		t.Fatalf("missing stats: %s", out)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-property", "obs", "-k1", "2", "-k2", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(2,1)-resilient observability: VIOLATED") {
+		t.Fatalf("output: %s", sb.String())
+	}
+
+	sb.Reset()
+	err = run([]string{"-config", configPath, "-property", "obs", "-k", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1-resilient observability") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunBadData(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-property", "baddata", "-r", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bad-data-detectability") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunMaxResiliency(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-max-resiliency"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "maximum resiliency: 3 IED-only failures, 1 RTU-only failures") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunLint(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-lint"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "no-integrity") || !strings.Contains(out, "single-point-rtu") {
+		t.Fatalf("lint output: %s", out)
+	}
+}
+
+func TestRunHarden(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-property", "secured", "-enumerate", "0", "-harden"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hardening plan: achieved") {
+		t.Fatalf("harden output: %s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing -config must error")
+	}
+	if err := run([]string{"-config", "/nonexistent.scada"}, &sb); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := run([]string{"-config", configPath, "-property", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown property must error")
+	}
+}

@@ -1,0 +1,100 @@
+// Command scada-bench regenerates the paper's evaluation artifacts: one
+// subcommand per figure of Section V plus the Section IV case study.
+//
+// Usage:
+//
+//	scada-bench -fig 5a [-inputs 3] [-runs 5]
+//	scada-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scadaver/internal/core"
+	"scadaver/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scada-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("scada-bench", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all")
+		inputs = fs.Int("inputs", 3, "random inputs per point")
+		runs   = fs.Int("runs", 5, "timed runs per input")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Inputs: *inputs, Runs: *runs}
+
+	want := func(name string) bool { return *fig == name || *fig == "all" }
+	ran := false
+
+	if want("case") {
+		ran = true
+		if err := experiments.CaseStudy(w); err != nil {
+			return err
+		}
+	}
+	if want("5a") {
+		ran = true
+		pts, err := experiments.Fig5(core.Observability, opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, "Fig 5(a): k-resilient observability time vs bus size", pts)
+	}
+	if want("5b") {
+		ran = true
+		pts, err := experiments.Fig5(core.SecuredObservability, opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, "Fig 5(b): k-resilient secured observability time vs bus size", pts)
+	}
+	if want("6a") {
+		ran = true
+		pts, err := experiments.Fig6("ieee14", core.Observability, opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, "Fig 6(a): time vs hierarchy level (ieee14)", pts)
+	}
+	if want("6b") {
+		ran = true
+		pts, err := experiments.Fig6("ieee57", core.Observability, opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, "Fig 6(b): time vs hierarchy level (ieee57)", pts)
+	}
+	if want("7a") {
+		ran = true
+		pts, err := experiments.Fig7a(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintResiliency(w, pts)
+	}
+	if want("7b") {
+		ran = true
+		pts, err := experiments.Fig7b(opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintThreatSpace(w, pts)
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}

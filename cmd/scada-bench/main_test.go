@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCase(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "case"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Case study", "Fig. 3", "Fig. 4", "threat space"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRun7a(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "7a", "-inputs", "1", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 7(a)") {
+		t.Fatalf("output: %s", sb.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "9z"}, &sb); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}

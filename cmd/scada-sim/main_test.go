@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const configPath = "../../testdata/case5bus.scada"
+
+func TestRunDoS(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-dos", "9", "-at", "2s", "-outage", "3s", "-horizon", "8s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "availability: observability 100.0%") {
+		t.Fatalf("single RTU DoS must keep observability:\n%s", out)
+	}
+	if !strings.Contains(out, "worst concurrent device failures: 1") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunDoSBreaks(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-config", configPath, "-dos", "9,11,12", "-at", "1s", "-outage", "3s", "-horizon", "6s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "availability: observability 100.0%") {
+		t.Fatalf("three RTUs down must lose observability:\n%s", sb.String())
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	scenario := `{
+  "name": "router cut",
+  "horizonSeconds": 4,
+  "stepSeconds": 1,
+  "events": [
+    {"atSeconds": 1, "kind": "link-down", "link": 13},
+    {"atSeconds": 3, "kind": "link-up", "link": 13}
+  ]
+}`
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-config", configPath, "-scenario", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `scenario "router cut": 5 samples`) {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Link 13 is the router-MTU backbone: its cut zeroes delivery.
+	if !strings.Contains(out, "L13") {
+		t.Fatalf("down-link column missing:\n%s", out)
+	}
+	if strings.Contains(out, "availability: observability 100.0%") {
+		t.Fatalf("backbone cut must lose observability:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing -config must error")
+	}
+	if err := run([]string{"-config", configPath}, &sb); err == nil {
+		t.Fatal("missing -scenario/-dos must error")
+	}
+	if err := run([]string{"-config", configPath, "-dos", "x"}, &sb); err == nil {
+		t.Fatal("bad -dos must error")
+	}
+	if err := run([]string{"-config", configPath, "-scenario", "/nonexistent.json"}, &sb); err == nil {
+		t.Fatal("missing scenario must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"events":[{"kind":"explode"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", configPath, "-scenario", bad}, &sb); err == nil {
+		t.Fatal("unknown event kind must error")
+	}
+}

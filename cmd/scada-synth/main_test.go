@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scadaver/internal/scadanet"
+)
+
+func TestRunGeneratesParsableConfig(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sys.scada")
+	err := run([]string{"-bus", "ieee14", "-hierarchy", "2", "-percent", "80", "-seed", "7", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := scadanet.ParseConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Msrs.NStates != 14 {
+		t.Fatalf("states = %d", cfg.Msrs.NStates)
+	}
+	if got := len(cfg.Net.DevicesOfKind(scadanet.IED)); got == 0 {
+		t.Fatal("no IEDs generated")
+	}
+}
+
+func TestRunResiliencySpecPropagates(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sys.scada")
+	err := run([]string{"-bus", "case5", "-k1", "2", "-k2", "0", "-r", "3", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := scadanet.ParseConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K1 != 2 || cfg.K2 != 0 || cfg.R != 3 {
+		t.Fatalf("spec = (%d,%d,%d)", cfg.K1, cfg.K2, cfg.R)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bus", "ieee9000"}); err == nil {
+		t.Fatal("unknown bus must error")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir/x.scada"}); err == nil {
+		t.Fatal("unwritable output must error")
+	}
+}

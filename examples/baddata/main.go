@@ -1,0 +1,105 @@
+// Bad data: why (k,r)-resilient bad-data detectability matters.
+//
+// The example runs the DC weighted-least-squares state estimator on the
+// 5-bus case-study system twice: once with a redundant measurement set,
+// where an injected gross error is caught by the chi-square /
+// largest-normalized-residual tests, and once with a minimal (just
+// observable) set, where the same corruption is silently absorbed into
+// the state estimate. It then shows the formal verifier predicting
+// exactly this: the full configuration is 1-bad-data detectable, while
+// after RTU failures reduce redundancy it is not.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"scadaver/internal/core"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/stateest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ms := powergrid.FullMeasurementSet(powergrid.Case5())
+	est, err := stateest.New(ms, 1)
+	if err != nil {
+		return err
+	}
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	rng := rand.New(rand.NewSource(1))
+
+	// Redundant selection: all 19 possible measurements.
+	all := make([]int, ms.Len())
+	for i := range all {
+		all[i] = i
+	}
+	sigma := make([]float64, len(all))
+	for i := range sigma {
+		sigma[i] = 0.01
+	}
+	z, err := est.Measure(truth, all, 0.005, rng)
+	if err != nil {
+		return err
+	}
+	corrupt := 4 // flow 1->2
+	z[corrupt] += 3.0
+	fmt.Printf("redundant set (%d measurements), corrupting %v:\n", len(all), ms.Msrs[all[corrupt]])
+	flagged, err := est.DetectBadData(z, sigma, all, 40, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  bad-data detection flagged measurement indices %v\n", flagged)
+
+	// Minimal selection: spanning-tree flows only (m = n-1): every
+	// measurement is critical.
+	var minimal []int
+	want := map[[2]int]bool{{1, 2}: true, {2, 3}: true, {2, 4}: true, {4, 5}: true}
+	for i, m := range ms.Msrs {
+		if m.Kind == powergrid.FlowForward && want[[2]int{m.From, m.To}] {
+			minimal = append(minimal, i)
+		}
+	}
+	zMin, err := est.Measure(truth, minimal, 0, nil)
+	if err != nil {
+		return err
+	}
+	zMin[1] += 3.0
+	res, err := est.Estimate(zMin, nil, minimal)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimal set (%d measurements), same class of corruption:\n", len(minimal))
+	fmt.Printf("  chi-square = %.2e (structurally zero: the bad value is absorbed)\n", res.ChiSquare)
+	fmt.Printf("  corrupted estimate: %+.4f (truth %+.4f)\n", res.Angles[2], truth[2])
+
+	// The formal verifier predicts this from configuration alone.
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		return err
+	}
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nformal verification of (k,r)-resilient bad-data detectability:")
+	for _, q := range []core.Query{
+		{Property: core.BadDataDetectability, Combined: true, K: 0, R: 0},
+		{Property: core.BadDataDetectability, Combined: true, K: 0, R: 1},
+		{Property: core.BadDataDetectability, Combined: true, K: 1, R: 1},
+	} {
+		res, err := analyzer.Verify(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %v\n", res)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Campaign: replay a DoS campaign against the case-study SCADA system
+// and watch the dependability timeline — then compare what actually
+// happened with what the verifier guaranteed in advance.
+//
+// The verifier certifies the system (1,1)-resilient observable: as long
+// as at most one IED and one RTU are down simultaneously, observability
+// cannot be lost, no matter which devices the attacker picks. The
+// campaign below first stays inside that envelope (observability holds
+// at every sample, as guaranteed), then escalates beyond it and breaks
+// the system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scadaver/internal/attacksim"
+	"scadaver/internal/core"
+	"scadaver/internal/scadanet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		return err
+	}
+	analyzer, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := analyzer.Verify(core.Query{Property: core.Observability, K1: 1, K2: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println("a-priori guarantee:", res)
+
+	sim, err := attacksim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	sc := attacksim.Scenario{
+		Name:    "escalating DoS",
+		Horizon: 12 * time.Second,
+		Step:    time.Second,
+		Events: []attacksim.Event{
+			// Phase 1 (inside the certified envelope): one IED, then one
+			// RTU, overlapping.
+			{At: 1 * time.Second, Kind: attacksim.DeviceDown, Device: 7},
+			{At: 3 * time.Second, Kind: attacksim.DeviceDown, Device: 11},
+			{At: 5 * time.Second, Kind: attacksim.DeviceUp, Device: 7},
+			{At: 6 * time.Second, Kind: attacksim.DeviceUp, Device: 11},
+			// Phase 2 (beyond the envelope): two RTUs at once.
+			{At: 8 * time.Second, Kind: attacksim.DeviceDown, Device: 9},
+			{At: 8 * time.Second, Kind: attacksim.DeviceDown, Device: 12},
+			{At: 11 * time.Second, Kind: attacksim.DeviceUp, Device: 9},
+			{At: 11 * time.Second, Kind: attacksim.DeviceUp, Device: 12},
+		},
+	}
+	tl, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-6s %-12s %-10s %-8s %-12s\n", "t", "down", "delivered", "secured", "observable")
+	for _, s := range tl.Samples {
+		down := "-"
+		if len(s.DownDevices) > 0 {
+			down = ""
+			for i, d := range s.DownDevices {
+				if i > 0 {
+					down += ","
+				}
+				down += fmt.Sprint(d)
+			}
+		}
+		fmt.Printf("%-6v %-12s %-10d %-8d %-12v\n",
+			s.At, down, s.Delivered, s.Secured, s.Observable)
+	}
+	fmt.Printf("\nobservability availability: %.0f%%\n", 100*tl.Availability(core.Observability))
+	fmt.Printf("worst concurrent failures:  %d\n", tl.WorstConcurrentFailures())
+	fmt.Println("note: every sample with ≤1 IED + ≤1 RTU down stayed observable —")
+	fmt.Println("exactly the envelope the unsat verdict certified.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module scadaver
+
+go 1.22

@@ -1,0 +1,223 @@
+package attacksim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/scadanet"
+)
+
+func newSim(t *testing.T) *Simulator {
+	t.Helper()
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuietScenarioFullyAvailable(t *testing.T) {
+	s := newSim(t)
+	tl, err := s.Run(Scenario{Name: "quiet", Horizon: 10 * time.Second, Step: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Samples) != 11 {
+		t.Fatalf("samples = %d", len(tl.Samples))
+	}
+	if got := tl.Availability(core.Observability); got != 1 {
+		t.Fatalf("observability availability = %v", got)
+	}
+	if tl.WorstConcurrentFailures() != 0 {
+		t.Fatal("quiet scenario has failures")
+	}
+	for _, smp := range tl.Samples {
+		if smp.Delivered != 14 {
+			t.Fatalf("delivered = %d at %v", smp.Delivered, smp.At)
+		}
+		if smp.Secured >= smp.Delivered {
+			t.Fatalf("secured %d should be < delivered %d (IEDs 1 and 4 insecure)", smp.Secured, smp.Delivered)
+		}
+	}
+}
+
+func TestDoSBurstTimeline(t *testing.T) {
+	s := newSim(t)
+	// Take down RTU 9 from t=3s to t=6s.
+	sc := DoSBurst("dos-rtu9", []scadanet.DeviceID{9}, 3*time.Second, 3*time.Second, 10*time.Second, time.Second)
+	tl, err := s.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range tl.Samples {
+		inBurst := smp.At >= 3*time.Second && smp.At < 6*time.Second
+		if inBurst {
+			if len(smp.DownDevices) != 1 || smp.DownDevices[0] != 9 {
+				t.Fatalf("at %v: down = %v", smp.At, smp.DownDevices)
+			}
+			if smp.Delivered != 14-4 { // IEDs 1,2,3 (msrs 1,2,3,5,11) lost? RTU 9 carries IEDs 1-3
+				// IEDs 1,2,3 transmit 5 measurements (1,2,3,5,11).
+				if smp.Delivered != 9 {
+					t.Fatalf("at %v: delivered = %d", smp.At, smp.Delivered)
+				}
+			}
+			// The case study tolerates any single RTU failure.
+			if !smp.Observable {
+				t.Fatalf("at %v: single RTU failure must keep observability", smp.At)
+			}
+		} else if len(smp.DownDevices) != 0 {
+			t.Fatalf("at %v: unexpected failures %v", smp.At, smp.DownDevices)
+		}
+	}
+	if got := tl.Availability(core.Observability); got != 1 {
+		t.Fatalf("availability = %v", got)
+	}
+	if tl.WorstConcurrentFailures() != 1 {
+		t.Fatalf("worst failures = %d", tl.WorstConcurrentFailures())
+	}
+}
+
+// TestCertifiedResiliencyHoldsOnTimeline is the key soundness link: a
+// (1,1)-certified property never drops while the campaign stays within
+// one IED + one RTU down.
+func TestCertifiedResiliencyHoldsOnTimeline(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(core.Query{Property: core.Observability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatal("precondition: (1,1)-resilient observable")
+	}
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping bursts: one IED and one RTU at a time, rolling.
+	sc := Scenario{Name: "rolling", Horizon: 20 * time.Second, Step: time.Second}
+	sc.Events = append(sc.Events,
+		Event{At: 1 * time.Second, Kind: DeviceDown, Device: 7}, // IED
+		Event{At: 5 * time.Second, Kind: DeviceUp, Device: 7},
+		Event{At: 3 * time.Second, Kind: DeviceDown, Device: 11}, // RTU
+		Event{At: 9 * time.Second, Kind: DeviceUp, Device: 11},
+		Event{At: 10 * time.Second, Kind: DeviceDown, Device: 1},
+		Event{At: 15 * time.Second, Kind: DeviceUp, Device: 1},
+		Event{At: 12 * time.Second, Kind: DeviceDown, Device: 9},
+		Event{At: 18 * time.Second, Kind: DeviceUp, Device: 9},
+	)
+	tl, err := s.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.Availability(core.Observability); got != 1 {
+		t.Fatalf("certified (1,1) resiliency violated on timeline: availability %v", got)
+	}
+}
+
+func TestCascadeEventuallyBreaks(t *testing.T) {
+	s := newSim(t)
+	// Cascading RTU failures: after all RTUs are gone, nothing delivers.
+	sc := Cascade("cascade", []scadanet.DeviceID{9, 10, 11, 12}, time.Second, time.Second, 10*time.Second, time.Second)
+	tl, err := s.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tl.Samples[len(tl.Samples)-1]
+	if last.Delivered != 0 || last.Observable {
+		t.Fatalf("all RTUs down: delivered=%d observable=%v", last.Delivered, last.Observable)
+	}
+	if got := tl.Availability(core.Observability); got >= 1 {
+		t.Fatalf("availability = %v, expected loss", got)
+	}
+	if tl.WorstConcurrentFailures() != 4 {
+		t.Fatalf("worst = %d", tl.WorstConcurrentFailures())
+	}
+	// Availability is monotonically... the samples after full cascade
+	// are all unobservable.
+	broken := false
+	for _, smp := range tl.Samples {
+		if !smp.Observable {
+			broken = true
+		} else if broken {
+			t.Fatal("observability recovered without recovery events")
+		}
+	}
+}
+
+func TestLinkEvents(t *testing.T) {
+	s := newSim(t)
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := cfg.Net.LinkBetween(14, 13) // router-MTU backbone
+	sc := Scenario{
+		Name:    "backbone-cut",
+		Horizon: 4 * time.Second,
+		Step:    time.Second,
+		Events: []Event{
+			{At: 1 * time.Second, Kind: LinkDown, Link: l.ID},
+			{At: 3 * time.Second, Kind: LinkUp, Link: l.ID},
+		},
+	}
+	tl, err := s.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the backbone cut nothing reaches the MTU.
+	cut := tl.Samples[1]
+	if cut.Delivered != 0 || cut.Observable {
+		t.Fatalf("backbone cut: delivered=%d observable=%v", cut.Delivered, cut.Observable)
+	}
+	// After recovery everything flows again.
+	final := tl.Samples[len(tl.Samples)-1]
+	if final.Delivered != 14 {
+		t.Fatalf("after recovery: delivered=%d", final.Delivered)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.Run(Scenario{Step: time.Second}); !errors.Is(err, ErrNoHorizon) {
+		t.Fatalf("want ErrNoHorizon, got %v", err)
+	}
+	if _, err := s.Run(Scenario{Horizon: time.Second}); !errors.Is(err, ErrNoStep) {
+		t.Fatalf("want ErrNoStep, got %v", err)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	e := Event{At: time.Second, Kind: DeviceDown, Device: 5}
+	if !strings.Contains(e.String(), "device 5") {
+		t.Fatalf("String = %q", e.String())
+	}
+	e2 := Event{At: time.Second, Kind: LinkUp, Link: 3}
+	if !strings.Contains(e2.String(), "link 3") {
+		t.Fatalf("String = %q", e2.String())
+	}
+	if EventKind(0).String() != "unknown" {
+		t.Fatal("zero kind")
+	}
+}
+
+func TestAvailabilityEmptyTimeline(t *testing.T) {
+	tl := &Timeline{}
+	if tl.Availability(core.Observability) != 0 {
+		t.Fatal("empty timeline availability")
+	}
+}

@@ -1,0 +1,592 @@
+// Package core implements the paper's contribution: the SCADA Analyzer.
+// It formally models SCADA configurations (device availability, link
+// status, reachability, protocol and crypto pairing), the observability
+// requirement of state estimation, secured delivery, and bad-data
+// detectability, and verifies k- and (k1,k2)-resilient variants of those
+// properties as threat queries: a satisfiable query yields a threat
+// vector (a set of device failures violating the property), an
+// unsatisfiable one certifies the resiliency specification.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scadaver/internal/logic"
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+)
+
+// Property selects which dependability property a query verifies.
+type Property int
+
+// The three resiliency specifications from the paper (Section III-A).
+const (
+	Observability Property = iota + 1
+	SecuredObservability
+	BadDataDetectability
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case Observability:
+		return "observability"
+	case SecuredObservability:
+		return "secured-observability"
+	case BadDataDetectability:
+		return "bad-data-detectability"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the property as its name.
+func (p Property) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON parses a property name.
+func (p *Property) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "observability":
+		*p = Observability
+	case "secured-observability":
+		*p = SecuredObservability
+	case "bad-data-detectability":
+		*p = BadDataDetectability
+	default:
+		return fmt.Errorf("core: unknown property %q", s)
+	}
+	return nil
+}
+
+// Query is one resiliency verification request.
+type Query struct {
+	Property Property `json:"property"`
+
+	// Combined selects the paper's plain k-resiliency (a joint budget of
+	// K failures over IEDs and RTUs); otherwise the split (K1, K2) form
+	// is used: at most K1 IED and K2 RTU failures.
+	Combined bool `json:"combined,omitempty"`
+	K        int  `json:"k,omitempty"`
+	K1       int  `json:"k1,omitempty"`
+	K2       int  `json:"k2,omitempty"`
+
+	// KL additionally allows up to KL communication-link failures (the
+	// paper's failure model covers "a link failure toward the device";
+	// 0 keeps links reliable).
+	KL int `json:"kl,omitempty"`
+
+	// R is the number of simultaneously corrupted measurements tolerated
+	// (bad-data detectability only).
+	R int `json:"r,omitempty"`
+}
+
+// String renders the query compactly, e.g. "(1,1)-resilient
+// secured-observability".
+func (q Query) String() string {
+	if q.Property == BadDataDetectability {
+		if q.Combined {
+			return fmt.Sprintf("(%d,%d)-resilient %v", q.K, q.R, q.Property)
+		}
+		return fmt.Sprintf("(%d,%d;r=%d)-resilient %v", q.K1, q.K2, q.R, q.Property)
+	}
+	if q.Combined {
+		return fmt.Sprintf("%d-resilient %v", q.K, q.Property)
+	}
+	return fmt.Sprintf("(%d,%d)-resilient %v", q.K1, q.K2, q.Property)
+}
+
+// ThreatVector is a set of device (and, under a link budget, link)
+// failures that violates the queried property within the failure budget.
+type ThreatVector struct {
+	IEDs  []scadanet.DeviceID `json:"ieds,omitempty"`
+	RTUs  []scadanet.DeviceID `json:"rtus,omitempty"`
+	Links []scadanet.LinkID   `json:"links,omitempty"`
+}
+
+// Size returns the total number of failed elements.
+func (v ThreatVector) Size() int { return len(v.IEDs) + len(v.RTUs) + len(v.Links) }
+
+// Devices returns all failed devices, IEDs first, each list sorted.
+func (v ThreatVector) Devices() []scadanet.DeviceID {
+	out := make([]scadanet.DeviceID, 0, len(v.IEDs)+len(v.RTUs))
+	out = append(out, v.IEDs...)
+	out = append(out, v.RTUs...)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (v ThreatVector) String() string {
+	parts := make([]string, 0, v.Size())
+	for _, id := range v.IEDs {
+		parts = append(parts, fmt.Sprintf("IED %d", id))
+	}
+	for _, id := range v.RTUs {
+		parts = append(parts, fmt.Sprintf("RTU %d", id))
+	}
+	for _, id := range v.Links {
+		parts = append(parts, fmt.Sprintf("link %d", id))
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// key returns a canonical identity for deduplication.
+func (v ThreatVector) key() string { return v.String() }
+
+// Result is the outcome of one verification.
+type Result struct {
+	Query    Query         `json:"query"`
+	Status   sat.Status    `json:"status"` // Sat: threat found; Unsat: resiliency certified
+	Vector   *ThreatVector `json:"vector,omitempty"`
+	Duration time.Duration `json:"durationNanos"`
+	Stats    sat.Stats     `json:"stats"`
+}
+
+// Resilient reports whether the system satisfies the queried resiliency
+// specification (i.e. the threat query is unsatisfiable).
+func (r *Result) Resilient() bool { return r.Status == sat.Unsat }
+
+// String summarizes the result.
+func (r *Result) String() string {
+	if r.Status == sat.Sat {
+		return fmt.Sprintf("%v: VIOLATED — threat vector %v (%.2fms)",
+			r.Query, r.Vector, float64(r.Duration.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%v: HOLDS (%v, %.2fms)",
+		r.Query, r.Status, float64(r.Duration.Microseconds())/1000)
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithPolicy overrides the default security policy.
+func WithPolicy(p *secpolicy.Policy) Option {
+	return func(a *Analyzer) { a.policy = p }
+}
+
+// WithMaxPaths bounds per-IED path enumeration.
+func WithMaxPaths(n int) Option {
+	return func(a *Analyzer) { a.maxPaths = n }
+}
+
+// WithConflictBudget bounds SAT search per query (0 = unlimited); an
+// exhausted budget yields Status Unsolved.
+func WithConflictBudget(n uint64) Option {
+	return func(a *Analyzer) { a.conflictBudget = n }
+}
+
+// Analyzer verifies resiliency specifications of one SCADA
+// configuration. It is not safe for concurrent use; create one analyzer
+// per goroutine.
+type Analyzer struct {
+	cfg            *scadanet.Config
+	policy         *secpolicy.Policy
+	maxPaths       int
+	conflictBudget uint64
+
+	// Derived, computed once.
+	fieldIEDs []*scadanet.Device
+	fieldRTUs []*scadanet.Device
+	stateSets [][]int
+	groups    [][]int
+	senders   map[int][]scadanet.DeviceID // measurement (1-based) -> IEDs
+}
+
+// Verification errors.
+var (
+	ErrNoFieldDevices = errors.New("core: configuration has no field devices")
+	ErrBadQuery       = errors.New("core: invalid query")
+)
+
+// NewAnalyzer builds an analyzer over a validated configuration.
+func NewAnalyzer(cfg *scadanet.Config, opts ...Option) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a := &Analyzer{
+		cfg:      cfg,
+		policy:   secpolicy.Default(),
+		maxPaths: scadanet.DefaultMaxPaths,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	a.fieldIEDs = cfg.Net.DevicesOfKind(scadanet.IED)
+	a.fieldRTUs = cfg.Net.DevicesOfKind(scadanet.RTU)
+	if len(a.fieldIEDs)+len(a.fieldRTUs) == 0 {
+		return nil, ErrNoFieldDevices
+	}
+	a.stateSets = cfg.Msrs.StateSets()
+	a.groups = cfg.Msrs.UniqueGroups()
+	a.senders = make(map[int][]scadanet.DeviceID)
+	for _, d := range a.fieldIEDs {
+		for _, z := range cfg.Net.MeasurementsOf(d.ID) {
+			a.senders[z] = append(a.senders[z], d.ID)
+		}
+	}
+	return a, nil
+}
+
+// Config returns the analyzed configuration.
+func (a *Analyzer) Config() *scadanet.Config { return a.cfg }
+
+// Policy returns the active security policy.
+func (a *Analyzer) Policy() *secpolicy.Policy { return a.policy }
+
+func validateQuery(q Query) error {
+	switch q.Property {
+	case Observability, SecuredObservability, BadDataDetectability:
+	default:
+		return fmt.Errorf("%w: unknown property %d", ErrBadQuery, int(q.Property))
+	}
+	if q.Combined && q.K < 0 {
+		return fmt.Errorf("%w: negative K", ErrBadQuery)
+	}
+	if !q.Combined && (q.K1 < 0 || q.K2 < 0) {
+		return fmt.Errorf("%w: negative K1/K2", ErrBadQuery)
+	}
+	if q.KL < 0 {
+		return fmt.Errorf("%w: negative KL", ErrBadQuery)
+	}
+	if q.Property == BadDataDetectability && q.R < 0 {
+		return fmt.Errorf("%w: negative R", ErrBadQuery)
+	}
+	return nil
+}
+
+// Verify runs one threat query: it searches for a failure set within the
+// budget that violates the property. Sat means the specification is
+// violated and Result.Vector holds a minimized threat vector; Unsat
+// certifies the specification.
+func (a *Analyzer) Verify(q Query) (*Result, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	enc := a.encode(q)
+	if a.conflictBudget > 0 {
+		enc.Solver().SetConflictBudget(a.conflictBudget)
+	}
+	status := enc.Solve()
+	res := &Result{
+		Query:    q,
+		Status:   status,
+		Duration: time.Since(start),
+		Stats:    enc.Solver().Stats(),
+	}
+	if status == sat.Sat {
+		v := a.extractVector(q, enc)
+		v = a.minimizeVector(q, v)
+		res.Vector = &v
+	}
+	return res, nil
+}
+
+// nodeVar names the availability term of a field device.
+func nodeVar(id scadanet.DeviceID) *logic.Formula { return logic.Vf("Node_%d", id) }
+
+// linkVar names the status term of a link.
+func linkVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Link_%d", id) }
+
+// pairVar names the protocol/crypto pairing judgement of a link.
+func pairVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Pair_%d", id) }
+
+// secVar names the Authenticated ∧ IntegrityProtected judgement of a
+// link (secured properties only).
+func secVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Sec_%d", id) }
+
+// encode builds the full SMT-style model of the query: configuration
+// constraints, the delivery/observability definitions, the failure
+// budget, and the negated property as the goal.
+func (a *Analyzer) encode(q Query) *logic.Encoder {
+	enc := logic.NewEncoder()
+	secured := q.Property != Observability
+
+	// Device availability: statically down devices are fixed; the MTU
+	// and routers are assumed available (the paper's failure model
+	// covers IEDs and RTUs).
+	for _, d := range append(append([]*scadanet.Device(nil), a.fieldIEDs...), a.fieldRTUs...) {
+		if d.Down {
+			enc.Assert(logic.Not(nodeVar(d.ID)))
+		}
+	}
+	// Link status. Under a link-failure budget (KL > 0) healthy links
+	// are left free and their failures counted; otherwise they are
+	// fixed up.
+	var linkFailures []*logic.Formula
+	for _, l := range a.cfg.Net.Links() {
+		switch {
+		case l.Down:
+			enc.Assert(logic.Not(linkVar(l.ID)))
+		case q.KL > 0:
+			linkFailures = append(linkFailures, logic.Not(linkVar(l.ID)))
+		default:
+			enc.Assert(linkVar(l.ID))
+		}
+	}
+	if q.KL > 0 {
+		enc.Assert(logic.AtMost(q.KL, linkFailures...))
+	}
+
+	// Static per-hop configuration judgements are encoded as named
+	// terms fixed to their configured truth values, as in the paper's
+	// model (CommProtoPairing/CryptoPropPairing, and for the secured
+	// properties Authenticated/IntegrityProtected). This keeps the
+	// secured model strictly larger than the plain one — the effect the
+	// paper observes in Fig. 5(b).
+	for _, l := range a.cfg.Net.Links() {
+		protoOK, cryptoOK := a.cfg.Net.HopPairing(l)
+		enc.Assert(logic.Iff(pairVar(l.ID), logic.Const(protoOK && cryptoOK)))
+		if secured {
+			caps := a.cfg.Net.HopCaps(l, a.policy)
+			ok := caps.Has(secpolicy.Authenticates | secpolicy.IntegrityProtects)
+			enc.Assert(logic.Iff(secVar(l.ID), logic.Const(ok)))
+		}
+	}
+
+	// Delivery definitions per IED.
+	delivery := make(map[scadanet.DeviceID]*logic.Formula, len(a.fieldIEDs))
+	for _, d := range a.fieldIEDs {
+		delivery[d.ID] = a.deliveryFormula(d.ID, secured)
+	}
+
+	// D_Z / S_Z: measurement Z delivered (securely, for secured
+	// properties) by at least one transmitting IED.
+	delivered := make([]*logic.Formula, a.cfg.Msrs.Len()+1)
+	for z := 1; z <= a.cfg.Msrs.Len(); z++ {
+		var alts []*logic.Formula
+		for _, ied := range a.senders[z] {
+			alts = append(alts, delivery[ied])
+		}
+		delivered[z] = logic.Or(alts...) // False when unassigned
+	}
+
+	budget := a.budgetFormula(q)
+	goal := a.violationFormula(q, delivered)
+	enc.Assert(budget)
+	enc.Assert(goal)
+	return enc
+}
+
+// deliveryFormula builds AssuredDelivery_I (or SecuredDelivery_I): the
+// IED is available and some enumerated path to the MTU has all links up,
+// all intermediate field devices available, and every hop statically
+// satisfying the pairing (and, if secured, the authentication and
+// integrity) requirements.
+func (a *Analyzer) deliveryFormula(ied scadanet.DeviceID, secured bool) *logic.Formula {
+	paths := a.cfg.Net.Paths(ied, a.maxPaths)
+	alts := make([]*logic.Formula, 0, len(paths))
+	for _, path := range paths {
+		var conj []*logic.Formula
+		at := ied
+		for _, l := range path {
+			conj = append(conj, linkVar(l.ID), pairVar(l.ID))
+			if secured {
+				conj = append(conj, secVar(l.ID))
+			}
+			next := l.Other(at)
+			if d := a.cfg.Net.Device(next); d != nil && d.FieldDevice() {
+				conj = append(conj, nodeVar(next))
+			}
+			at = next
+		}
+		alts = append(alts, logic.And(conj...))
+	}
+	return logic.And(nodeVar(ied), logic.Or(alts...))
+}
+
+// budgetFormula encodes the failure budget: the number of additionally
+// unavailable devices stays within the specification. Devices already
+// marked Down in the configuration are existing contingencies and do not
+// consume budget.
+func (a *Analyzer) budgetFormula(q Query) *logic.Formula {
+	notNode := func(devs []*scadanet.Device) []*logic.Formula {
+		out := make([]*logic.Formula, 0, len(devs))
+		for _, d := range devs {
+			if d.Down {
+				continue
+			}
+			out = append(out, logic.Not(nodeVar(d.ID)))
+		}
+		return out
+	}
+	if q.Combined {
+		all := append(notNode(a.fieldIEDs), notNode(a.fieldRTUs)...)
+		return logic.AtMost(q.K, all...)
+	}
+	return logic.And(
+		logic.AtMost(q.K1, notNode(a.fieldIEDs)...),
+		logic.AtMost(q.K2, notNode(a.fieldRTUs)...),
+	)
+}
+
+// violationFormula encodes the negated property over the delivered-
+// measurement terms (1-based index).
+func (a *Analyzer) violationFormula(q Query, delivered []*logic.Formula) *logic.Formula {
+	n := a.cfg.Msrs.NStates
+	switch q.Property {
+	case Observability, SecuredObservability:
+		// ¬Obs: some state uncovered, or fewer than n unique delivered
+		// measurements.
+		var uncovered []*logic.Formula
+		for x := 0; x < n; x++ {
+			var covers []*logic.Formula
+			for z := 1; z <= a.cfg.Msrs.Len(); z++ {
+				if containsInt(a.stateSets[z-1], x) {
+					covers = append(covers, delivered[z])
+				}
+			}
+			uncovered = append(uncovered, logic.Not(logic.Or(covers...)))
+		}
+		unique := make([]*logic.Formula, len(a.groups))
+		for e, group := range a.groups {
+			var any []*logic.Formula
+			for _, z0 := range group {
+				any = append(any, delivered[z0+1])
+			}
+			unique[e] = logic.Or(any...)
+		}
+		return logic.Or(logic.Or(uncovered...), logic.AtMost(n-1, unique...))
+	case BadDataDetectability:
+		// ¬Detectable: some state is securely covered by at most R
+		// measurements (fewer than R+1), so R corrupted measurements can
+		// hide bad data on it.
+		var weak []*logic.Formula
+		for x := 0; x < n; x++ {
+			var covers []*logic.Formula
+			for z := 1; z <= a.cfg.Msrs.Len(); z++ {
+				if containsInt(a.stateSets[z-1], x) {
+					covers = append(covers, delivered[z])
+				}
+			}
+			weak = append(weak, logic.AtMost(q.R, covers...))
+		}
+		return logic.Or(weak...)
+	}
+	return logic.False()
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// extractVector reads the failed devices and links out of a sat model.
+func (a *Analyzer) extractVector(q Query, enc *logic.Encoder) ThreatVector {
+	var v ThreatVector
+	for _, d := range a.fieldIEDs {
+		if enc.Value(fmt.Sprintf("Node_%d", d.ID)) == sat.False {
+			v.IEDs = append(v.IEDs, d.ID)
+		}
+	}
+	for _, d := range a.fieldRTUs {
+		if enc.Value(fmt.Sprintf("Node_%d", d.ID)) == sat.False {
+			v.RTUs = append(v.RTUs, d.ID)
+		}
+	}
+	if q.KL > 0 {
+		for _, l := range a.cfg.Net.Links() {
+			if l.Down {
+				continue // an existing contingency, not part of the vector
+			}
+			if enc.Value(fmt.Sprintf("Link_%d", l.ID)) == sat.False {
+				v.Links = append(v.Links, l.ID)
+			}
+		}
+	}
+	sortIDs(v.IEDs)
+	sortIDs(v.RTUs)
+	sortLinkIDs(v.Links)
+	return v
+}
+
+// minimizeVector greedily removes failures that are not needed for the
+// violation, using the direct evaluator, so reported vectors are
+// (inclusion-)minimal and easier to act on.
+func (a *Analyzer) minimizeVector(q Query, v ThreatVector) ThreatVector {
+	f := Failures{
+		Devices: map[scadanet.DeviceID]bool{},
+		Links:   map[scadanet.LinkID]bool{},
+	}
+	for _, id := range v.Devices() {
+		f.Devices[id] = true
+	}
+	for _, id := range v.Links {
+		f.Links[id] = true
+	}
+	for _, id := range v.Devices() {
+		f.Devices[id] = false
+		if a.violatedUnder(q, f) {
+			delete(f.Devices, id) // not needed
+		} else {
+			f.Devices[id] = true // needed
+		}
+	}
+	for _, id := range v.Links {
+		f.Links[id] = false
+		if a.violatedUnder(q, f) {
+			delete(f.Links, id)
+		} else {
+			f.Links[id] = true
+		}
+	}
+	var out ThreatVector
+	for _, d := range a.fieldIEDs {
+		if f.Devices[d.ID] {
+			out.IEDs = append(out.IEDs, d.ID)
+		}
+	}
+	for _, d := range a.fieldRTUs {
+		if f.Devices[d.ID] {
+			out.RTUs = append(out.RTUs, d.ID)
+		}
+	}
+	for _, id := range v.Links {
+		if f.Links[id] {
+			out.Links = append(out.Links, id)
+		}
+	}
+	sortIDs(out.IEDs)
+	sortIDs(out.RTUs)
+	sortLinkIDs(out.Links)
+	return out
+}
+
+// violatedUnder evaluates the property directly (no SAT) under a
+// concrete failure set.
+func (a *Analyzer) violatedUnder(q Query, f Failures) bool {
+	switch q.Property {
+	case Observability:
+		return !a.EvalObservabilityUnder(f, false)
+	case SecuredObservability:
+		return !a.EvalObservabilityUnder(f, true)
+	case BadDataDetectability:
+		return !a.EvalBadDataDetectabilityUnder(f, q.R)
+	}
+	return false
+}
+
+func sortLinkIDs(ids []scadanet.LinkID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortIDs(ids []scadanet.DeviceID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

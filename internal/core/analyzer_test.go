@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+)
+
+// tinyConfig builds a 1-state system: IED 1 → RTU 2 → MTU 3, one
+// measurement.
+func tinyConfig(t *testing.T) *scadanet.Config {
+	t.Helper()
+	net := scadanet.NewNetwork()
+	for _, d := range []scadanet.Device{
+		{ID: 1, Kind: scadanet.IED},
+		{ID: 2, Kind: scadanet.RTU},
+		{ID: 3, Kind: scadanet.MTU},
+	} {
+		if _, err := net.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AssignMeasurements(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := powergridFromRows([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scadanet.Config{Msrs: ms, Net: net, K1: 0, K2: 0, R: 0}
+}
+
+func TestTinySystemObservability(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero failures: observable, so the (0,0) threat query is unsat.
+	res, err := a.Verify(Query{Property: Observability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatalf("(0,0): %v", res)
+	}
+	// One IED failure kills the only measurement.
+	res, err = a.Verify(Query{Property: Observability, K1: 1, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatalf("(1,0): %v", res)
+	}
+	if res.Vector == nil || len(res.Vector.IEDs) != 1 || res.Vector.IEDs[0] != 1 {
+		t.Fatalf("vector = %v", res.Vector)
+	}
+	// One RTU failure severs the path.
+	res, err = a.Verify(Query{Property: Observability, K1: 0, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatalf("(0,1): %v", res)
+	}
+	if res.Vector == nil || len(res.Vector.RTUs) != 1 || res.Vector.RTUs[0] != 2 {
+		t.Fatalf("vector = %v", res.Vector)
+	}
+	// Combined budget form.
+	res, err = a.Verify(Query{Property: Observability, Combined: true, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatalf("combined k=1: %v", res)
+	}
+	if res.Vector.Size() != 1 {
+		t.Fatalf("combined vector = %v", res.Vector)
+	}
+}
+
+func TestTinySystemSecuredNeedsCrypto(t *testing.T) {
+	cfg := tinyConfig(t)
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No crypto anywhere: secured observability fails with zero
+	// failures.
+	res, err := a.Verify(Query{Property: SecuredObservability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatal("secured observability should fail without crypto")
+	}
+	if res.Vector == nil || res.Vector.Size() != 0 {
+		t.Fatalf("zero-failure violation should have empty vector, got %v", res.Vector)
+	}
+
+	// Secure both hops: now it holds at (0,0).
+	for _, l := range cfg.Net.Links() {
+		l.Profiles = []secpolicy.Profile{
+			{Algo: secpolicy.CHAP, KeyBits: 64},
+			{Algo: secpolicy.SHA2, KeyBits: 256},
+		}
+	}
+	a2, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = a2.Verify(Query{Property: SecuredObservability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatalf("secured hops: %v", res)
+	}
+}
+
+func TestProtocolMismatchBreaksDelivery(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Net.Device(1).Protocols = []scadanet.Protocol{scadanet.DNP3}
+	cfg.Net.Device(2).Protocols = []scadanet.Protocol{scadanet.Modbus}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatal("protocol mismatch must break assured delivery")
+	}
+}
+
+func TestStaticallyDownDevice(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Net.Device(2).Down = true
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatal("down RTU must break observability with zero further failures")
+	}
+}
+
+func TestDownLink(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Net.Links()[0].Down = true
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatal("down link must break observability")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Query{
+		{Property: 0},
+		{Property: Observability, K1: -1},
+		{Property: Observability, Combined: true, K: -2},
+		{Property: BadDataDetectability, R: -1},
+	}
+	for i, q := range bad {
+		if _, err := a.Verify(q); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("case %d: want ErrBadQuery, got %v", i, err)
+		}
+	}
+	if _, err := a.EnumerateThreats(Query{Property: 0}, 1); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("enumerate: want ErrBadQuery, got %v", err)
+	}
+	if _, err := a.MaxResiliency(Observability, 0, false, false); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("max resiliency: want ErrBadQuery, got %v", err)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	cases := map[string]Query{
+		"2-resilient observability":                  {Property: Observability, Combined: true, K: 2},
+		"(1,1)-resilient secured-observability":      {Property: SecuredObservability, K1: 1, K2: 1},
+		"(2,1)-resilient bad-data-detectability":     {Property: BadDataDetectability, Combined: true, K: 2, R: 1},
+		"(1,0;r=2)-resilient bad-data-detectability": {Property: BadDataDetectability, K1: 1, K2: 0, R: 2},
+	}
+	for want, q := range cases {
+		if got := q.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", q, got, want)
+		}
+	}
+	if Property(99).String() != "unknown" {
+		t.Error("unknown property string")
+	}
+}
+
+func TestThreatVectorHelpers(t *testing.T) {
+	v := ThreatVector{IEDs: []scadanet.DeviceID{3, 1}, RTUs: []scadanet.DeviceID{9}}
+	if v.Size() != 3 {
+		t.Fatal("Size broken")
+	}
+	if got := v.String(); !strings.Contains(got, "IED 3") || !strings.Contains(got, "RTU 9") {
+		t.Fatalf("String = %q", got)
+	}
+	empty := ThreatVector{}
+	if empty.String() != "{}" {
+		t.Fatalf("empty String = %q", empty.String())
+	}
+	if len(v.Devices()) != 3 {
+		t.Fatal("Devices broken")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, K1: 1, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "VIOLATED") {
+		t.Fatalf("String = %q", res.String())
+	}
+	res, err = a.Verify(Query{Property: Observability, K1: 0, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "HOLDS") {
+		t.Fatalf("String = %q", res.String())
+	}
+	if res.Stats.MaxVars == 0 {
+		t.Fatal("stats not captured")
+	}
+}
+
+func TestVerifyWithFailures(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.VerifyWithFailures(Observability, 0, nil) {
+		t.Fatal("no failures: must be observable")
+	}
+	if a.VerifyWithFailures(Observability, 0, []scadanet.DeviceID{1}) {
+		t.Fatal("IED down: must be unobservable")
+	}
+	if a.VerifyWithFailures(Observability, 0, []scadanet.DeviceID{2}) {
+		t.Fatal("RTU down: must be unobservable")
+	}
+	if a.VerifyWithFailures(SecuredObservability, 0, nil) {
+		t.Fatal("no crypto: secured must fail")
+	}
+	if a.VerifyWithFailures(BadDataDetectability, 1, nil) {
+		t.Fatal("single measurement cannot be 1-bad-data detectable")
+	}
+	if a.VerifyWithFailures(Property(99), 0, nil) {
+		t.Fatal("unknown property must be false")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.K1, cfg.K2 = 1, 0
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Analyze(Observability, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Resilient() {
+		t.Fatal("tiny system cannot be (1,0)-resilient")
+	}
+	if len(rep.Threats) != 1 {
+		t.Fatalf("threats = %v", rep.Threats)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestNoFieldDevices(t *testing.T) {
+	net := scadanet.NewNetwork()
+	if _, err := net.AddDevice(scadanet.Device{ID: 1, Kind: scadanet.MTU}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := powergridFromRows([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &scadanet.Config{Msrs: ms, Net: net}
+	if _, err := NewAnalyzer(cfg); !errors.Is(err, ErrNoFieldDevices) {
+		t.Fatalf("want ErrNoFieldDevices, got %v", err)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.K1 = -5
+	if _, err := NewAnalyzer(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"testing"
+
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+)
+
+func powergridFromRows(rows [][]float64) (*powergrid.MeasurementSet, error) {
+	return powergrid.FromJacobian(rows)
+}
+
+func caseStudyAnalyzer(t *testing.T, fig4 bool) *Analyzer {
+	t.Helper()
+	cfg, err := scadanet.CaseStudyConfig(fig4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func verify(t *testing.T, a *Analyzer, q Query) *Result {
+	t.Helper()
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatalf("%v: %v", q, err)
+	}
+	return res
+}
+
+// TestScenario1Fig3 reproduces the paper's Section IV-B results on the
+// Fig. 3 topology: (1,1)-resilient observable, not (2,1)-resilient, and
+// IED-only tolerance of exactly 3 failures.
+func TestScenario1Fig3(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+
+	if res := verify(t, a, Query{Property: Observability, K1: 1, K2: 1}); !res.Resilient() {
+		t.Fatalf("(1,1) must hold: %v", res)
+	}
+	res := verify(t, a, Query{Property: Observability, K1: 2, K2: 1})
+	if res.Resilient() {
+		t.Fatalf("(2,1) must be violated: %v", res)
+	}
+	// The returned vector must actually break observability, use at most
+	// 2 IEDs + 1 RTU, and involve at least two devices.
+	if res.Vector.Size() < 2 || len(res.Vector.IEDs) > 2 || len(res.Vector.RTUs) > 1 {
+		t.Fatalf("vector out of budget: %v", res.Vector)
+	}
+	if a.VerifyWithFailures(Observability, 0, res.Vector.Devices()) {
+		t.Fatalf("vector %v does not break observability", res.Vector)
+	}
+
+	// Paper: several distinct threat vectors exist at (2,1).
+	vectors, err := a.EnumerateThreats(Query{Property: Observability, K1: 2, K2: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vectors) < 5 {
+		t.Fatalf("expected a multi-vector threat space, got %d: %v", len(vectors), vectors)
+	}
+	for _, v := range vectors {
+		if a.VerifyWithFailures(Observability, 0, v.Devices()) {
+			t.Fatalf("enumerated vector %v does not break observability", v)
+		}
+	}
+
+	// Paper: "the system can tolerate up to the failures of 3 IEDs".
+	maxIED, err := a.MaxResiliency(Observability, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxIED != 3 {
+		t.Fatalf("IED-only max resiliency = %d, want 3", maxIED)
+	}
+}
+
+// TestScenario1Fig4 reproduces the Fig. 4 rewiring results: the system
+// loses (1,1)-resiliency, RTU 12 becomes a single point of failure, and
+// the system is maximally (3,0)-resilient observable.
+func TestScenario1Fig4(t *testing.T) {
+	a := caseStudyAnalyzer(t, true)
+
+	res := verify(t, a, Query{Property: Observability, K1: 1, K2: 1})
+	if res.Resilient() {
+		t.Fatalf("(1,1) must be violated on fig4: %v", res)
+	}
+	// Paper: "if RTU 12 fails, there is no way to observe the system";
+	// the minimal vector is {RTU 12}.
+	res = verify(t, a, Query{Property: Observability, K1: 0, K2: 1})
+	if res.Resilient() {
+		t.Fatal("(0,1) must be violated on fig4")
+	}
+	if len(res.Vector.RTUs) != 1 || res.Vector.RTUs[0] != 12 || len(res.Vector.IEDs) != 0 {
+		t.Fatalf("single-RTU vector should be {RTU 12}, got %v", res.Vector)
+	}
+
+	// Paper: maximally (3,0)-resilient observable.
+	maxIED, err := a.MaxResiliency(Observability, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRTU, err := a.MaxResiliency(Observability, 0, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxIED != 3 || maxRTU != 0 {
+		t.Fatalf("max resiliency = (%d,%d), want (3,0)", maxIED, maxRTU)
+	}
+}
+
+// TestScenario2Fig3 reproduces Section IV-C on the Fig. 3 topology:
+// the system is NOT (1,1)-resilient in terms of secured observability
+// (although it is (1,1)-resilient observable), yet it tolerates any
+// single IED or single RTU failure.
+func TestScenario2Fig3(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+
+	res := verify(t, a, Query{Property: SecuredObservability, K1: 1, K2: 1})
+	if res.Resilient() {
+		t.Fatalf("secured (1,1) must be violated: %v", res)
+	}
+	if len(res.Vector.IEDs) > 1 || len(res.Vector.RTUs) > 1 {
+		t.Fatalf("vector out of budget: %v", res.Vector)
+	}
+	if a.VerifyWithFailures(SecuredObservability, 0, res.Vector.Devices()) {
+		t.Fatalf("vector %v does not break secured observability", res.Vector)
+	}
+
+	// Paper: a handful of threat vectors at (1,1) (the paper reports 5).
+	vectors, err := a.EnumerateThreats(Query{Property: SecuredObservability, K1: 1, K2: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vectors) < 3 || len(vectors) > 8 {
+		t.Fatalf("secured (1,1) threat space = %d vectors %v, expected a handful", len(vectors), vectors)
+	}
+
+	// Paper: (1,0) and (0,1) give unsat.
+	if res := verify(t, a, Query{Property: SecuredObservability, K1: 1, K2: 0}); !res.Resilient() {
+		t.Fatalf("secured (1,0) must hold: %v", res)
+	}
+	if res := verify(t, a, Query{Property: SecuredObservability, K1: 0, K2: 1}); !res.Resilient() {
+		t.Fatalf("secured (0,1) must hold: %v", res)
+	}
+}
+
+// TestScenario2Fig4: with the Fig. 4 topology the system is no longer
+// resilient to one RTU failure, and the paper reports exactly one threat
+// vector: the unavailability of RTU 12.
+func TestScenario2Fig4(t *testing.T) {
+	a := caseStudyAnalyzer(t, true)
+	vectors, err := a.EnumerateThreats(Query{Property: SecuredObservability, K1: 0, K2: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vectors) != 1 {
+		t.Fatalf("threat vectors = %v, want exactly one", vectors)
+	}
+	v := vectors[0]
+	if len(v.RTUs) != 1 || v.RTUs[0] != 12 || len(v.IEDs) != 0 {
+		t.Fatalf("vector = %v, want {RTU 12}", v)
+	}
+}
+
+// TestCaseStudyBadData exercises the (k,r)-resilient bad-data
+// detectability constraint on the case study.
+func TestCaseStudyBadData(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+
+	// With zero failures and r=0, every state needs >=1 secured
+	// measurement; the SAT verdict must agree with direct evaluation.
+	holds0 := a.EvalBadDataDetectability(nil, 0)
+	res := verify(t, a, Query{Property: BadDataDetectability, K1: 0, K2: 0, R: 0})
+	if res.Resilient() != holds0 {
+		t.Fatalf("r=0 verdict mismatch: eval=%v verify=%v", holds0, res.Status)
+	}
+
+	holds1 := a.EvalBadDataDetectability(nil, 1)
+	res = verify(t, a, Query{Property: BadDataDetectability, K1: 0, K2: 0, R: 1})
+	if res.Resilient() != holds1 {
+		t.Fatalf("r=1 verdict mismatch: eval=%v verify=%v", holds1, res.Status)
+	}
+
+	// Large r can never be detectable (not enough measurements per
+	// state).
+	res = verify(t, a, Query{Property: BadDataDetectability, K1: 0, K2: 0, R: 14})
+	if res.Resilient() {
+		t.Fatal("r=14 cannot be detectable with 14 measurements")
+	}
+
+	// Monotonicity in k: if (k,r) is violated, (k+1,r) is too.
+	for r := 0; r <= 2; r++ {
+		prev := true
+		for k := 0; k <= 3; k++ {
+			res := verify(t, a, Query{Property: BadDataDetectability, Combined: true, K: k, R: r})
+			if !prev && res.Resilient() {
+				t.Fatalf("monotonicity violated at k=%d r=%d", k, r)
+			}
+			prev = res.Resilient()
+		}
+	}
+}
+
+// TestSATAgainstDirectEnumeration cross-validates the formal encoding
+// against exhaustive direct evaluation on the case study for all small
+// budgets: the threat query is satisfiable iff some failure set within
+// the budget violates the property.
+func TestSATAgainstDirectEnumeration(t *testing.T) {
+	for _, fig4 := range []bool{false, true} {
+		a := caseStudyAnalyzer(t, fig4)
+		devices := make([]scadanet.DeviceID, 0, 12)
+		for _, d := range a.Config().Net.DevicesOfKind(scadanet.IED) {
+			devices = append(devices, d.ID)
+		}
+		rtuStart := len(devices)
+		for _, d := range a.Config().Net.DevicesOfKind(scadanet.RTU) {
+			devices = append(devices, d.ID)
+		}
+
+		for _, prop := range []Property{Observability, SecuredObservability} {
+			for k1 := 0; k1 <= 2; k1++ {
+				for k2 := 0; k2 <= 1; k2++ {
+					res := verify(t, a, Query{Property: prop, K1: k1, K2: k2})
+					want := existsViolation(a, prop, devices, rtuStart, k1, k2)
+					if (res.Status == sat.Sat) != want {
+						t.Fatalf("fig4=%v %v (%d,%d): sat=%v brute=%v",
+							fig4, prop, k1, k2, res.Status, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// existsViolation brute-forces all failure sets with ≤k1 IEDs and ≤k2
+// RTUs via bitmask enumeration (12 field devices in the case study).
+func existsViolation(a *Analyzer, prop Property, devices []scadanet.DeviceID, rtuStart, k1, k2 int) bool {
+	n := len(devices)
+	for mask := 0; mask < 1<<n; mask++ {
+		nIED, nRTU := 0, 0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				if i < rtuStart {
+					nIED++
+				} else {
+					nRTU++
+				}
+			}
+		}
+		if nIED > k1 || nRTU > k2 {
+			continue
+		}
+		var failed []scadanet.DeviceID
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				failed = append(failed, devices[i])
+			}
+		}
+		if !a.VerifyWithFailures(prop, 0, failed) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMinimalVectorsAreMinimal checks that every enumerated vector stops
+// violating the property when any single device is restored.
+func TestMinimalVectorsAreMinimal(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+	q := Query{Property: Observability, K1: 2, K2: 1}
+	vectors, err := a.EnumerateThreats(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vectors {
+		devs := v.Devices()
+		for skip := range devs {
+			subset := make([]scadanet.DeviceID, 0, len(devs)-1)
+			for i, d := range devs {
+				if i != skip {
+					subset = append(subset, d)
+				}
+			}
+			if !a.VerifyWithFailures(Observability, 0, subset) {
+				t.Fatalf("vector %v not minimal: %v already violates", v, subset)
+			}
+		}
+	}
+}
+
+// TestEnumerationRespectsCap verifies the max parameter.
+func TestEnumerationRespectsCap(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+	vectors, err := a.EnumerateThreats(Query{Property: Observability, K1: 2, K2: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vectors) != 2 {
+		t.Fatalf("cap ignored: %d vectors", len(vectors))
+	}
+	n, err := a.CountThreats(Query{Property: Observability, K1: 2, K2: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("CountThreats = %d, want 3", n)
+	}
+}
+
+// TestSecuredImpliesDelivered: every securely delivered measurement is
+// also delivered (SecuredDelivery ⊂ AssuredDelivery).
+func TestSecuredImpliesDelivered(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+	for _, down := range []map[scadanet.DeviceID]bool{
+		nil,
+		{9: true},
+		{11: true, 7: true},
+	} {
+		sec := a.DeliveredMeasurements(down, true)
+		plain := a.DeliveredMeasurements(down, false)
+		for z := range sec {
+			if !plain[z] {
+				t.Fatalf("down=%v: measurement %d secured but not delivered", down, z)
+			}
+		}
+	}
+}
+
+// TestCaseStudySecuredSubset checks the reconstruction's security
+// structure: IED 1 (hmac-only uplink) and IED 4 (no security profile)
+// are never securely delivered.
+func TestCaseStudySecuredSubset(t *testing.T) {
+	a := caseStudyAnalyzer(t, false)
+	sec := a.DeliveredMeasurements(nil, true)
+	for _, z := range a.Config().Net.MeasurementsOf(1) {
+		if sec[z] {
+			t.Fatalf("IED 1 measurement %d must not be secured (hmac-only hop)", z)
+		}
+	}
+	for _, z := range a.Config().Net.MeasurementsOf(4) {
+		if sec[z] {
+			t.Fatalf("IED 4 measurement %d must not be secured (no profile)", z)
+		}
+	}
+	// But they are delivered.
+	plain := a.DeliveredMeasurements(nil, false)
+	for z := 1; z <= 14; z++ {
+		if !plain[z] {
+			t.Fatalf("measurement %d not delivered with all devices up", z)
+		}
+	}
+}
+
+// TestMinimalThreat: on the Fig. 4 topology a single device (RTU 12)
+// breaks observability; on Fig. 3 the smallest breaking set has more
+// than one device.
+func TestMinimalThreat(t *testing.T) {
+	fig4 := caseStudyAnalyzer(t, true)
+	v, size, err := fig4.MinimalThreat(Observability, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1 || v == nil || len(v.RTUs) != 1 || v.RTUs[0] != 12 {
+		t.Fatalf("fig4 minimal threat = %v (size %d), want {RTU 12}", v, size)
+	}
+
+	fig3 := caseStudyAnalyzer(t, false)
+	v, size, err = fig3.MinimalThreat(Observability, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 2 || v == nil {
+		t.Fatalf("fig3 minimal threat = %v (size %d), want >= 2 devices", v, size)
+	}
+	if fig3.VerifyWithFailures(Observability, 0, v.Devices()) {
+		t.Fatalf("minimal threat %v does not violate", v)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+)
+
+// EnumerateThreats lists distinct minimal threat vectors for the query,
+// up to max (0 = no cap beyond termination). After each satisfying
+// model, the minimized vector V is blocked with the clause
+// ∨_{i∈V} Node_i, so subsequent models must avoid failing all of V
+// simultaneously; enumeration therefore yields an antichain of minimal
+// vectors and terminates.
+func (a *Analyzer) EnumerateThreats(q Query, max int) ([]ThreatVector, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	enc := a.encode(q)
+	if a.conflictBudget > 0 {
+		enc.Solver().SetConflictBudget(a.conflictBudget)
+	}
+	var out []ThreatVector
+	seen := map[string]bool{}
+	for max <= 0 || len(out) < max {
+		status := enc.Solve()
+		if status != sat.Sat {
+			break
+		}
+		v := a.minimizeVector(q, a.extractVector(q, enc))
+		if !seen[v.key()] {
+			seen[v.key()] = true
+			out = append(out, v)
+		}
+		// Block this vector (and all supersets).
+		block := make(map[string]bool, v.Size())
+		for _, id := range v.Devices() {
+			block[fmt.Sprintf("Node_%d", id)] = false
+		}
+		for _, id := range v.Links {
+			block[fmt.Sprintf("Link_%d", id)] = false
+		}
+		if len(block) == 0 {
+			// The property is violated with zero failures; nothing else
+			// to enumerate.
+			break
+		}
+		enc.Block(block)
+	}
+	return out, nil
+}
+
+// CountThreats returns the size of the minimal threat space for the
+// query (capped at max when max > 0).
+func (a *Analyzer) CountThreats(q Query, max int) (int, error) {
+	vs, err := a.EnumerateThreats(q, max)
+	if err != nil {
+		return 0, err
+	}
+	return len(vs), nil
+}
+
+// MaxResiliency computes the maximum k for which the system is
+// k-resilient for the property, scanning k upward from 0. varyIEDs /
+// varyRTUs select the failure class: (true,false) answers "how many IED
+// failures are tolerable with no RTU failures" (the paper's maximum
+// (k,0) form), and vice versa; (true,true) uses the combined budget.
+func (a *Analyzer) MaxResiliency(p Property, r int, varyIEDs, varyRTUs bool) (int, error) {
+	if !varyIEDs && !varyRTUs {
+		return 0, fmt.Errorf("%w: nothing to vary", ErrBadQuery)
+	}
+	limit := 0
+	if varyIEDs {
+		limit += len(a.fieldIEDs)
+	}
+	if varyRTUs {
+		limit += len(a.fieldRTUs)
+	}
+	maxK := -1
+	for k := 0; k <= limit; k++ {
+		q := Query{Property: p, R: r}
+		switch {
+		case varyIEDs && varyRTUs:
+			q.Combined = true
+			q.K = k
+		case varyIEDs:
+			q.K1, q.K2 = k, 0
+		default:
+			q.K1, q.K2 = 0, k
+		}
+		res, err := a.Verify(q)
+		if err != nil {
+			return 0, err
+		}
+		if res.Status != sat.Unsat {
+			break
+		}
+		maxK = k
+	}
+	return maxK, nil
+}
+
+// MaxResiliencyCombined computes the maximum combined budget k for
+// which the system is k-resilient for the property, by binary search
+// over k (resiliency is monotone: enlarging the failure budget only adds
+// candidate threat models).
+func (a *Analyzer) MaxResiliencyCombined(p Property, r int) (int, error) {
+	lo, hi := -1, len(a.fieldIEDs)+len(a.fieldRTUs)
+	// Invariant: resilient at lo (or lo == -1), violated at hi+1
+	// conceptually; search the largest unsat k.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		res, err := a.Verify(Query{Property: p, Combined: true, K: mid, R: r})
+		if err != nil {
+			return 0, err
+		}
+		if res.Status == sat.Unsat {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// MinimalThreat returns a smallest-cardinality failure set violating
+// the property (and its size), found by verifying just past the
+// binary-searched resiliency boundary. A nil vector with size 0 means
+// even failing every field device keeps the property (it can never be
+// violated by device failures alone).
+func (a *Analyzer) MinimalThreat(p Property, r int) (*ThreatVector, int, error) {
+	kStar, err := a.MaxResiliencyCombined(p, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	limit := len(a.fieldIEDs) + len(a.fieldRTUs)
+	if kStar >= limit {
+		return nil, 0, nil
+	}
+	res, err := a.Verify(Query{Property: p, Combined: true, K: kStar + 1, R: r})
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Status != sat.Sat {
+		// Unreachable given the boundary search, kept for robustness.
+		return nil, 0, nil
+	}
+	return res.Vector, res.Vector.Size(), nil
+}
+
+// Report is a complete verification report for one configuration,
+// produced by Analyze: the primary query result plus the enumerated
+// threat space.
+type Report struct {
+	Result   *Result
+	Threats  []ThreatVector
+	Elapsed  time.Duration
+	Analyzer *Analyzer
+}
+
+// Analyze verifies the configuration's own resiliency specification
+// (Config.K1/K2/R) for the given property and enumerates up to
+// maxThreats threat vectors when the specification is violated.
+func (a *Analyzer) Analyze(p Property, maxThreats int) (*Report, error) {
+	start := time.Now()
+	q := Query{Property: p, K1: a.cfg.K1, K2: a.cfg.K2, R: a.cfg.R}
+	res, err := a.Verify(q)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Result: res, Analyzer: a}
+	if res.Status == sat.Sat && maxThreats != 0 {
+		rep.Threats, err = a.EnumerateThreats(q, maxThreats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// VerifyWithFailures is a convenience query that fixes a concrete set of
+// failed devices and reports whether the property holds under exactly
+// those failures (direct evaluation; no search).
+func (a *Analyzer) VerifyWithFailures(p Property, r int, failed []scadanet.DeviceID) bool {
+	down := make(map[scadanet.DeviceID]bool, len(failed))
+	for _, id := range failed {
+		down[id] = true
+	}
+	switch p {
+	case Observability:
+		return a.EvalObservability(down, false)
+	case SecuredObservability:
+		return a.EvalObservability(down, true)
+	case BadDataDetectability:
+		return a.EvalBadDataDetectability(down, r)
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	in := Query{Property: SecuredObservability, K1: 1, K2: 2, KL: 3, R: 1}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"secured-observability"`) {
+		t.Fatalf("json = %s", data)
+	}
+	var out Query
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestPropertyJSONErrors(t *testing.T) {
+	var p Property
+	if err := json.Unmarshal([]byte(`"nope"`), &p); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+	if err := json.Unmarshal([]byte(`42`), &p); err == nil {
+		t.Fatal("non-string property accepted")
+	}
+}
+
+func TestResultJSON(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, K1: 1, K2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"status":"sat"`, `"ieds":[1]`, `"property":"observability"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json %s missing %q", s, want)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Status != res.Status || back.Vector == nil || len(back.Vector.IEDs) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}

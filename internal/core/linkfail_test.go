@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+)
+
+// TestLinkBudgetTiny: on the 1-IED chain, a single link failure breaks
+// observability exactly like a device failure.
+func TestLinkBudgetTiny(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No device failures allowed, but one link may fail.
+	res, err := a.Verify(Query{Property: Observability, K1: 0, K2: 0, KL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatalf("link failure must break the chain: %v", res)
+	}
+	if len(res.Vector.Links) != 1 || res.Vector.Size() != 1 {
+		t.Fatalf("vector = %v, want a single link", res.Vector)
+	}
+	// KL=0 keeps links reliable: resilient at (0,0).
+	res, err = a.Verify(Query{Property: Observability, K1: 0, K2: 0, KL: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatalf("(0,0,KL=0) must hold: %v", res)
+	}
+}
+
+// TestLinkBudgetCaseStudy cross-validates the SAT verdict under a link
+// budget against exhaustive direct evaluation of all single- and
+// double-link failures.
+func TestLinkBudgetCaseStudy(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := cfg.Net.Links()
+
+	bruteLinkViolation := func(kl int, secured bool) bool {
+		var rec func(start, left int, f Failures) bool
+		rec = func(start, left int, f Failures) bool {
+			if !a.EvalObservabilityUnder(f, secured) {
+				return true
+			}
+			if left == 0 {
+				return false
+			}
+			for i := start; i < len(links); i++ {
+				f.Links[links[i].ID] = true
+				if rec(i+1, left-1, f) {
+					return true
+				}
+				delete(f.Links, links[i].ID)
+			}
+			return false
+		}
+		return rec(0, kl, Failures{Devices: map[scadanet.DeviceID]bool{}, Links: map[scadanet.LinkID]bool{}})
+	}
+
+	for kl := 0; kl <= 2; kl++ {
+		for _, secured := range []bool{false, true} {
+			prop := Observability
+			if secured {
+				prop = SecuredObservability
+			}
+			res, err := a.Verify(Query{Property: prop, K1: 0, K2: 0, KL: kl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteLinkViolation(kl, secured)
+			if (res.Status == sat.Sat) != want {
+				t.Fatalf("secured=%v KL=%d: sat=%v brute=%v", secured, kl, res.Status, want)
+			}
+			if res.Status == sat.Sat {
+				// The reported vector must be links only and actually
+				// violate the property.
+				if len(res.Vector.Devices()) != 0 {
+					t.Fatalf("device failures with zero device budget: %v", res.Vector)
+				}
+				f := Failures{Devices: map[scadanet.DeviceID]bool{}, Links: map[scadanet.LinkID]bool{}}
+				for _, id := range res.Vector.Links {
+					f.Links[id] = true
+				}
+				if a.EvalObservabilityUnder(f, secured) {
+					t.Fatalf("vector %v does not violate", res.Vector)
+				}
+			}
+		}
+	}
+}
+
+// TestLinkBudgetEnumeration enumerates mixed device+link vectors.
+func TestLinkBudgetEnumeration(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Property: SecuredObservability, K1: 1, K2: 0, KL: 1}
+	vectors, err := a.EnumerateThreats(q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vectors) == 0 {
+		t.Fatal("expected mixed threat vectors")
+	}
+	sawLink := false
+	for _, v := range vectors {
+		if len(v.Links) > 1 || len(v.IEDs) > 1 || len(v.RTUs) > 0 {
+			t.Fatalf("vector out of budget: %v", v)
+		}
+		if len(v.Links) > 0 {
+			sawLink = true
+		}
+		f := Failures{Devices: map[scadanet.DeviceID]bool{}, Links: map[scadanet.LinkID]bool{}}
+		for _, id := range v.Devices() {
+			f.Devices[id] = true
+		}
+		for _, id := range v.Links {
+			f.Links[id] = true
+		}
+		if a.EvalObservabilityUnder(f, true) {
+			t.Fatalf("vector %v does not violate secured observability", v)
+		}
+	}
+	if !sawLink {
+		t.Fatal("no vector involved a link failure")
+	}
+}
+
+// TestLinkBudgetValidation rejects negative KL.
+func TestLinkBudgetValidation(t *testing.T) {
+	a, err := NewAnalyzer(tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(Query{Property: Observability, KL: -1}); err == nil {
+		t.Fatal("negative KL must be rejected")
+	}
+}
+
+// TestSecuredModelIsLarger checks the paper's Fig. 5(b) observation:
+// the secured-observability model has more variables than the plain
+// observability model on the same configuration.
+func TestSecuredModelIsLarger(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := a.Verify(Query{Property: Observability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secured, err := a.Verify(Query{Property: SecuredObservability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secured.Stats.MaxVars <= plain.Stats.MaxVars {
+		t.Fatalf("secured model (%d vars) not larger than plain (%d vars)",
+			secured.Stats.MaxVars, plain.Stats.MaxVars)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/synth"
+)
+
+// TestQuickObservabilityMonotoneInFailures: adding failures can only
+// degrade observability — if the system is observable under failure set
+// T, it is observable under every subset S ⊆ T.
+func TestQuickObservabilityMonotoneInFailures(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := []scadanet.DeviceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+	f := func(maskT uint16, dropBits uint16, secured bool) bool {
+		down := func(mask uint16) map[scadanet.DeviceID]bool {
+			m := map[scadanet.DeviceID]bool{}
+			for i, d := range devices {
+				if mask>>uint(i)&1 == 1 {
+					m[d] = true
+				}
+			}
+			return m
+		}
+		bigger := maskT & 0xFFF
+		smaller := bigger &^ dropBits // subset
+		if a.EvalObservability(down(bigger), secured) {
+			return a.EvalObservability(down(smaller), secured)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSecuredSubsetOfDelivered: secured delivery implies plain
+// delivery under every failure set.
+func TestQuickSecuredSubsetOfDelivered(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := []scadanet.DeviceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	f := func(mask uint16) bool {
+		down := map[scadanet.DeviceID]bool{}
+		for i, d := range devices {
+			if mask>>uint(i)&1 == 1 {
+				down[d] = true
+			}
+		}
+		sec := a.DeliveredMeasurements(down, true)
+		plain := a.DeliveredMeasurements(down, false)
+		for z := range sec {
+			if !plain[z] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVerifyAgreesWithEval fuzzes synthetic systems and checks
+// that the SAT verdict matches brute-force evaluation for small split
+// budgets.
+func TestQuickVerifyAgreesWithEval(t *testing.T) {
+	f := func(seed int64, k1Raw, k2Raw, propRaw uint8) bool {
+		cfg, err := synth.Generate(synth.Params{
+			Bus:                powergrid.Case5(),
+			Seed:               seed,
+			Hierarchy:          1 + int(seed%2),
+			MeasurementPercent: 70,
+			SecureFraction:     0.6,
+		})
+		if err != nil {
+			return false
+		}
+		a, err := NewAnalyzer(cfg)
+		if err != nil {
+			return false
+		}
+		k1 := int(k1Raw) % 2
+		k2 := int(k2Raw) % 2
+		prop := Observability
+		if propRaw%2 == 1 {
+			prop = SecuredObservability
+		}
+		res, err := a.Verify(Query{Property: prop, K1: k1, K2: k2})
+		if err != nil {
+			return false
+		}
+
+		// Brute force over all budget-conformant failure sets.
+		var ieds, rtus []scadanet.DeviceID
+		for _, d := range cfg.Net.DevicesOfKind(scadanet.IED) {
+			ieds = append(ieds, d.ID)
+		}
+		for _, d := range cfg.Net.DevicesOfKind(scadanet.RTU) {
+			rtus = append(rtus, d.ID)
+		}
+		secured := prop == SecuredObservability
+		violated := false
+		var rec func(iIdx, nI, rIdx, nR int, down map[scadanet.DeviceID]bool)
+		rec = func(iIdx, nI, rIdx, nR int, down map[scadanet.DeviceID]bool) {
+			if violated {
+				return
+			}
+			if !a.EvalObservability(down, secured) {
+				violated = true
+				return
+			}
+			for i := iIdx; i < len(ieds) && nI < k1; i++ {
+				down[ieds[i]] = true
+				rec(i+1, nI+1, rIdx, nR, down)
+				delete(down, ieds[i])
+			}
+			for r := rIdx; r < len(rtus) && nR < k2; r++ {
+				down[rtus[r]] = true
+				rec(len(ieds), k1, r+1, nR+1, down)
+				delete(down, rtus[r])
+			}
+		}
+		rec(0, 0, 0, 0, map[scadanet.DeviceID]bool{})
+		return (res.Status == sat.Sat) == violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaxResiliencyBinaryAgreesWithLinear checks the binary-search
+// combined-budget maximum against the definitionally correct linear
+// scan.
+func TestQuickMaxResiliencyBinaryAgreesWithLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		cfg, err := synth.Generate(synth.Params{
+			Bus:                powergrid.Case5(),
+			Seed:               rng.Int63(),
+			Hierarchy:          1 + trial%3,
+			MeasurementPercent: 80,
+			SecureFraction:     1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAnalyzer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := a.MaxResiliencyCombined(Observability, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := a.MaxResiliency(Observability, 0, true, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bin != lin {
+			t.Fatalf("trial %d: binary %d vs linear %d", trial, bin, lin)
+		}
+	}
+}
+
+// TestQuickBadDataMonotoneInR: if r-detectability holds, r'-detectability
+// holds for every r' <= r.
+func TestQuickBadDataMonotoneInR(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mask uint16, rRaw uint8) bool {
+		devices := []scadanet.DeviceID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+		down := map[scadanet.DeviceID]bool{}
+		for i, d := range devices {
+			if mask>>uint(i)&1 == 1 {
+				down[d] = true
+			}
+		}
+		r := int(rRaw)%3 + 1
+		if a.EvalBadDataDetectability(down, r) {
+			return a.EvalBadDataDetectability(down, r-1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package delivery is a discrete-event simulator of SCADA measurement
+// delivery over the configured topology: IEDs emit their measurements,
+// packets hop across links through RTUs and routers toward the MTU with
+// per-hop latencies and per-device processing delays, and hops that
+// violate protocol/crypto pairing drop traffic. It operationally
+// validates the formal AssuredDelivery/SecuredDelivery judgements: a
+// measurement arrives in simulation exactly when the verifier's model
+// says it is deliverable.
+package delivery
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+)
+
+// Params tunes the timing model.
+type Params struct {
+	LinkLatency     time.Duration // per-hop transmission latency
+	DeviceDelay     time.Duration // per forwarding-device processing time
+	SecuredOverhead time.Duration // extra per-hop cost of crypto processing
+}
+
+// DefaultParams returns timings typical of substation LAN/WAN hops.
+func DefaultParams() Params {
+	return Params{
+		LinkLatency:     2 * time.Millisecond,
+		DeviceDelay:     500 * time.Microsecond,
+		SecuredOverhead: 300 * time.Microsecond,
+	}
+}
+
+// Delivery records the fate of one measurement's packet.
+type Delivery struct {
+	MsrID     int
+	IED       scadanet.DeviceID
+	Delivered bool
+	Secured   bool          // every hop authenticated + integrity protected
+	At        time.Duration // arrival time at the MTU (when Delivered)
+	Hops      int
+}
+
+// Simulator runs measurement-delivery rounds over one configuration.
+type Simulator struct {
+	cfg    *scadanet.Config
+	policy *secpolicy.Policy
+	params Params
+}
+
+// New builds a simulator (nil policy = default; zero params = defaults).
+func New(cfg *scadanet.Config, policy *secpolicy.Policy, params Params) *Simulator {
+	if policy == nil {
+		policy = secpolicy.Default()
+	}
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	return &Simulator{cfg: cfg, policy: policy, params: params}
+}
+
+// event is one packet arrival at a device.
+type event struct {
+	at     time.Duration
+	device scadanet.DeviceID
+	pkt    int // packet index
+	seq    int // tie-breaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type packet struct {
+	msrID   int
+	ied     scadanet.DeviceID
+	route   []*scadanet.Link // precomputed hop sequence
+	hop     int
+	secured bool
+}
+
+// Run simulates one acquisition round under the given failure set and
+// returns one Delivery per (IED, measurement), ordered by measurement
+// ID.
+func (s *Simulator) Run(down map[scadanet.DeviceID]bool) []Delivery {
+	mtu := s.cfg.Net.MTUID()
+	var packets []packet
+	var results []Delivery
+
+	for _, d := range s.cfg.Net.DevicesOfKind(scadanet.IED) {
+		route, secured := s.route(d.ID, down)
+		for _, z := range s.cfg.Net.MeasurementsOf(d.ID) {
+			results = append(results, Delivery{MsrID: z, IED: d.ID})
+			if route == nil || d.Down || down[d.ID] {
+				packets = append(packets, packet{})
+				continue
+			}
+			packets = append(packets, packet{msrID: z, ied: d.ID, route: route, secured: secured})
+		}
+	}
+
+	q := &eventQueue{}
+	heap.Init(q)
+	seq := 0
+	for i, p := range packets {
+		if p.route == nil {
+			continue
+		}
+		heap.Push(q, event{at: 0, device: p.ied, pkt: i, seq: seq})
+		seq++
+	}
+
+	for q.Len() > 0 {
+		ev, ok := heap.Pop(q).(event)
+		if !ok {
+			break
+		}
+		p := &packets[ev.pkt]
+		if ev.device == mtu {
+			// Arrived.
+			for ri := range results {
+				if results[ri].MsrID == p.msrID && results[ri].IED == p.ied {
+					results[ri].Delivered = true
+					results[ri].Secured = p.secured
+					results[ri].At = ev.at
+					results[ri].Hops = len(p.route)
+				}
+			}
+			continue
+		}
+		if p.hop >= len(p.route) {
+			continue // dead end (should not happen with valid routes)
+		}
+		l := p.route[p.hop]
+		p.hop++
+		next := l.Other(ev.device)
+		cost := s.params.LinkLatency + s.params.DeviceDelay
+		if s.hopSecured(l) {
+			cost += s.params.SecuredOverhead
+		}
+		heap.Push(q, event{at: ev.at + cost, device: next, pkt: ev.pkt, seq: seq})
+		seq++
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].MsrID != results[j].MsrID {
+			return results[i].MsrID < results[j].MsrID
+		}
+		return results[i].IED < results[j].IED
+	})
+	return results
+}
+
+// route picks the shortest usable path (fewest hops) from the IED to the
+// MTU under the failure set, and whether every hop on it is secured. It
+// prefers fully secured routes when one exists.
+func (s *Simulator) route(ied scadanet.DeviceID, down map[scadanet.DeviceID]bool) ([]*scadanet.Link, bool) {
+	if r := s.bfs(ied, down, true); r != nil {
+		return r, true
+	}
+	return s.bfs(ied, down, false), false
+}
+
+func (s *Simulator) bfs(ied scadanet.DeviceID, down map[scadanet.DeviceID]bool, securedOnly bool) []*scadanet.Link {
+	mtu := s.cfg.Net.MTUID()
+	adj := map[scadanet.DeviceID][]*scadanet.Link{}
+	for _, l := range s.cfg.Net.Links() {
+		adj[l.A] = append(adj[l.A], l)
+		adj[l.B] = append(adj[l.B], l)
+	}
+	type hop struct {
+		dev scadanet.DeviceID
+		via *scadanet.Link
+		prv scadanet.DeviceID
+	}
+	prev := map[scadanet.DeviceID]hop{}
+	visited := map[scadanet.DeviceID]bool{ied: true}
+	queue := []scadanet.DeviceID{ied}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		if at == mtu {
+			// Reconstruct.
+			var route []*scadanet.Link
+			for d := mtu; d != ied; d = prev[d].prv {
+				route = append([]*scadanet.Link{prev[d].via}, route...)
+			}
+			return route
+		}
+		for _, l := range adj[at] {
+			if !s.hopUsable(l, securedOnly) {
+				continue
+			}
+			next := l.Other(at)
+			if visited[next] {
+				continue
+			}
+			nd := s.cfg.Net.Device(next)
+			if next != mtu && nd.Kind != scadanet.RTU && nd.Kind != scadanet.Router {
+				continue
+			}
+			if nd.FieldDevice() && (nd.Down || down[next]) {
+				continue
+			}
+			visited[next] = true
+			prev[next] = hop{dev: next, via: l, prv: at}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) hopUsable(l *scadanet.Link, securedOnly bool) bool {
+	if l.Down {
+		return false
+	}
+	protoOK, cryptoOK := s.cfg.Net.HopPairing(l)
+	if !protoOK || !cryptoOK {
+		return false
+	}
+	if securedOnly && !s.hopSecured(l) {
+		return false
+	}
+	return true
+}
+
+func (s *Simulator) hopSecured(l *scadanet.Link) bool {
+	caps := s.cfg.Net.HopCaps(l, s.policy)
+	return caps.Has(secpolicy.Authenticates | secpolicy.IntegrityProtects)
+}
+
+// DeliveredSet condenses a run into the set of delivered measurement
+// IDs, optionally only those delivered securely — directly comparable to
+// the verifier's judgements.
+func DeliveredSet(results []Delivery, securedOnly bool) map[int]bool {
+	out := map[int]bool{}
+	for _, r := range results {
+		if !r.Delivered {
+			continue
+		}
+		if securedOnly && !r.Secured {
+			continue
+		}
+		out[r.MsrID] = true
+	}
+	return out
+}

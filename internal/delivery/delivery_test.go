@@ -1,0 +1,168 @@
+package delivery
+
+import (
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+	"scadaver/internal/synth"
+)
+
+func caseStudySim(t *testing.T) (*Simulator, *core.Analyzer) {
+	t.Helper()
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg, nil, Params{}), a
+}
+
+func TestSimulationMatchesFormalDelivery(t *testing.T) {
+	sim, a := caseStudySim(t)
+	downSets := []map[scadanet.DeviceID]bool{
+		nil,
+		{9: true},
+		{11: true},
+		{12: true},
+		{1: true, 9: true},
+		{9: true, 11: true},
+	}
+	for _, down := range downSets {
+		results := sim.Run(down)
+		simPlain := DeliveredSet(results, false)
+		simSec := DeliveredSet(results, true)
+		wantPlain := a.DeliveredMeasurements(down, false)
+		wantSec := a.DeliveredMeasurements(down, true)
+		if len(simPlain) != len(wantPlain) {
+			t.Fatalf("down=%v: delivered %v, verifier says %v", down, simPlain, wantPlain)
+		}
+		for z := range wantPlain {
+			if !simPlain[z] {
+				t.Fatalf("down=%v: verifier delivers %d, simulation does not", down, z)
+			}
+		}
+		if len(simSec) != len(wantSec) {
+			t.Fatalf("down=%v: secured %v, verifier says %v", down, simSec, wantSec)
+		}
+		for z := range wantSec {
+			if !simSec[z] {
+				t.Fatalf("down=%v: verifier secures %d, simulation does not", down, z)
+			}
+		}
+	}
+}
+
+func TestArrivalTimesPositiveAndHopScaled(t *testing.T) {
+	sim, _ := caseStudySim(t)
+	results := sim.Run(nil)
+	if len(results) != 14 {
+		t.Fatalf("results = %d, want 14", len(results))
+	}
+	for _, r := range results {
+		if !r.Delivered {
+			t.Fatalf("measurement %d not delivered with all devices up", r.MsrID)
+		}
+		if r.At <= 0 || r.Hops < 2 {
+			t.Fatalf("measurement %d: at=%v hops=%d", r.MsrID, r.At, r.Hops)
+		}
+		// Arrival must cost at least hops × (link latency + device
+		// delay).
+		min := time.Duration(r.Hops) * (2*time.Millisecond + 500*time.Microsecond)
+		if r.At < min {
+			t.Fatalf("measurement %d arrived too fast: %v < %v", r.MsrID, r.At, min)
+		}
+	}
+}
+
+func TestLatencyGrowsWithHierarchy(t *testing.T) {
+	avgLatency := func(h int) time.Duration {
+		cfg, err := synth.Generate(synth.Params{Bus: powergrid.IEEE14(), Seed: 3, Hierarchy: h, SecureFraction: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := New(cfg, nil, Params{})
+		results := sim.Run(nil)
+		var sum time.Duration
+		n := 0
+		for _, r := range results {
+			if r.Delivered {
+				sum += r.At
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("nothing delivered")
+		}
+		return sum / time.Duration(n)
+	}
+	if l1, l3 := avgLatency(1), avgLatency(3); l3 <= l1 {
+		t.Fatalf("latency did not grow with hierarchy: h1=%v h3=%v", l1, l3)
+	}
+}
+
+func TestFailuresReduceDeliveries(t *testing.T) {
+	sim, _ := caseStudySim(t)
+	full := DeliveredSet(sim.Run(nil), false)
+	partial := DeliveredSet(sim.Run(map[scadanet.DeviceID]bool{9: true}), false)
+	if len(partial) >= len(full) {
+		t.Fatalf("RTU 9 failure did not reduce deliveries: %d vs %d", len(partial), len(full))
+	}
+	// IEDs behind RTU 9 (1,2,3) lose exactly their measurements.
+	for _, z := range []int{1, 2, 3, 5, 11} { // msrs of IEDs 1,2,3
+		if partial[z] {
+			t.Fatalf("measurement %d should be lost with RTU 9 down", z)
+		}
+	}
+}
+
+func TestSecuredRoutePreferred(t *testing.T) {
+	// Build a net where the IED has a short insecure route and a longer
+	// secure route; the simulator should still mark the packet secured.
+	net := scadanet.NewNetwork()
+	for _, d := range []scadanet.Device{
+		{ID: 1, Kind: scadanet.IED},
+		{ID: 2, Kind: scadanet.RTU},
+		{ID: 3, Kind: scadanet.RTU},
+		{ID: 4, Kind: scadanet.MTU},
+	} {
+		if _, err := net.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	secureProfiles := []secpolicy.Profile{
+		{Algo: secpolicy.CHAP, KeyBits: 64},
+		{Algo: secpolicy.SHA2, KeyBits: 256},
+	}
+	secure := []struct{ a, b scadanet.DeviceID }{{1, 2}, {2, 3}, {3, 4}}
+	for _, s := range secure {
+		if _, err := net.AddLink(s.a, s.b, secureProfiles...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.AddLink(2, 4); err != nil { // short, insecure
+		t.Fatal(err)
+	}
+	if err := net.AssignMeasurements(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := powergrid.FromJacobian([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &scadanet.Config{Msrs: ms, Net: net}
+	sim := New(cfg, nil, Params{})
+	results := sim.Run(nil)
+	if len(results) != 1 || !results[0].Delivered || !results[0].Secured {
+		t.Fatalf("results = %+v, want secured delivery", results)
+	}
+	if results[0].Hops != 3 {
+		t.Fatalf("hops = %d, want the 3-hop secured route", results[0].Hops)
+	}
+}

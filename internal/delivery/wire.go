@@ -1,0 +1,134 @@
+package delivery
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"scadaver/internal/icsproto"
+	"scadaver/internal/scadanet"
+)
+
+// WireResult extends a Delivery with byte-level transport facts from a
+// wire-mode run.
+type WireResult struct {
+	Delivery
+	Value        float64         // value as received by the MTU
+	Corrupted    bool            // value differs from what the IED sent
+	DroppedByHop scadanet.LinkID // secured hop that rejected the frame (0 = none)
+}
+
+// TamperFn lets a test or attack scenario rewrite frame bytes in flight
+// on one link; returning the input unchanged models a passive attacker.
+type TamperFn func(link *scadanet.Link, wire []byte) []byte
+
+// RunWire performs one acquisition round at the byte level: every
+// measurement travels as an icsproto frame; hops that the policy judges
+// authenticated+integrity-protected carry it inside a per-link secure
+// session (HMAC-SHA-256, keys derived from the link identity), other
+// hops carry plain CRC-framed bytes. tamper (optional) may rewrite the
+// bytes on any link; tampering is rejected at secured hops and sails
+// through insecure ones — the wire-level realization of the verifier's
+// SecuredDelivery judgement.
+func (s *Simulator) RunWire(down map[scadanet.DeviceID]bool, values map[int]float64, tamper TamperFn) ([]WireResult, error) {
+	var out []WireResult
+	for _, d := range s.cfg.Net.DevicesOfKind(scadanet.IED) {
+		route, _ := s.route(d.ID, down)
+		for _, z := range s.cfg.Net.MeasurementsOf(d.ID) {
+			res := WireResult{Delivery: Delivery{MsrID: z, IED: d.ID}}
+			sent := values[z]
+			if route == nil || d.Down || down[d.ID] {
+				out = append(out, res)
+				continue
+			}
+			got, dropped, err := s.transportFrame(d.ID, z, sent, route, tamper)
+			if err != nil {
+				return nil, err
+			}
+			if dropped != 0 {
+				res.DroppedByHop = dropped
+				out = append(out, res)
+				continue
+			}
+			res.Delivered = true
+			res.Hops = len(route)
+			res.Secured = s.routeSecured(route)
+			res.Value = got
+			res.Corrupted = got != sent
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// transportFrame walks the route hop by hop. It returns the value seen
+// by the MTU, or the link that dropped the frame.
+func (s *Simulator) transportFrame(ied scadanet.DeviceID, msrID int, value float64, route []*scadanet.Link, tamper TamperFn) (float64, scadanet.LinkID, error) {
+	current := value
+	seq := uint32(1)
+	for _, l := range route {
+		frame := &icsproto.Frame{
+			Src: uint16(ied), Dst: uint16(s.cfg.Net.MTUID()), Seq: seq,
+			Payload: []icsproto.Measurement{{ID: uint16(msrID), Value: current}},
+		}
+		secured := s.hopSecured(l)
+		var wire []byte
+		var rx *icsproto.Session
+		var err error
+		if secured {
+			var tx *icsproto.Session
+			tx, rx, err = linkSessions(l)
+			if err != nil {
+				return 0, 0, err
+			}
+			wire, err = tx.Seal(frame)
+		} else {
+			wire, err = frame.Marshal()
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		if tamper != nil {
+			wire = tamper(l, wire)
+		}
+		var received *icsproto.Frame
+		if secured {
+			received, err = rx.Open(wire)
+		} else {
+			received, err = icsproto.Unmarshal(wire)
+		}
+		if err != nil {
+			// Integrity/CRC rejection: the forwarding device drops the
+			// frame.
+			return 0, l.ID, nil
+		}
+		if len(received.Payload) != 1 {
+			return 0, l.ID, nil
+		}
+		current = received.Payload[0].Value
+	}
+	return current, 0, nil
+}
+
+func (s *Simulator) routeSecured(route []*scadanet.Link) bool {
+	for _, l := range route {
+		if !s.hopSecured(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// linkSessions derives a deterministic per-link key pair (sender and
+// receiver share it, as provisioned link keys would be).
+func linkSessions(l *scadanet.Link) (*icsproto.Session, *icsproto.Session, error) {
+	key := sha256.Sum256([]byte(fmt.Sprintf("scadaver-link-%d-%d-%d", l.ID, l.A, l.B)))
+	tx, err := icsproto.NewSession(key[:], nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := icsproto.NewSession(key[:], nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, rx, nil
+}

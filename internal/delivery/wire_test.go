@@ -1,0 +1,163 @@
+package delivery
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"scadaver/internal/icsproto"
+	"scadaver/internal/scadanet"
+)
+
+func wireValues() map[int]float64 {
+	vals := map[int]float64{}
+	for z := 1; z <= 14; z++ {
+		vals[z] = float64(z) * 1.5
+	}
+	return vals
+}
+
+func TestRunWireCleanDeliversEverything(t *testing.T) {
+	sim, a := caseStudySim(t)
+	results, err := sim.RunWire(nil, wireValues(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("results = %d", len(results))
+	}
+	plain := a.DeliveredMeasurements(nil, false)
+	for _, r := range results {
+		if r.Delivered != plain[r.MsrID] {
+			t.Fatalf("z%d: wire delivered=%v, verifier=%v", r.MsrID, r.Delivered, plain[r.MsrID])
+		}
+		if !r.Delivered {
+			continue
+		}
+		if r.Corrupted {
+			t.Fatalf("z%d corrupted without an attacker", r.MsrID)
+		}
+		if r.Value != wireValues()[r.MsrID] {
+			t.Fatalf("z%d value %v, want %v", r.MsrID, r.Value, wireValues()[r.MsrID])
+		}
+	}
+}
+
+func TestRunWireFailuresMatchVerifier(t *testing.T) {
+	sim, a := caseStudySim(t)
+	down := map[scadanet.DeviceID]bool{9: true}
+	results, err := sim.RunWire(down, wireValues(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.DeliveredMeasurements(down, false)
+	for _, r := range results {
+		if r.Delivered != want[r.MsrID] {
+			t.Fatalf("z%d: wire=%v verifier=%v", r.MsrID, r.Delivered, want[r.MsrID])
+		}
+	}
+}
+
+// forgeValue rewrites the float in a plain (CRC-only) frame and fixes up
+// the CRC — the man-in-the-middle the paper's integrity requirement is
+// about.
+func forgeValue(wire []byte, newValue float64) []byte {
+	out := append([]byte(nil), wire...)
+	// Frame layout: version(1) src(2) dst(2) seq(4) count(2) id(2) value(8)...
+	off := 1 + 2 + 2 + 4 + 2 + 2
+	binary.BigEndian.PutUint64(out[off:off+8], math.Float64bits(newValue))
+	body := out[:len(out)-2]
+	binary.BigEndian.PutUint16(out[len(out)-2:], icsproto.CRC16DNP(body))
+	return out
+}
+
+func TestRunWireTamperOnInsecureHopSucceeds(t *testing.T) {
+	sim, a := caseStudySim(t)
+	cfg := a.Config()
+	insecure := cfg.Net.LinkBetween(1, 9) // hmac-only: hop not secured
+	tamper := func(l *scadanet.Link, wire []byte) []byte {
+		if l.ID != insecure.ID {
+			return wire
+		}
+		return forgeValue(wire, 999)
+	}
+	results, err := sim.RunWire(nil, wireValues(), tamper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCorrupt := 0
+	for _, r := range results {
+		if r.IED == 1 {
+			if !r.Delivered {
+				t.Fatalf("z%d should still be delivered (insecure hop accepts forgery)", r.MsrID)
+			}
+			if !r.Corrupted || r.Value != 999 {
+				t.Fatalf("z%d: corrupted=%v value=%v", r.MsrID, r.Corrupted, r.Value)
+			}
+			if r.Secured {
+				t.Fatalf("z%d must not be marked secured", r.MsrID)
+			}
+			sawCorrupt++
+		} else if r.Corrupted {
+			t.Fatalf("z%d of IED %d corrupted unexpectedly", r.MsrID, r.IED)
+		}
+	}
+	if sawCorrupt != 2 {
+		t.Fatalf("expected IED 1's two measurements corrupted, got %d", sawCorrupt)
+	}
+}
+
+func TestRunWireTamperOnSecuredHopDropped(t *testing.T) {
+	sim, a := caseStudySim(t)
+	cfg := a.Config()
+	secured := cfg.Net.LinkBetween(5, 11) // chap+sha2-256: secured hop
+	tamper := func(l *scadanet.Link, wire []byte) []byte {
+		if l.ID != secured.ID {
+			return wire
+		}
+		// Bit-flip inside the sealed body; the attacker has no session
+		// key, so the tag cannot be fixed up.
+		out := append([]byte(nil), wire...)
+		out[len(out)/2] ^= 0x40
+		return out
+	}
+	results, err := sim.RunWire(nil, wireValues(), tamper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.IED {
+		case 5:
+			if r.Delivered {
+				t.Fatalf("z%d must be dropped at the secured hop", r.MsrID)
+			}
+			if r.DroppedByHop != secured.ID {
+				t.Fatalf("z%d dropped by %d, want %d", r.MsrID, r.DroppedByHop, secured.ID)
+			}
+		default:
+			if !r.Delivered {
+				t.Fatalf("z%d of IED %d unexpectedly dropped", r.MsrID, r.IED)
+			}
+			if r.Corrupted {
+				t.Fatalf("z%d corrupted", r.MsrID)
+			}
+		}
+	}
+}
+
+func TestRunWireSecuredFlagMatchesVerifier(t *testing.T) {
+	sim, a := caseStudySim(t)
+	results, err := sim.RunWire(nil, wireValues(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSec := a.DeliveredMeasurements(nil, true)
+	for _, r := range results {
+		if !r.Delivered {
+			continue
+		}
+		if r.Secured != wantSec[r.MsrID] {
+			t.Fatalf("z%d: wire secured=%v, verifier=%v", r.MsrID, r.Secured, wantSec[r.MsrID])
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V): scalability of the resiliency verification
+// with problem size (Fig. 5a/5b), the impact of the hierarchy level on
+// execution time (Fig. 6a/6b), maximum resiliency versus measurement
+// density (Fig. 7a), and the threat-space size versus hierarchy
+// (Fig. 7b), plus the Section IV case-study scenarios. It is shared by
+// cmd/scada-bench and the repository's testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/synth"
+)
+
+// Options tunes experiment effort. The paper uses at least 3 random
+// inputs per point and at least 5 runs per input.
+type Options struct {
+	Inputs int // random inputs per point (default 3)
+	Runs   int // timed runs per input (default 5)
+
+	// Systems restricts Fig5 to a subset of the bus systems (default:
+	// ieee14, ieee30, ieee57, ieee118).
+	Systems []string
+	// MaxHierarchy bounds the Fig6/Fig7b sweep (default 4).
+	MaxHierarchy int
+	// Percents restricts the Fig7a density sweep (default 50..100 by 10).
+	Percents []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Inputs <= 0 {
+		o.Inputs = 3
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if len(o.Systems) == 0 {
+		o.Systems = []string{"ieee14", "ieee30", "ieee57", "ieee118"}
+	}
+	if o.MaxHierarchy <= 0 {
+		o.MaxHierarchy = 4
+	}
+	if len(o.Percents) == 0 {
+		o.Percents = []float64{50, 60, 70, 80, 90, 100}
+	}
+	return o
+}
+
+// ScalePoint is one x-position of a timing figure: average execution
+// time of the verification for satisfiable and unsatisfiable
+// specifications at the resiliency boundary.
+type ScalePoint struct {
+	Label       string  // e.g. "ieee30" or "h=2"
+	Buses       int     // problem size
+	Devices     int     // IEDs + RTUs (averaged over inputs)
+	BoundaryK   float64 // average maximum-resiliency k
+	SatMillis   float64 // avg time of the sat query (k*+1)
+	UnsatMillis float64 // avg time of the unsat query (k*)
+}
+
+// timedVerify runs the query `runs` times and returns the average
+// duration plus the (stable) status.
+func timedVerify(a *core.Analyzer, q core.Query, runs int) (time.Duration, sat.Status, error) {
+	var total time.Duration
+	var status sat.Status
+	for i := 0; i < runs; i++ {
+		res, err := a.Verify(q)
+		if err != nil {
+			return 0, sat.Unsolved, err
+		}
+		total += res.Duration
+		status = res.Status
+	}
+	return total / time.Duration(runs), status, nil
+}
+
+// boundaryTimes finds the instance's resiliency boundary k* for the
+// property (combined budget) and times the unsat query at k* and the sat
+// query at k*+1 — the paper's sat/unsat series at a meaningful spec.
+func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int) (kStar int, satMs, unsatMs float64, err error) {
+	a, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	kStar, err = a.MaxResiliencyCombined(prop, cfg.R)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	unsatK := kStar
+	if unsatK < 0 {
+		// Even zero failures violate the property (e.g. weak security
+		// profiles under secured observability); there is no unsat
+		// query — time the k=0 sat query on both series.
+		unsatK = 0
+	}
+	du, _, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: unsatK, R: cfg.R}, runs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ds, _, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: kStar + 1, R: cfg.R}, runs)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return kStar, ms(ds), ms(du), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func deviceCount(cfg *scadanet.Config) int {
+	return len(cfg.Net.DevicesOfKind(scadanet.IED)) + len(cfg.Net.DevicesOfKind(scadanet.RTU))
+}
+
+// Fig5 measures verification time versus problem size over the IEEE
+// 14/30/57/118-bus systems — Fig. 5(a) with Observability, Fig. 5(b)
+// with SecuredObservability.
+func Fig5(prop core.Property, opt Options) ([]ScalePoint, error) {
+	opt = opt.withDefaults()
+	var out []ScalePoint
+	for _, name := range opt.Systems {
+		sys, err := powergrid.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalePoint{Label: name, Buses: sys.NBuses}
+		for i := 0; i < opt.Inputs; i++ {
+			cfg, err := synth.Generate(synth.Params{
+				Bus:       sys,
+				Seed:      int64(1000*sys.NBuses + i),
+				Hierarchy: 2,
+				// Fully secured uplinks keep the observability and
+				// secured-observability boundaries aligned, so Fig. 5(a)
+				// vs 5(b) isolates the model-size effect of the security
+				// constraints, as in the paper.
+				SecureFraction: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			k, satMs, unsatMs, err := boundaryTimes(cfg, prop, opt.Runs)
+			if err != nil {
+				return nil, err
+			}
+			pt.Devices += deviceCount(cfg)
+			pt.BoundaryK += float64(k)
+			pt.SatMillis += satMs
+			pt.UnsatMillis += unsatMs
+		}
+		pt.Devices /= opt.Inputs
+		pt.BoundaryK /= float64(opt.Inputs)
+		pt.SatMillis /= float64(opt.Inputs)
+		pt.UnsatMillis /= float64(opt.Inputs)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Fig6 measures verification time versus hierarchy level on one bus
+// system — Fig. 6(a) uses ieee14, Fig. 6(b) ieee57. Following the
+// paper's methodology, each random input is verified against fixed
+// specifications (k = 1 and k = 2) and the measured times are bucketed
+// by the query's outcome into the satisfiable and unsatisfiable series.
+func Fig6(busName string, prop core.Property, opt Options) ([]ScalePoint, error) {
+	opt = opt.withDefaults()
+	sys, err := powergrid.ByName(busName)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for h := 1; h <= opt.MaxHierarchy; h++ {
+		pt := ScalePoint{Label: fmt.Sprintf("h=%d", h), Buses: sys.NBuses}
+		satN, unsatN := 0, 0
+		var kSum float64
+		for i := 0; i < opt.Inputs; i++ {
+			cfg, err := synth.Generate(synth.Params{
+				Bus:            sys,
+				Seed:           int64(100*h + i),
+				Hierarchy:      h,
+				SecureFraction: 0.9,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.NewAnalyzer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.Devices += deviceCount(cfg)
+			for _, k := range []int{0, 1, 2, 4} {
+				d, status, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: k}, opt.Runs)
+				if err != nil {
+					return nil, err
+				}
+				kSum += float64(k)
+				switch status {
+				case sat.Sat:
+					pt.SatMillis += ms(d)
+					satN++
+				case sat.Unsat:
+					pt.UnsatMillis += ms(d)
+					unsatN++
+				}
+			}
+		}
+		pt.Devices /= opt.Inputs
+		pt.BoundaryK = kSum / float64(4*opt.Inputs)
+		if satN > 0 {
+			pt.SatMillis /= float64(satN)
+		}
+		if unsatN > 0 {
+			pt.UnsatMillis /= float64(unsatN)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ResiliencyPoint is one x-position of Fig. 7(a): maximum tolerable
+// IED-only and RTU-only failures at a measurement density.
+type ResiliencyPoint struct {
+	Percent float64
+	MaxIED  float64
+	MaxRTU  float64
+}
+
+// Fig7a measures maximum resiliency versus measurement density on the
+// 14-bus system.
+func Fig7a(opt Options) ([]ResiliencyPoint, error) {
+	opt = opt.withDefaults()
+	sys := powergrid.IEEE14()
+	var out []ResiliencyPoint
+	for _, pct := range opt.Percents {
+		pt := ResiliencyPoint{Percent: pct}
+		for i := 0; i < opt.Inputs; i++ {
+			cfg, err := synth.Generate(synth.Params{
+				Bus:                sys,
+				Seed:               int64(10*pct) + int64(i),
+				Hierarchy:          1,
+				MeasurementPercent: pct,
+				SecureFraction:     1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.NewAnalyzer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			mi, err := a.MaxResiliency(core.Observability, 0, true, false)
+			if err != nil {
+				return nil, err
+			}
+			mr, err := a.MaxResiliency(core.Observability, 0, false, true)
+			if err != nil {
+				return nil, err
+			}
+			pt.MaxIED += float64(mi)
+			pt.MaxRTU += float64(mr)
+		}
+		pt.MaxIED /= float64(opt.Inputs)
+		pt.MaxRTU /= float64(opt.Inputs)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ThreatSpacePoint is one x-position of Fig. 7(b): the number of
+// distinct minimal threat vectors per hierarchy level, for several
+// resiliency specifications.
+type ThreatSpacePoint struct {
+	Hierarchy int
+	// Vectors maps a spec label like "(1,1)" to the averaged count.
+	Vectors map[string]float64
+}
+
+// ThreatEnumerationCap bounds threat-space counting.
+const ThreatEnumerationCap = 500
+
+// Fig7b measures the threat-space size versus hierarchy on the 14-bus
+// system for the specs (1,1), (2,1) and (2,2).
+func Fig7b(opt Options) ([]ThreatSpacePoint, error) {
+	opt = opt.withDefaults()
+	sys := powergrid.IEEE14()
+	specs := []struct {
+		label  string
+		k1, k2 int
+	}{
+		{"(1,1)", 1, 1},
+		{"(2,1)", 2, 1},
+		{"(2,2)", 2, 2},
+	}
+	var out []ThreatSpacePoint
+	for h := 1; h <= opt.MaxHierarchy; h++ {
+		pt := ThreatSpacePoint{Hierarchy: h, Vectors: map[string]float64{}}
+		for i := 0; i < opt.Inputs; i++ {
+			cfg, err := synth.Generate(synth.Params{
+				Bus:            sys,
+				Seed:           int64(7000 + 10*h + i),
+				Hierarchy:      h,
+				SecureFraction: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a, err := core.NewAnalyzer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range specs {
+				n, err := a.CountThreats(core.Query{Property: core.Observability, K1: s.k1, K2: s.k2}, ThreatEnumerationCap)
+				if err != nil {
+					return nil, err
+				}
+				pt.Vectors[s.label] += float64(n)
+			}
+		}
+		for k := range pt.Vectors {
+			pt.Vectors[k] /= float64(opt.Inputs)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintScale renders a Fig. 5/6 series as the paper's table rows.
+func PrintScale(w io.Writer, title string, pts []ScalePoint) {
+	fmt.Fprintf(w, "# %s\n", title)
+	fmt.Fprintf(w, "%-10s %6s %8s %10s %12s %12s\n", "point", "buses", "devices", "boundary-k", "sat(ms)", "unsat(ms)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10s %6d %8d %10.1f %12.2f %12.2f\n",
+			p.Label, p.Buses, p.Devices, p.BoundaryK, p.SatMillis, p.UnsatMillis)
+	}
+}
+
+// PrintResiliency renders Fig. 7(a) rows.
+func PrintResiliency(w io.Writer, pts []ResiliencyPoint) {
+	fmt.Fprintln(w, "# Fig 7(a): maximum resiliency vs measurement density (ieee14)")
+	fmt.Fprintf(w, "%-10s %10s %10s\n", "percent", "max-IED", "max-RTU")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10.0f %10.1f %10.1f\n", p.Percent, p.MaxIED, p.MaxRTU)
+	}
+}
+
+// PrintThreatSpace renders Fig. 7(b) rows.
+func PrintThreatSpace(w io.Writer, pts []ThreatSpacePoint) {
+	fmt.Fprintln(w, "# Fig 7(b): threat-space size vs hierarchy level (ieee14)")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s\n", "hierarchy", "(1,1)", "(2,1)", "(2,2)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d %10.1f %10.1f %10.1f\n",
+			p.Hierarchy, p.Vectors["(1,1)"], p.Vectors["(2,1)"], p.Vectors["(2,2)"])
+	}
+}
+
+// CaseStudy runs the Section IV scenarios end to end and prints the
+// paper-comparable outcomes.
+func CaseStudy(w io.Writer) error {
+	for _, fig4 := range []bool{false, true} {
+		topo := "Fig. 3"
+		if fig4 {
+			topo = "Fig. 4"
+		}
+		cfg, err := scadanet.CaseStudyConfig(fig4)
+		if err != nil {
+			return err
+		}
+		a, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# Case study, topology %s\n", topo)
+		queries := []core.Query{
+			{Property: core.Observability, K1: 1, K2: 1},
+			{Property: core.Observability, K1: 2, K2: 1},
+			{Property: core.SecuredObservability, K1: 1, K2: 1},
+			{Property: core.SecuredObservability, K1: 1, K2: 0},
+			{Property: core.SecuredObservability, K1: 0, K2: 1},
+		}
+		for _, q := range queries {
+			res, err := a.Verify(q)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  %v\n", res)
+			if res.Status == sat.Sat {
+				vs, err := a.EnumerateThreats(q, 20)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "    threat space: %d vectors: %v\n", len(vs), vs)
+			}
+		}
+		mi, err := a.MaxResiliency(core.Observability, 0, true, false)
+		if err != nil {
+			return err
+		}
+		mr, err := a.MaxResiliency(core.Observability, 0, false, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  maximum observability resiliency: (%d IED-only, %d RTU-only)\n", mi, mr)
+	}
+	return nil
+}

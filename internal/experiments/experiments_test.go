@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"scadaver/internal/core"
+)
+
+var fastOpt = Options{
+	Inputs:       1,
+	Runs:         1,
+	Systems:      []string{"ieee14", "ieee30"},
+	MaxHierarchy: 2,
+	Percents:     []float64{60, 100},
+}
+
+func TestFig5Observability(t *testing.T) {
+	pts, err := Fig5(core.Observability, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.SatMillis <= 0 || p.UnsatMillis <= 0 {
+			t.Fatalf("%s: non-positive timings %+v", p.Label, p)
+		}
+		if p.Devices <= 0 {
+			t.Fatalf("%s: no devices", p.Label)
+		}
+	}
+	// Problem size must grow with the bus count.
+	if pts[1].Devices <= pts[0].Devices {
+		t.Fatalf("devices did not grow: %+v", pts)
+	}
+	var sb strings.Builder
+	PrintScale(&sb, "test", pts)
+	if !strings.Contains(sb.String(), "ieee30") {
+		t.Fatalf("PrintScale output: %q", sb.String())
+	}
+}
+
+func TestFig5Secured(t *testing.T) {
+	pts, err := Fig5(core.SecuredObservability, Options{
+		Inputs: 1, Runs: 1, Systems: []string{"ieee14"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].SatMillis <= 0 {
+		t.Fatalf("pts = %+v", pts)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	pts, err := Fig6("ieee14", core.Observability, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Every point must have timed at least one outcome class.
+		if p.SatMillis <= 0 && p.UnsatMillis <= 0 {
+			t.Fatalf("%+v", p)
+		}
+	}
+	if _, err := Fig6("nope", core.Observability, fastOpt); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	pts, err := Fig7a(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The paper's shape: more measurements, at least as much resiliency
+	// (allowing sampling noise of one unit).
+	if pts[1].MaxIED+1 < pts[0].MaxIED {
+		t.Fatalf("max IED resiliency fell sharply with density: %+v", pts)
+	}
+	// IED tolerance exceeds RTU tolerance (RTUs aggregate many IEDs).
+	last := pts[len(pts)-1]
+	if last.MaxIED < last.MaxRTU {
+		t.Fatalf("expected IED tolerance >= RTU tolerance, got %+v", last)
+	}
+	var sb strings.Builder
+	PrintResiliency(&sb, pts)
+	if !strings.Contains(sb.String(), "max-IED") {
+		t.Fatal("PrintResiliency output missing header")
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	pts, err := Fig7b(fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Larger specs can only enlarge the threat space.
+		if p.Vectors["(2,1)"] < p.Vectors["(1,1)"] {
+			t.Fatalf("threat space shrank with larger spec: %+v", p)
+		}
+		if p.Vectors["(2,2)"] < p.Vectors["(2,1)"] {
+			t.Fatalf("threat space shrank with larger spec: %+v", p)
+		}
+	}
+	var sb strings.Builder
+	PrintThreatSpace(&sb, pts)
+	if !strings.Contains(sb.String(), "hierarchy") {
+		t.Fatal("PrintThreatSpace output missing header")
+	}
+}
+
+func TestCaseStudyOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := CaseStudy(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Fig. 3",
+		"Fig. 4",
+		"(1,1)-resilient observability: HOLDS",
+		"(2,1)-resilient observability: VIOLATED",
+		"maximum observability resiliency: (3 IED-only, 0 RTU-only)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("case study output missing %q:\n%s", want, out)
+		}
+	}
+}

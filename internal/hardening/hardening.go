@@ -1,0 +1,364 @@
+// Package hardening synthesizes configuration changes that make a SCADA
+// system satisfy a resiliency specification — the automated-synthesis
+// direction the paper names as future work ("the automated synthesis of
+// necessary configurations for resilient SCADA systems").
+//
+// The planner runs a counterexample-guided loop: verify the
+// specification; while it is violated, enumerate the threat vectors,
+// generate candidate remediations (upgrading a link's security profile,
+// or adding a redundant uplink), score each candidate by how far it
+// shrinks the remaining threat space, apply the best one, and repeat.
+package hardening
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"scadaver/internal/core"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+)
+
+// ActionKind classifies a remediation.
+type ActionKind int
+
+// The remediation kinds the planner proposes.
+const (
+	// UpgradeLinkSecurity replaces a link's security profile with an
+	// authenticated and integrity-protected one.
+	UpgradeLinkSecurity ActionKind = iota + 1
+	// AddRedundantLink adds a new secured link between two devices.
+	AddRedundantLink
+)
+
+// Action is one applied remediation.
+type Action struct {
+	Kind     ActionKind
+	Link     scadanet.LinkID   // UpgradeLinkSecurity: the upgraded link
+	A, B     scadanet.DeviceID // AddRedundantLink: the new endpoints
+	Profiles []secpolicy.Profile
+	Cost     int
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a.Kind {
+	case UpgradeLinkSecurity:
+		return fmt.Sprintf("upgrade link %d to [%s] (cost %d)",
+			a.Link, secpolicy.FormatProfiles(a.Profiles), a.Cost)
+	case AddRedundantLink:
+		return fmt.Sprintf("add link %d-%d with [%s] (cost %d)",
+			a.A, a.B, secpolicy.FormatProfiles(a.Profiles), a.Cost)
+	}
+	return "unknown action"
+}
+
+// Plan is the synthesized remediation sequence.
+type Plan struct {
+	Actions   []Action
+	TotalCost int
+	Achieved  bool // the specification holds after applying Actions
+	Rounds    int
+	Config    *scadanet.Config // the hardened configuration
+	Final     *core.Result
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	status := "NOT achieved"
+	if p.Achieved {
+		status = "achieved"
+	}
+	fmt.Fprintf(&sb, "hardening plan: %s in %d rounds, total cost %d\n",
+		status, p.Rounds, p.TotalCost)
+	for i, a := range p.Actions {
+		fmt.Fprintf(&sb, "  %d. %v\n", i+1, a)
+	}
+	return sb.String()
+}
+
+// Options tunes the planner.
+type Options struct {
+	// MaxRounds bounds the synthesize loop (default 16).
+	MaxRounds int
+	// MaxThreats caps threat-space enumeration while scoring
+	// (default 50).
+	MaxThreats int
+	// UpgradeCost and AddLinkCost weight the two action kinds
+	// (defaults 1 and 3).
+	UpgradeCost, AddLinkCost int
+	// Policy overrides the security policy (default secpolicy.Default).
+	Policy *secpolicy.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 16
+	}
+	if o.MaxThreats <= 0 {
+		o.MaxThreats = 50
+	}
+	if o.UpgradeCost <= 0 {
+		o.UpgradeCost = 1
+	}
+	if o.AddLinkCost <= 0 {
+		o.AddLinkCost = 3
+	}
+	if o.Policy == nil {
+		o.Policy = secpolicy.Default()
+	}
+	return o
+}
+
+// ErrNoProgress is returned when the remaining violations cannot be
+// removed by any candidate action (within MaxRounds).
+var ErrNoProgress = errors.New("hardening: no candidate action reduces the threat space")
+
+// strongProfile is the profile the planner deploys: authenticated
+// (CHAP) and integrity-protected (SHA-2/256).
+func strongProfile() []secpolicy.Profile {
+	return []secpolicy.Profile{
+		{Algo: secpolicy.CHAP, KeyBits: 64},
+		{Algo: secpolicy.SHA2, KeyBits: 256},
+	}
+}
+
+// Synthesize computes a remediation plan that makes cfg satisfy the
+// query. The input configuration is never modified; the hardened copy is
+// returned inside the plan. A plan with Achieved == false is returned
+// together with ErrNoProgress when the loop stalls.
+func Synthesize(cfg *scadanet.Config, q core.Query, opt Options) (*Plan, error) {
+	opt = opt.withDefaults()
+	work := cfg.Clone()
+	plan := &Plan{Config: work}
+
+	for round := 1; round <= opt.MaxRounds; round++ {
+		plan.Rounds = round
+		analyzer, err := core.NewAnalyzer(work, core.WithPolicy(opt.Policy))
+		if err != nil {
+			return nil, err
+		}
+		res, err := analyzer.Verify(q)
+		if err != nil {
+			return nil, err
+		}
+		plan.Final = res
+		if res.Resilient() {
+			plan.Achieved = true
+			return plan, nil
+		}
+		threats, err := analyzer.EnumerateThreats(q, opt.MaxThreats)
+		if err != nil {
+			return nil, err
+		}
+		current, err := scoreOf(work, q, opt)
+		if err != nil {
+			return nil, err
+		}
+
+		chosen, err := pickBest(work, q, opt, threats, current)
+		if err != nil {
+			return nil, err
+		}
+		if len(chosen) == 0 {
+			return plan, ErrNoProgress
+		}
+		for _, act := range chosen {
+			if err := apply(work, act); err != nil {
+				return nil, err
+			}
+			plan.Actions = append(plan.Actions, act)
+			plan.TotalCost += act.Cost
+		}
+	}
+	return plan, ErrNoProgress
+}
+
+// score orders candidate outcomes: fewer threat vectors first, then
+// (for secured properties) more securely delivered measurements — the
+// progress measure that lets chains of upgrades through bottleneck hops
+// pay off across rounds.
+type score struct {
+	threats int
+	secured int // negated ordering: larger is better
+}
+
+func (s score) better(o score) bool {
+	if s.threats != o.threats {
+		return s.threats < o.threats
+	}
+	return s.secured > o.secured
+}
+
+func scoreOf(cfg *scadanet.Config, q core.Query, opt Options) (score, error) {
+	analyzer, err := core.NewAnalyzer(cfg, core.WithPolicy(opt.Policy))
+	if err != nil {
+		return score{}, err
+	}
+	n, err := analyzer.CountThreats(q, opt.MaxThreats)
+	if err != nil {
+		return score{}, err
+	}
+	sec := len(analyzer.DeliveredMeasurements(nil, true))
+	return score{threats: n, secured: sec}, nil
+}
+
+// pickBest returns the action (or, when no single action improves the
+// score, the best improving pair of actions) to apply next; nil when
+// nothing improves.
+func pickBest(cfg *scadanet.Config, q core.Query, opt Options, threats []core.ThreatVector, current score) ([]Action, error) {
+	candidates := propose(cfg, q, opt, threats)
+
+	type scored struct {
+		acts []Action
+		sc   score
+		cost int
+	}
+	var best *scored
+	consider := func(acts []Action) error {
+		trial := cfg.Clone()
+		cost := 0
+		for _, a := range acts {
+			if err := apply(trial, a); err != nil {
+				return nil // e.g. overlapping pair; skip silently
+			}
+			cost += a.Cost
+		}
+		sc, err := scoreOf(trial, q, opt)
+		if err != nil {
+			return err
+		}
+		if !sc.better(current) {
+			return nil
+		}
+		if best == nil || sc.better(best.sc) || (sc == best.sc && cost < best.cost) {
+			best = &scored{acts: append([]Action(nil), acts...), sc: sc, cost: cost}
+		}
+		return nil
+	}
+
+	for i := range candidates {
+		if err := consider(candidates[i : i+1]); err != nil {
+			return nil, err
+		}
+	}
+	if best != nil {
+		return best.acts, nil
+	}
+	// Bounded pair look-ahead for fixes that need two coordinated
+	// changes (e.g. upgrading both hops of an insecure chain).
+	const maxPairs = 300
+	tried := 0
+	for i := 0; i < len(candidates) && tried < maxPairs; i++ {
+		for j := i + 1; j < len(candidates) && tried < maxPairs; j++ {
+			tried++
+			if err := consider([]Action{candidates[i], candidates[j]}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if best != nil {
+		return best.acts, nil
+	}
+	return nil, nil
+}
+
+// propose generates candidate actions addressing the observed threats.
+func propose(cfg *scadanet.Config, q core.Query, opt Options, threats []core.ThreatVector) []Action {
+	secured := q.Property != core.Observability
+	var out []Action
+
+	// IEDs implicated by the threat space get alternative-uplink
+	// proposals; RTU redundancy is proposed globally below, because a
+	// failing RTU also hurts every RTU that routes through it.
+	hotIED := map[scadanet.DeviceID]bool{}
+	for _, v := range threats {
+		for _, id := range v.IEDs {
+			hotIED[id] = true
+		}
+	}
+
+	// Candidate 1: upgrade insecure links (only useful for secured
+	// properties, where weak hops exclude measurements).
+	if secured {
+		for _, l := range cfg.Net.Links() {
+			caps := cfg.Net.HopCaps(l, opt.Policy)
+			if caps.Has(secpolicy.Authenticates | secpolicy.IntegrityProtects) {
+				continue
+			}
+			out = append(out, Action{
+				Kind:     UpgradeLinkSecurity,
+				Link:     l.ID,
+				Profiles: strongProfile(),
+				Cost:     opt.UpgradeCost,
+			})
+		}
+	}
+
+	// Candidate 2: redundant uplinks. A failing RTU hurts both its own
+	// IEDs and every RTU routing through it, so propose a direct secured
+	// MTU link for every RTU that lacks one (the scoring pass picks the
+	// one that actually shrinks the threat space); additionally, give
+	// every hot IED a second uplink to a different RTU.
+	mtu := cfg.Net.MTUID()
+	rtus := cfg.Net.DevicesOfKind(scadanet.RTU)
+	for _, r := range rtus {
+		if cfg.Net.LinkBetween(r.ID, mtu) == nil {
+			out = append(out, Action{
+				Kind: AddRedundantLink, A: r.ID, B: mtu,
+				Profiles: backboneProfile(), Cost: opt.AddLinkCost,
+			})
+		}
+	}
+	for _, ied := range sortedIDs(hotIED) {
+		for _, r := range rtus {
+			if cfg.Net.LinkBetween(ied, r.ID) == nil {
+				out = append(out, Action{
+					Kind: AddRedundantLink, A: ied, B: r.ID,
+					Profiles: strongProfile(), Cost: opt.AddLinkCost,
+				})
+				break // one alternative uplink proposal per IED
+			}
+		}
+	}
+	return out
+}
+
+func backboneProfile() []secpolicy.Profile {
+	return []secpolicy.Profile{
+		{Algo: secpolicy.RSA, KeyBits: 2048},
+		{Algo: secpolicy.AES, KeyBits: 256},
+	}
+}
+
+func apply(cfg *scadanet.Config, a Action) error {
+	switch a.Kind {
+	case UpgradeLinkSecurity:
+		for _, l := range cfg.Net.Links() {
+			if l.ID == a.Link {
+				l.Profiles = append([]secpolicy.Profile(nil), a.Profiles...)
+				return nil
+			}
+		}
+		return fmt.Errorf("hardening: link %d not found", a.Link)
+	case AddRedundantLink:
+		if cfg.Net.LinkBetween(a.A, a.B) != nil {
+			return fmt.Errorf("hardening: link %d-%d already exists", a.A, a.B)
+		}
+		_, err := cfg.Net.AddLink(a.A, a.B, a.Profiles...)
+		return err
+	}
+	return fmt.Errorf("hardening: unknown action kind %d", a.Kind)
+}
+
+func sortedIDs(set map[scadanet.DeviceID]bool) []scadanet.DeviceID {
+	out := make([]scadanet.DeviceID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,161 @@
+package hardening
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"scadaver/internal/core"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/synth"
+)
+
+func TestSynthesizeCaseStudySecured(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Property: core.SecuredObservability, K1: 1, K2: 1}
+	plan, err := Synthesize(cfg, q, Options{})
+	if err != nil {
+		t.Fatalf("synthesize: %v\n%v", err, plan)
+	}
+	if !plan.Achieved {
+		t.Fatalf("plan not achieved: %v", plan)
+	}
+	if len(plan.Actions) == 0 {
+		t.Fatal("achieved with zero actions, but the input violates the spec")
+	}
+	// The hardened configuration must actually verify.
+	a, err := core.NewAnalyzer(plan.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatalf("hardened config still violates: %v", res)
+	}
+	// The original configuration must be untouched.
+	orig, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRes, err := orig.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origRes.Resilient() {
+		t.Fatal("planner mutated the input configuration")
+	}
+	if !strings.Contains(plan.String(), "achieved") {
+		t.Fatalf("plan.String() = %q", plan.String())
+	}
+}
+
+func TestSynthesizeAlreadyResilient(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Property: core.Observability, K1: 1, K2: 1}
+	plan, err := Synthesize(cfg, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Achieved || len(plan.Actions) != 0 || plan.TotalCost != 0 {
+		t.Fatalf("already-resilient input should need no actions: %v", plan)
+	}
+}
+
+func TestSynthesizeFig4Topology(t *testing.T) {
+	// Fig. 4: RTU 12 is a single point of failure for observability.
+	// The planner must add redundancy (it cannot fix this with crypto).
+	cfg, err := scadanet.CaseStudyConfig(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Property: core.Observability, K1: 0, K2: 1}
+	plan, err := Synthesize(cfg, q, Options{})
+	if err != nil {
+		t.Fatalf("%v\n%v", err, plan)
+	}
+	if !plan.Achieved {
+		t.Fatalf("plan not achieved: %v", plan)
+	}
+	sawAdd := false
+	for _, a := range plan.Actions {
+		if a.Kind == AddRedundantLink {
+			sawAdd = true
+		}
+	}
+	if !sawAdd {
+		t.Fatalf("expected a redundant link, got %v", plan)
+	}
+}
+
+func TestSynthesizeSyntheticSystems(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg, err := synth.Generate(synth.Params{
+			Bus:            powergrid.Case5(),
+			Seed:           seed,
+			Hierarchy:      2,
+			SecureFraction: 0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := core.Query{Property: core.SecuredObservability, K1: 1, K2: 0}
+		plan, err := Synthesize(cfg, q, Options{MaxRounds: 20})
+		if err != nil && !errors.Is(err, ErrNoProgress) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if plan.Achieved {
+			a, err := core.NewAnalyzer(plan.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.Verify(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Resilient() {
+				t.Fatalf("seed %d: achieved plan does not verify", seed)
+			}
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	up := Action{Kind: UpgradeLinkSecurity, Link: 3, Profiles: strongProfile(), Cost: 1}
+	if !strings.Contains(up.String(), "upgrade link 3") {
+		t.Fatalf("String = %q", up.String())
+	}
+	add := Action{Kind: AddRedundantLink, A: 9, B: 13, Profiles: backboneProfile(), Cost: 3}
+	if !strings.Contains(add.String(), "add link 9-13") {
+		t.Fatalf("String = %q", add.String())
+	}
+	var zero Action
+	if zero.String() != "unknown action" {
+		t.Fatal("zero action String")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	cfg, err := scadanet.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(cfg, Action{Kind: UpgradeLinkSecurity, Link: 999}); err == nil {
+		t.Fatal("upgrading a missing link must fail")
+	}
+	if err := apply(cfg, Action{Kind: AddRedundantLink, A: 1, B: 9}); err == nil {
+		t.Fatal("duplicating a link must fail")
+	}
+	if err := apply(cfg, Action{}); err == nil {
+		t.Fatal("unknown action must fail")
+	}
+}

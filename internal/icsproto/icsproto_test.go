@@ -1,0 +1,293 @@
+package icsproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Src: 7, Dst: 13, Seq: 42,
+		Payload: []Measurement{
+			{ID: 1, Value: 16.9, Quality: 0},
+			{ID: 8, Value: -5.05, Quality: 0},
+			{ID: 14, Value: 0, Quality: 2},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Src != f.Src || back.Dst != f.Dst || back.Seq != f.Seq {
+		t.Fatalf("header changed: %+v", back)
+	}
+	if len(back.Payload) != len(f.Payload) {
+		t.Fatalf("payload length %d", len(back.Payload))
+	}
+	for i := range f.Payload {
+		if back.Payload[i] != f.Payload[i] {
+			t.Fatalf("measurement %d: %+v vs %+v", i, back.Payload[i], f.Payload[i])
+		}
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	f := &Frame{Src: 1, Dst: 2, Seq: 1}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Payload) != 0 {
+		t.Fatalf("payload = %v", back.Payload)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	data, err := sampleFrame().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[rng.Intn(len(corrupted))] ^= 1 << uint(rng.Intn(8))
+		if _, err := Unmarshal(corrupted); err == nil {
+			t.Fatalf("trial %d: single bit flip not detected", trial)
+		}
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	data, err := sampleFrame().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, headerLen, len(data) - 3} {
+		if _, err := Unmarshal(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	f := &Frame{Payload: make([]Measurement, MaxMeasurements+1)}
+	if _, err := f.Marshal(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestFrameBadVersion(t *testing.T) {
+	data, err := sampleFrame().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	// Fix up the CRC so only the version check can object.
+	body := data[:len(data)-2]
+	binary.BigEndian.PutUint16(data[len(data)-2:], CRC16DNP(body))
+	if _, err := Unmarshal(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestCRC16DNPKnownVector(t *testing.T) {
+	// Standard check value for CRC-16/DNP: "123456789" -> 0xEA82.
+	if got := CRC16DNP([]byte("123456789")); got != 0xEA82 {
+		t.Fatalf("CRC16DNP check = %#x, want 0xEA82", got)
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(src, dst uint16, seq uint32, n uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fr := &Frame{Src: src, Dst: dst, Seq: seq}
+		for i := 0; i < int(n)%20; i++ {
+			fr.Payload = append(fr.Payload, Measurement{
+				ID:      uint16(rng.Intn(500)),
+				Value:   rng.NormFloat64() * 100,
+				Quality: uint8(rng.Intn(4)),
+			})
+		}
+		data, err := fr.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if back.Src != fr.Src || back.Dst != fr.Dst || back.Seq != fr.Seq || len(back.Payload) != len(fr.Payload) {
+			return false
+		}
+		for i := range fr.Payload {
+			if back.Payload[i].ID != fr.Payload[i].ID ||
+				back.Payload[i].Quality != fr.Payload[i].Quality ||
+				math.Float64bits(back.Payload[i].Value) != math.Float64bits(fr.Payload[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newPair(t *testing.T, encrypted bool) (*Session, *Session) {
+	t.Helper()
+	authKey := bytes.Repeat([]byte{0xA5}, 32)
+	var encKey []byte
+	if encrypted {
+		encKey = bytes.Repeat([]byte{0x3C}, 32)
+	}
+	tx, err := NewSession(authKey, encKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewSession(authKey, encKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, rx
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	for _, encrypted := range []bool{false, true} {
+		tx, rx := newPair(t, encrypted)
+		if tx.Encrypted() != encrypted {
+			t.Fatal("Encrypted() wrong")
+		}
+		for i := 0; i < 5; i++ {
+			f := sampleFrame()
+			f.Seq = uint32(i)
+			sealed, err := tx.Seal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := rx.Open(sealed)
+			if err != nil {
+				t.Fatalf("encrypted=%v msg %d: %v", encrypted, i, err)
+			}
+			if back.Seq != f.Seq || len(back.Payload) != len(f.Payload) {
+				t.Fatalf("frame changed: %+v", back)
+			}
+		}
+	}
+}
+
+func TestSessionTamperDetected(t *testing.T) {
+	for _, encrypted := range []bool{false, true} {
+		tx, rx := newPair(t, encrypted)
+		sealed, err := tx.Seal(sampleFrame())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 50; trial++ {
+			tampered := append([]byte(nil), sealed...)
+			tampered[rng.Intn(len(tampered))] ^= 1 << uint(rng.Intn(8))
+			if _, err := rx.Open(tampered); err == nil {
+				t.Fatalf("encrypted=%v trial %d: tampering accepted", encrypted, trial)
+			}
+		}
+		// The untampered message still opens (tamper attempts must not
+		// advance the replay window).
+		if _, err := rx.Open(sealed); err != nil {
+			t.Fatalf("original rejected after tamper attempts: %v", err)
+		}
+	}
+}
+
+func TestSessionReplayRejected(t *testing.T) {
+	tx, rx := newPair(t, false)
+	sealed, err := tx.Seal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(sealed); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: want ErrReplay, got %v", err)
+	}
+	// Out-of-order (older seq) also rejected.
+	first, err := tx.Seal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tx.Seal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(first); !errors.Is(err, ErrReplay) {
+		t.Fatalf("reorder: want ErrReplay, got %v", err)
+	}
+}
+
+func TestSessionWrongKeyRejected(t *testing.T) {
+	tx, _ := newPair(t, false)
+	other, err := NewSession(bytes.Repeat([]byte{0x77}, 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := tx.Seal(sampleFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Open(sealed); !errors.Is(err, ErrTag) {
+		t.Fatalf("want ErrTag, got %v", err)
+	}
+}
+
+func TestSessionEncryptionHidesPayload(t *testing.T) {
+	tx, _ := newPair(t, true)
+	f := sampleFrame()
+	plain, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := tx.Seal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plaintext frame bytes must not appear in the sealed message.
+	if bytes.Contains(sealed, plain[:len(plain)-2]) {
+		t.Fatal("sealed message leaks plaintext")
+	}
+}
+
+func TestSessionKeyValidation(t *testing.T) {
+	if _, err := NewSession([]byte("short"), nil); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("want ErrKeySize, got %v", err)
+	}
+	if _, err := NewSession(bytes.Repeat([]byte{1}, 32), []byte("short")); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("want ErrKeySize, got %v", err)
+	}
+}
+
+func TestSessionMalformed(t *testing.T) {
+	_, rx := newPair(t, false)
+	if _, err := rx.Open([]byte{1, 2, 3}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("want ErrSealed, got %v", err)
+	}
+}

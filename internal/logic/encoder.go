@@ -1,0 +1,278 @@
+package logic
+
+import (
+	"fmt"
+
+	"scadaver/internal/sat"
+)
+
+// Encoder turns formulas into CNF over a sat.Solver via a polarity-blind
+// (biconditional) Tseitin transformation, with sequential-counter
+// encodings for cardinality atoms. It supports incremental use: Assert
+// adds constraints, Solve can be called repeatedly, and further Asserts
+// (e.g. blocking clauses during threat-space enumeration) refine the
+// instance.
+type Encoder struct {
+	solver  *sat.Solver
+	vars    map[string]sat.Var
+	names   []string // var index -> name ("" for auxiliaries)
+	cache   map[*Formula]sat.Lit
+	hasTrue bool
+	litTrue sat.Lit
+}
+
+// NewEncoder returns an Encoder over a fresh solver.
+func NewEncoder() *Encoder {
+	return &Encoder{
+		solver: sat.New(),
+		vars:   make(map[string]sat.Var),
+		cache:  make(map[*Formula]sat.Lit),
+	}
+}
+
+// Solver exposes the underlying SAT solver (for stats and budgets).
+func (e *Encoder) Solver() *sat.Solver { return e.solver }
+
+// VarLit returns the solver literal for the named variable, creating the
+// variable on first use.
+func (e *Encoder) VarLit(name string) sat.Lit {
+	if v, ok := e.vars[name]; ok {
+		return sat.PosLit(v)
+	}
+	v := e.solver.NewVar()
+	e.vars[name] = v
+	for len(e.names) <= int(v) {
+		e.names = append(e.names, "")
+	}
+	e.names[v] = name
+	return sat.PosLit(v)
+}
+
+func (e *Encoder) fresh() sat.Lit {
+	v := e.solver.NewVar()
+	for len(e.names) <= int(v) {
+		e.names = append(e.names, "")
+	}
+	return sat.PosLit(v)
+}
+
+func (e *Encoder) constTrue() sat.Lit {
+	if !e.hasTrue {
+		e.litTrue = e.fresh()
+		e.mustAdd(e.litTrue)
+		e.hasTrue = true
+	}
+	return e.litTrue
+}
+
+func (e *Encoder) mustAdd(lits ...sat.Lit) {
+	// AddClause only errors on undeclared variables, which the encoder
+	// never produces; surface violations loudly during development.
+	if err := e.solver.AddClause(lits...); err != nil {
+		panic(fmt.Sprintf("logic: internal encoding error: %v", err))
+	}
+}
+
+// Lit encodes f and returns a literal that is logically equivalent to f
+// in every model of the emitted clauses.
+func (e *Encoder) Lit(f *Formula) sat.Lit {
+	if l, ok := e.cache[f]; ok {
+		return l
+	}
+	var out sat.Lit
+	switch f.kind {
+	case kindConst:
+		if f.b {
+			out = e.constTrue()
+		} else {
+			out = e.constTrue().Neg()
+		}
+	case kindVar:
+		out = e.VarLit(f.name)
+	case kindNot:
+		out = e.Lit(f.kids[0]).Neg()
+	case kindAnd:
+		out = e.andLits(e.kidLits(f))
+	case kindOr:
+		out = e.orLits(e.kidLits(f))
+	case kindAtMost:
+		out = e.atLeastLit(e.kidLits(f), f.k+1).Neg()
+	case kindAtLeast:
+		out = e.atLeastLit(e.kidLits(f), f.k)
+	default:
+		panic("logic: unknown formula kind")
+	}
+	e.cache[f] = out
+	return out
+}
+
+func (e *Encoder) kidLits(f *Formula) []sat.Lit {
+	lits := make([]sat.Lit, len(f.kids))
+	for i, k := range f.kids {
+		lits[i] = e.Lit(k)
+	}
+	return lits
+}
+
+// andLits returns a literal g with g <-> AND(lits).
+func (e *Encoder) andLits(lits []sat.Lit) sat.Lit {
+	switch len(lits) {
+	case 0:
+		return e.constTrue()
+	case 1:
+		return lits[0]
+	}
+	g := e.fresh()
+	// g -> l_i
+	for _, l := range lits {
+		e.mustAdd(g.Neg(), l)
+	}
+	// (AND l_i) -> g
+	cl := make([]sat.Lit, 0, len(lits)+1)
+	for _, l := range lits {
+		cl = append(cl, l.Neg())
+	}
+	cl = append(cl, g)
+	e.mustAdd(cl...)
+	return g
+}
+
+// orLits returns a literal g with g <-> OR(lits).
+func (e *Encoder) orLits(lits []sat.Lit) sat.Lit {
+	switch len(lits) {
+	case 0:
+		return e.constTrue().Neg()
+	case 1:
+		return lits[0]
+	}
+	g := e.fresh()
+	// l_i -> g
+	for _, l := range lits {
+		e.mustAdd(l.Neg(), g)
+	}
+	// g -> OR l_i
+	cl := make([]sat.Lit, 0, len(lits)+1)
+	for _, l := range lits {
+		cl = append(cl, l)
+	}
+	cl = append(cl, g.Neg())
+	e.mustAdd(cl...)
+	return g
+}
+
+// atLeastLit returns a literal equivalent to "at least k of lits are
+// true" using a biconditional sequential (unary) counter: s[j] after
+// step i holds iff at least j of the first i literals are true. Only the
+// first k counter cells are materialized.
+func (e *Encoder) atLeastLit(lits []sat.Lit, k int) sat.Lit {
+	n := len(lits)
+	if k <= 0 {
+		return e.constTrue()
+	}
+	if k > n {
+		return e.constTrue().Neg()
+	}
+	// prev[j] = "at least j+1 of the literals seen so far are true".
+	prev := make([]sat.Lit, 0, k)
+	for i, x := range lits {
+		width := i + 1
+		if width > k {
+			width = k
+		}
+		cur := make([]sat.Lit, width)
+		for j := 0; j < width; j++ {
+			var ge sat.Lit // at least j+1 among first i+1
+			switch {
+			case j == i:
+				// Needs all first i+1 true: s = prev[j-1] AND x (or
+				// just x when j == 0).
+				if j == 0 {
+					ge = x
+				} else {
+					ge = e.andLits([]sat.Lit{prev[j-1], x})
+				}
+			case j == 0:
+				// At least 1: s = prev[0] OR x.
+				ge = e.orLits([]sat.Lit{prev[0], x})
+			default:
+				// s = prev[j] OR (prev[j-1] AND x).
+				carry := e.andLits([]sat.Lit{prev[j-1], x})
+				ge = e.orLits([]sat.Lit{prev[j], carry})
+			}
+			cur[j] = ge
+		}
+		prev = cur
+	}
+	return prev[k-1]
+}
+
+// Assert requires f to hold in every model.
+func (e *Encoder) Assert(f *Formula) {
+	// Top-level conjunctions are split to keep the CNF shallow.
+	if f.kind == kindAnd {
+		for _, k := range f.kids {
+			e.Assert(k)
+		}
+		return
+	}
+	if f.kind == kindConst {
+		if !f.b {
+			e.mustAdd() // empty clause: unsat
+		}
+		return
+	}
+	e.mustAdd(e.Lit(f))
+}
+
+// AssertNot requires f to be false in every model.
+func (e *Encoder) AssertNot(f *Formula) { e.mustAdd(e.Lit(f).Neg()) }
+
+// Solve decides the asserted constraints, optionally under assumption
+// formulas (each assumption is encoded and passed to the SAT core as an
+// assumption literal, so it does not permanently constrain the
+// instance).
+func (e *Encoder) Solve(assumptions ...*Formula) sat.Status {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = e.Lit(a)
+	}
+	return e.solver.Solve(lits...)
+}
+
+// Model returns the values of all named variables after a Sat answer.
+type Model map[string]bool
+
+// Model extracts the named-variable assignment; call only after Solve
+// returned Sat.
+func (e *Encoder) Model() Model {
+	m := make(Model, len(e.vars))
+	for name, v := range e.vars {
+		m[name] = e.solver.Value(v) == sat.True
+	}
+	return m
+}
+
+// Value reports the current truth value of a named variable (Unknown if
+// the name was never used).
+func (e *Encoder) Value(name string) sat.Tribool {
+	v, ok := e.vars[name]
+	if !ok {
+		return sat.Unknown
+	}
+	return e.solver.Value(v)
+}
+
+// Block adds a clause excluding the given (partial) assignment: at least
+// one listed variable must take a value different from the one given.
+// It is the workhorse of threat-vector enumeration.
+func (e *Encoder) Block(assignment map[string]bool) {
+	lits := make([]sat.Lit, 0, len(assignment))
+	for name, val := range assignment {
+		l := e.VarLit(name)
+		if val {
+			l = l.Neg()
+		}
+		lits = append(lits, l)
+	}
+	e.mustAdd(lits...)
+}

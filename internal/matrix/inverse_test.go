@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseIdentity(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.At(0, 0) != 1 || inv.At(1, 1) != 1 || inv.At(0, 1) != 0 {
+		t.Fatalf("inverse of identity = %v", inv)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	m, _ := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(inv.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("inv[%d][%d] = %v, want %v", i, j, inv.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestInverseErrors(t *testing.T) {
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Fatal("non-square inverse must fail")
+	}
+	singular, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := singular.Inverse(); err == nil {
+		t.Fatal("singular inverse must fail")
+	}
+}
+
+func TestQuickInverseRoundTrip(t *testing.T) {
+	// Property: for random well-conditioned A, A·A⁻¹ ≈ I.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%5
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)+1) // diagonal dominance
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

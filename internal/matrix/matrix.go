@@ -1,0 +1,305 @@
+// Package matrix provides the small dense linear-algebra kernel the
+// numeric observability baseline needs: measurement Jacobians are tall
+// skinny float64 matrices whose rank decides observability.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned for dimension mismatches.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// SelectRows returns a new matrix keeping only the given rows, in order.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.cols)
+	for i, r := range idx {
+		copy(out.data[i*m.cols:(i+1)*m.cols], m.data[r*m.cols:(r+1)*m.cols])
+	}
+	return out
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d × %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MulVec returns m × v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d × %d-vector", ErrShape, m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		for j := 0; j < m.cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// rankEps is the pivot tolerance for rank computation. Susceptance
+// magnitudes in the embedded test systems are O(1)–O(100), so 1e-9 is a
+// comfortable margin.
+const rankEps = 1e-9
+
+// Rank returns the numerical rank via Gaussian elimination with partial
+// pivoting. The receiver is not modified.
+func (m *Matrix) Rank() int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < a.cols && rank < a.rows; col++ {
+		// Find pivot.
+		pivot, best := -1, rankEps
+		for r := rank; r < a.rows; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		// Swap pivot row into place.
+		if pivot != rank {
+			for j := 0; j < a.cols; j++ {
+				pr, rr := a.At(pivot, j), a.At(rank, j)
+				a.Set(pivot, j, rr)
+				a.Set(rank, j, pr)
+			}
+		}
+		pv := a.At(rank, col)
+		for r := rank + 1; r < a.rows; r++ {
+			f := a.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < a.cols; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(rank, j))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// SolveLSQ solves the weighted least-squares problem
+// min ‖W^(1/2) (b − m·x)‖² via the normal equations (mᵀWm)x = mᵀWb,
+// with Gaussian elimination. weights may be nil for unit weights.
+// It returns ErrShape on mismatched sizes and an error when mᵀWm is
+// singular (the system is unobservable).
+func (m *Matrix) SolveLSQ(b, weights []float64) ([]float64, error) {
+	if len(b) != m.rows {
+		return nil, fmt.Errorf("%w: %d rows vs %d observations", ErrShape, m.rows, len(b))
+	}
+	if weights != nil && len(weights) != m.rows {
+		return nil, fmt.Errorf("%w: %d rows vs %d weights", ErrShape, m.rows, len(weights))
+	}
+	n := m.cols
+	// Build normal equations.
+	ata := New(n, n)
+	atb := make([]float64, n)
+	for r := 0; r < m.rows; r++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[r]
+		}
+		for i := 0; i < n; i++ {
+			hi := m.At(r, i)
+			if hi == 0 {
+				continue
+			}
+			atb[i] += w * hi * b[r]
+			for j := 0; j < n; j++ {
+				ata.data[i*n+j] += w * hi * m.At(r, j)
+			}
+		}
+	}
+	// Gaussian elimination with partial pivoting on [ata | atb].
+	for col := 0; col < n; col++ {
+		pivot, best := -1, rankEps
+		for r := col; r < n; r++ {
+			if v := math.Abs(ata.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("matrix: normal equations singular (system unobservable)")
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				pv, cv := ata.At(pivot, j), ata.At(col, j)
+				ata.Set(pivot, j, cv)
+				ata.Set(col, j, pv)
+			}
+			atb[pivot], atb[col] = atb[col], atb[pivot]
+		}
+		pv := ata.At(col, col)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := ata.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				ata.Set(r, j, ata.At(r, j)-f*ata.At(col, j))
+			}
+			atb[r] -= f * atb[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = atb[i] / ata.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns m⁻¹ via Gauss-Jordan elimination with partial
+// pivoting. It returns an error when m is not square or is singular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: inverse of %dx%d", ErrShape, m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		inv.Set(i, i, 1)
+	}
+	for col := 0; col < n; col++ {
+		pivot, best := -1, rankEps
+		for r := col; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("matrix: singular matrix has no inverse")
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.data[pivot*n+j], a.data[col*n+j] = a.data[col*n+j], a.data[pivot*n+j]
+				inv.data[pivot*n+j], inv.data[col*n+j] = inv.data[col*n+j], inv.data[pivot*n+j]
+			}
+		}
+		pv := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.data[col*n+j] /= pv
+			inv.data[col*n+j] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.data[r*n+j] -= f * a.data[col*n+j]
+				inv.data[r*n+j] -= f * inv.data[col*n+j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%8.3f", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

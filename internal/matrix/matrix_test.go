@@ -1,0 +1,262 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Fatal("At broken")
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set broken")
+	}
+	r := m.Row(2)
+	r[0] = 100 // must not alias
+	if m.At(2, 0) == 100 {
+		t.Fatal("Row aliases internal storage")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows() != 0 {
+		t.Fatalf("empty: %v %v", m, err)
+	}
+}
+
+func TestRankBasics(t *testing.T) {
+	cases := []struct {
+		rows [][]float64
+		want int
+	}{
+		{[][]float64{{1, 0}, {0, 1}}, 2},
+		{[][]float64{{1, 2}, {2, 4}}, 1},
+		{[][]float64{{0, 0}, {0, 0}}, 0},
+		{[][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, 2},
+		{[][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}}, 3},
+		{[][]float64{{2, -2, 0}, {-2, 2, 0}}, 1},
+	}
+	for i, tc := range cases {
+		m, err := FromRows(tc.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Rank(); got != tc.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestRankDoesNotMutate(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	_ = m.Rank()
+	if m.At(1, 0) != 3 {
+		t.Fatal("Rank mutated receiver")
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	s := m.SelectRows([]int{2, 0})
+	if s.Rows() != 2 || s.At(0, 0) != 3 || s.At(1, 0) != 1 {
+		t.Fatalf("SelectRows wrong: %v", s)
+	}
+}
+
+func TestMulAndTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Fatal("Transpose broken")
+	}
+	if _, err := a.Mul(New(3, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestSolveLSQExact(t *testing.T) {
+	// Overdetermined consistent system: solution must be recovered.
+	h, _ := FromRows([][]float64{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{2, -1},
+	})
+	xTrue := []float64{3, -2}
+	b, _ := h.MulVec(xTrue)
+	x, err := h.SolveLSQ(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, xTrue)
+		}
+	}
+}
+
+func TestSolveLSQWeighted(t *testing.T) {
+	// Two conflicting measurements of a scalar; the weighted answer must
+	// land proportionally closer to the heavier one.
+	h, _ := FromRows([][]float64{{1}, {1}})
+	x, err := h.SolveLSQ([]float64{0, 10}, []float64{9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.0) > 1e-9 { // (9*0 + 1*10)/10
+		t.Fatalf("weighted x = %v, want 1.0", x[0])
+	}
+}
+
+func TestSolveLSQSingular(t *testing.T) {
+	h, _ := FromRows([][]float64{{1, 1}, {2, 2}})
+	if _, err := h.SolveLSQ([]float64{1, 2}, nil); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveLSQShapeErrors(t *testing.T) {
+	h, _ := FromRows([][]float64{{1}, {1}})
+	if _, err := h.SolveLSQ([]float64{1}, nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := h.SolveLSQ([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestQuickRankBounds(t *testing.T) {
+	// Property: 0 <= rank <= min(rows, cols), and duplicating a row never
+	// increases rank.
+	f := func(seed int64, rRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + int(rRaw)%5
+		c := 1 + int(cRaw)%5
+		rows := make([][]float64, r)
+		for i := range rows {
+			rows[i] = make([]float64, c)
+			for j := range rows[i] {
+				rows[i][j] = float64(rng.Intn(7) - 3)
+			}
+		}
+		m, err := FromRows(rows)
+		if err != nil {
+			return false
+		}
+		rk := m.Rank()
+		minDim := r
+		if c < minDim {
+			minDim = c
+		}
+		if rk < 0 || rk > minDim {
+			return false
+		}
+		dup, err := FromRows(append(rows, rows[0]))
+		if err != nil {
+			return false
+		}
+		return dup.Rank() == rk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLSQRecoversSolution(t *testing.T) {
+	// Property: for full-column-rank H and consistent b = Hx, SolveLSQ
+	// recovers x.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		r := n + rng.Intn(4)
+		rows := make([][]float64, r)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+			}
+		}
+		h, err := FromRows(rows)
+		if err != nil {
+			return false
+		}
+		if h.Rank() < n {
+			return true // skip rank-deficient draws
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, err := h.MulVec(xTrue)
+		if err != nil {
+			return false
+		}
+		x, err := h.SolveLSQ(b, nil)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	if !strings.Contains(m.String(), "1.000") {
+		t.Fatalf("String = %q", m.String())
+	}
+}

@@ -1,0 +1,113 @@
+// Package powergrid models the power-system side of the verifier: bus
+// systems (buses and transmission lines with susceptances), the DC
+// measurement model (line power flows and bus injections), and the
+// measurement Jacobian whose sparsity pattern drives the observability
+// analysis (StateSet_Z and UMsrSet_E in the paper's notation).
+package powergrid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Branch is a transmission line between two buses (1-based IDs) with a
+// DC susceptance (1/x).
+type Branch struct {
+	From, To    int
+	Susceptance float64
+}
+
+// BusSystem is a transmission network: NBuses buses connected by
+// Branches. Bus IDs are 1..NBuses.
+type BusSystem struct {
+	Name     string
+	NBuses   int
+	Branches []Branch
+}
+
+// Validation errors.
+var (
+	ErrNoBuses      = errors.New("powergrid: system has no buses")
+	ErrBadBranch    = errors.New("powergrid: branch endpoint out of range")
+	ErrSelfLoop     = errors.New("powergrid: branch connects a bus to itself")
+	ErrDisconnected = errors.New("powergrid: bus system is not connected")
+)
+
+// Validate checks structural sanity: bus IDs in range, no self loops,
+// and a connected network.
+func (b *BusSystem) Validate() error {
+	if b.NBuses <= 0 {
+		return ErrNoBuses
+	}
+	for i, br := range b.Branches {
+		if br.From < 1 || br.From > b.NBuses || br.To < 1 || br.To > b.NBuses {
+			return fmt.Errorf("%w: branch %d (%d-%d) with %d buses", ErrBadBranch, i, br.From, br.To, b.NBuses)
+		}
+		if br.From == br.To {
+			return fmt.Errorf("%w: branch %d (%d-%d)", ErrSelfLoop, i, br.From, br.To)
+		}
+	}
+	if !b.connected() {
+		return ErrDisconnected
+	}
+	return nil
+}
+
+func (b *BusSystem) connected() bool {
+	if b.NBuses == 1 {
+		return true
+	}
+	adj := b.Adjacency()
+	seen := make([]bool, b.NBuses+1)
+	stack := []int{1}
+	seen[1] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == b.NBuses
+}
+
+// Adjacency returns the neighbor lists indexed by bus ID (entry 0 is
+// unused).
+func (b *BusSystem) Adjacency() [][]int {
+	adj := make([][]int, b.NBuses+1)
+	for _, br := range b.Branches {
+		adj[br.From] = append(adj[br.From], br.To)
+		adj[br.To] = append(adj[br.To], br.From)
+	}
+	return adj
+}
+
+// Degree returns the degree of each bus indexed by bus ID.
+func (b *BusSystem) Degree() []int {
+	deg := make([]int, b.NBuses+1)
+	for _, br := range b.Branches {
+		deg[br.From]++
+		deg[br.To]++
+	}
+	return deg
+}
+
+// AverageDegree returns the mean bus degree (2L/N), which for real power
+// grids sits near 3 regardless of size.
+func (b *BusSystem) AverageDegree() float64 {
+	if b.NBuses == 0 {
+		return 0
+	}
+	return 2 * float64(len(b.Branches)) / float64(b.NBuses)
+}
+
+// MaxMeasurements returns the size of the full measurement set: one flow
+// measurement per line end plus one injection per bus (2L + N).
+func (b *BusSystem) MaxMeasurements() int {
+	return 2*len(b.Branches) + b.NBuses
+}

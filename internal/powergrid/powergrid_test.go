@@ -1,0 +1,325 @@
+package powergrid
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIEEE14Shape(t *testing.T) {
+	sys := IEEE14()
+	if sys.NBuses != 14 || len(sys.Branches) != 20 {
+		t.Fatalf("ieee14: %d buses, %d branches", sys.NBuses, len(sys.Branches))
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := sys.AverageDegree()
+	if avg < 2.5 || avg > 3.2 {
+		t.Fatalf("ieee14 average degree %.2f, expected ≈3", avg)
+	}
+	if sys.MaxMeasurements() != 2*20+14 {
+		t.Fatalf("MaxMeasurements = %d", sys.MaxMeasurements())
+	}
+}
+
+func TestCase5Shape(t *testing.T) {
+	sys := Case5()
+	if sys.NBuses != 5 || len(sys.Branches) != 7 {
+		t.Fatalf("case5: %d buses, %d branches", sys.NBuses, len(sys.Branches))
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedSystems(t *testing.T) {
+	cases := []struct {
+		sys      *BusSystem
+		buses    int
+		branches int
+	}{
+		{IEEE30(), 30, 41},
+		{IEEE57(), 57, 80},
+		{IEEE118(), 118, 186},
+	}
+	for _, tc := range cases {
+		if tc.sys.NBuses != tc.buses || len(tc.sys.Branches) != tc.branches {
+			t.Fatalf("%s: %d buses %d branches, want %d/%d",
+				tc.sys.Name, tc.sys.NBuses, len(tc.sys.Branches), tc.buses, tc.branches)
+		}
+		if err := tc.sys.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.sys.Name, err)
+		}
+		avg := tc.sys.AverageDegree()
+		if avg < 2.0 || avg > 4.0 {
+			t.Fatalf("%s: average degree %.2f out of grid-like range", tc.sys.Name, avg)
+		}
+	}
+}
+
+func TestGeneratedSystemsDeterministic(t *testing.T) {
+	a, b := IEEE57(), IEEE57()
+	if len(a.Branches) != len(b.Branches) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Branches {
+		if a.Branches[i] != b.Branches[i] {
+			t.Fatalf("branch %d differs: %v vs %v", i, a.Branches[i], b.Branches[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ieee14", "ieee30", "ieee57", "ieee118", "case5"} {
+		sys, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sys.Name != name {
+			t.Fatalf("got name %q, want %q", sys.Name, name)
+		}
+	}
+	if _, err := ByName("ieee9999"); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		sys  BusSystem
+		want error
+	}{
+		{BusSystem{NBuses: 0}, ErrNoBuses},
+		{BusSystem{NBuses: 2, Branches: []Branch{{From: 1, To: 3}}}, ErrBadBranch},
+		{BusSystem{NBuses: 2, Branches: []Branch{{From: 1, To: 1}}}, ErrSelfLoop},
+		{BusSystem{NBuses: 3, Branches: []Branch{{From: 1, To: 2}}}, ErrDisconnected},
+	}
+	for i, tc := range cases {
+		if err := tc.sys.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("case %d: got %v, want %v", i, err, tc.want)
+		}
+	}
+}
+
+func TestGenerateArgumentErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(1, 0, rng); err == nil {
+		t.Error("expected error for 1 bus")
+	}
+	if _, err := Generate(5, 3, rng); err == nil {
+		t.Error("expected error for too few branches")
+	}
+	if _, err := Generate(4, 7, rng); err == nil {
+		t.Error("expected error for too many branches")
+	}
+}
+
+func TestQuickGenerateAlwaysConnected(t *testing.T) {
+	f := func(seed int64, busRaw, extraRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buses := 2 + int(busRaw)%60
+		maxExtra := buses*(buses-1)/2 - (buses - 1)
+		extra := 0
+		if maxExtra > 0 {
+			extra = int(extraRaw) % minInt(maxExtra+1, buses)
+		}
+		sys, err := Generate(buses, buses-1+extra, rng)
+		if err != nil {
+			return false
+		}
+		return sys.Validate() == nil && len(sys.Branches) == buses-1+extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullMeasurementSet(t *testing.T) {
+	sys := Case5()
+	ms := FullMeasurementSet(sys)
+	if ms.Len() != 2*7+5 {
+		t.Fatalf("len = %d, want 19", ms.Len())
+	}
+	if ms.NStates != 5 {
+		t.Fatalf("NStates = %d", ms.NStates)
+	}
+	// First two rows are forward/backward flow on branch 1: opposite rows.
+	for x := 0; x < 5; x++ {
+		if ms.Msrs[0].Row[x] != -ms.Msrs[1].Row[x] {
+			t.Fatalf("fwd/bwd rows not opposite at col %d", x)
+		}
+	}
+	// Injection row of a bus sums incident susceptances on the diagonal.
+	var injRow []float64
+	for _, m := range ms.Msrs {
+		if m.Kind == Injection && m.From == 2 {
+			injRow = m.Row
+		}
+	}
+	if injRow == nil {
+		t.Fatal("no injection measurement for bus 2")
+	}
+	sum := 0.0
+	for _, br := range sys.Branches {
+		if br.From == 2 || br.To == 2 {
+			sum += br.Susceptance
+		}
+	}
+	if math.Abs(injRow[1]-sum) > 1e-9 {
+		t.Fatalf("injection diagonal = %v, want %v", injRow[1], sum)
+	}
+	// Row sums of flow and injection rows are zero (DC property).
+	for _, m := range ms.Msrs {
+		s := 0.0
+		for _, v := range m.Row {
+			s += v
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("%v: row sum %v != 0", m, s)
+		}
+	}
+}
+
+func TestStateSet(t *testing.T) {
+	ms := FullMeasurementSet(Case5())
+	// Flow measurements touch exactly two states.
+	for z, m := range ms.Msrs {
+		ss := ms.StateSet(z)
+		switch m.Kind {
+		case FlowForward, FlowBackward:
+			if len(ss) != 2 {
+				t.Fatalf("%v: StateSet %v, want 2 states", m, ss)
+			}
+		case Injection:
+			if len(ss) < 2 {
+				t.Fatalf("%v: StateSet %v too small", m, ss)
+			}
+		}
+	}
+	all := ms.StateSets()
+	if len(all) != ms.Len() {
+		t.Fatalf("StateSets len %d", len(all))
+	}
+}
+
+func TestUniqueGroupsPairsFlows(t *testing.T) {
+	ms := FullMeasurementSet(Case5())
+	groups := ms.UniqueGroups()
+	// 7 lines (fwd+bwd pairs) + 5 injections = 12 groups.
+	if len(groups) != 12 {
+		t.Fatalf("groups = %d, want 12", len(groups))
+	}
+	paired := 0
+	for _, g := range groups {
+		switch len(g) {
+		case 2:
+			paired++
+			a, b := ms.Msrs[g[0]], ms.Msrs[g[1]]
+			if !(a.From == b.To && a.To == b.From) {
+				t.Fatalf("group %v pairs non-opposite measurements %v %v", g, a, b)
+			}
+		case 1:
+		default:
+			t.Fatalf("unexpected group size %d", len(g))
+		}
+	}
+	if paired != 7 {
+		t.Fatalf("paired groups = %d, want 7", paired)
+	}
+}
+
+func TestFromJacobian(t *testing.T) {
+	rows := [][]float64{
+		{1, -1, 0},
+		{-1, 1, 0},
+		{0, 2, -2},
+	}
+	ms, err := FromJacobian(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 3 || ms.NStates != 3 {
+		t.Fatalf("len=%d states=%d", ms.Len(), ms.NStates)
+	}
+	groups := ms.UniqueGroups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 groups", groups)
+	}
+	if _, err := FromJacobian([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	if _, err := FromJacobian(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}
+
+func TestJacobianMatrix(t *testing.T) {
+	ms := FullMeasurementSet(Case5())
+	j := ms.Jacobian()
+	if j.Rows() != ms.Len() || j.Cols() != 5 {
+		t.Fatalf("jacobian %dx%d", j.Rows(), j.Cols())
+	}
+	// DC Jacobian of a connected system has rank n-1 (angle reference).
+	if r := j.Rank(); r != 4 {
+		t.Fatalf("rank = %d, want 4", r)
+	}
+}
+
+func TestSample(t *testing.T) {
+	ms := FullMeasurementSet(IEEE14())
+	rng := rand.New(rand.NewSource(3))
+	half := ms.Sample(50, rng)
+	if got, want := half.Len(), (ms.Len()+1)/2; got != want {
+		t.Fatalf("sample 50%%: %d, want %d", got, want)
+	}
+	for i, m := range half.Msrs {
+		if m.ID != i+1 {
+			t.Fatalf("IDs not renumbered: %v", m)
+		}
+	}
+	full := ms.Sample(100, rng)
+	if full.Len() != ms.Len() {
+		t.Fatalf("sample 100%%: %d", full.Len())
+	}
+	tiny := ms.Sample(0.0001, rng)
+	if tiny.Len() != 1 {
+		t.Fatalf("sample ≈0%%: %d, want 1", tiny.Len())
+	}
+}
+
+func TestSampleDoesNotAliasRows(t *testing.T) {
+	ms := FullMeasurementSet(Case5())
+	rng := rand.New(rand.NewSource(9))
+	s := ms.Sample(100, rng)
+	s.Msrs[0].Row[0] = 12345
+	if ms.Msrs[0].Row[0] == 12345 {
+		t.Fatal("Sample aliases source rows")
+	}
+}
+
+func TestCoversAllStates(t *testing.T) {
+	ms := FullMeasurementSet(Case5())
+	all := make([]int, ms.Len())
+	for i := range all {
+		all[i] = i
+	}
+	if !ms.CoversAllStates(all) {
+		t.Fatal("full set must cover all states")
+	}
+	if ms.CoversAllStates([]int{0}) {
+		t.Fatal("single flow cannot cover 5 states")
+	}
+	if ms.CoversAllStates(nil) {
+		t.Fatal("empty set covers nothing")
+	}
+}
+
+func TestMsrKindString(t *testing.T) {
+	if FlowForward.String() != "flow-fwd" || Injection.String() != "injection" ||
+		FlowBackward.String() != "flow-bwd" || Custom.String() != "custom" || MsrKind(0).String() != "unknown" {
+		t.Fatal("MsrKind.String broken")
+	}
+}

@@ -1,0 +1,100 @@
+package powergrid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickUniqueGroupsPartition: for arbitrary generated systems, the
+// UMsrSet grouping is a partition of all measurement indices, forward
+// and backward flows of a line always share a group, and injections of
+// distinct buses never share one.
+func TestQuickUniqueGroupsPartition(t *testing.T) {
+	f := func(seed int64, busRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buses := 3 + int(busRaw)%12
+		maxExtra := buses*(buses-1)/2 - (buses - 1)
+		extra := 0
+		if maxExtra > 0 {
+			extra = rng.Intn(minInt(maxExtra, buses) + 1)
+		}
+		sys, err := Generate(buses, buses-1+extra, rng)
+		if err != nil {
+			return false
+		}
+		ms := FullMeasurementSet(sys)
+		groups := ms.UniqueGroups()
+
+		seen := map[int]int{}
+		for gi, g := range groups {
+			for _, z := range g {
+				if _, dup := seen[z]; dup {
+					return false // not a partition
+				}
+				seen[z] = gi
+			}
+		}
+		if len(seen) != ms.Len() {
+			return false
+		}
+		// Forward/backward flow on each line share a group; injections
+		// at distinct buses do not share one (susceptance collisions
+		// across different lines are possible in principle but have
+		// probability zero with continuous random reactances).
+		for z := 0; z+1 < ms.Len(); z++ {
+			a, b := ms.Msrs[z], ms.Msrs[z+1]
+			if a.Kind == FlowForward && b.Kind == FlowBackward && a.From == b.To && a.To == b.From {
+				if seen[z] != seen[z+1] {
+					return false
+				}
+			}
+		}
+		injGroup := map[int]int{}
+		for z, m := range ms.Msrs {
+			if m.Kind != Injection {
+				continue
+			}
+			for bus, g := range injGroup {
+				if g == seen[z] && bus != m.From {
+					return false
+				}
+			}
+			injGroup[m.From] = seen[z]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStateSetsMatchRows: StateSet_Z contains exactly the non-zero
+// columns of row Z.
+func TestQuickStateSetsMatchRows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys, err := Generate(4+rng.Intn(10), 3+rng.Intn(12)+3, rng)
+		if err != nil {
+			// Parameters may be inconsistent (too many branches); skip.
+			return true
+		}
+		ms := FullMeasurementSet(sys)
+		for z, m := range ms.Msrs {
+			set := map[int]bool{}
+			for _, x := range ms.StateSet(z) {
+				set[x] = true
+			}
+			for x, v := range m.Row {
+				nz := v != 0
+				if nz != set[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package sat implements a complete CDCL (conflict-driven clause learning)
+// SAT solver used as the decision engine behind the SCADA resiliency
+// verifier.
+//
+// The solver implements the standard modern architecture: two-watched-literal
+// unit propagation, first-UIP conflict analysis with learned-clause
+// minimization, exponential VSIDS variable activities with a binary heap,
+// phase saving, Luby-sequence restarts, LBD-based (glue) learned-clause
+// database reduction, and incremental solving under assumptions.
+//
+// The paper this repository reproduces solves its model with Z3; every
+// constraint in that model is propositional structure plus cardinality
+// sums, so a SAT back-end (fed by package logic's Tseitin and
+// sequential-counter encodings) decides exactly the same fragment.
+//
+// The zero value of Solver is not usable; construct with New.
+package sat

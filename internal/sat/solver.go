@@ -1,0 +1,598 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Solver is an incremental CDCL SAT solver. Construct with New, create
+// variables with NewVar, add clauses with AddClause, and call Solve
+// (optionally with assumption literals). After a Sat answer, Value and
+// Model expose the satisfying assignment.
+type Solver struct {
+	// Clause database.
+	clauses []*clause // problem clauses
+	learned []*clause // learned clauses
+
+	// Assignment state.
+	assigns  []Tribool // var -> current value
+	level    []int     // var -> decision level of assignment
+	reason   []*clause // var -> antecedent clause (nil for decisions)
+	trail    []Lit     // assignment stack
+	trailLim []int     // decision-level boundaries in trail
+	qhead    int       // propagation queue head (index into trail)
+
+	// Watches: literal -> clauses watching that literal's negation.
+	watches [][]watcher
+
+	// Decision heuristic.
+	activity []float64
+	varInc   float64
+	varDecay float64
+	order    *activityHeap
+	polarity []bool // saved phases (true = last assigned false)
+
+	// Learned-clause management.
+	clauseInc   float64
+	clauseDecay float64
+	maxLearned  int
+
+	// Conflict-analysis scratch.
+	seen       []bool
+	analyzeTmp []Lit
+	levelSeen  map[int]bool
+
+	// Restart bookkeeping.
+	lubyIdx     int
+	restartBase int
+
+	// Budget: 0 = unlimited.
+	conflictBudget uint64
+
+	rootUnsat bool
+	stats     Stats
+}
+
+// New returns an empty solver ready for variables and clauses.
+func New() *Solver {
+	s := &Solver{
+		varInc:      1.0,
+		varDecay:    0.95,
+		clauseInc:   1.0,
+		clauseDecay: 0.999,
+		maxLearned:  4000,
+		restartBase: 100,
+		levelSeen:   make(map[int]bool, 32),
+	}
+	s.order = newActivityHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, Unknown)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	s.stats.MaxVars = len(s.assigns)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// SetConflictBudget bounds the number of conflicts a single Solve may
+// spend; 0 means unlimited. An exhausted budget yields Unsolved.
+func (s *Solver) SetConflictBudget(n uint64) { s.conflictBudget = n }
+
+// Stats returns a snapshot of the solver counters.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.Clauses = len(s.clauses)
+	return st
+}
+
+func (s *Solver) value(l Lit) Tribool {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return v.Not()
+	}
+	return v
+}
+
+// Value returns the truth value of v in the current assignment. It is
+// meaningful for all variables after Solve returned Sat.
+func (s *Solver) Value(v Var) Tribool {
+	if int(v) >= len(s.assigns) {
+		return Unknown
+	}
+	return s.assigns[v]
+}
+
+// Model returns the satisfying assignment as a slice indexed by variable.
+// Unassigned variables (possible for variables outside every clause)
+// default to false. Valid only after Solve returned Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assigns))
+	for v := range s.assigns {
+		m[v] = s.assigns[v] == True
+	}
+	return m
+}
+
+// AddClause adds a clause over the given literals. Duplicate literals are
+// merged and tautologies are ignored. Adding the empty clause (or a
+// clause falsified at the root level) makes the instance unsat; further
+// additions are no-ops that keep the instance unsat.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if s.rootUnsat {
+		return nil
+	}
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	// Normalize: sort, dedupe, drop root-false literals, detect tautology
+	// and root-true literals.
+	tmp := make([]Lit, len(lits))
+	copy(tmp, lits)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	out := tmp[:0]
+	var prev Lit = LitUndef
+	for _, l := range tmp {
+		if int(l.Var()) >= len(s.assigns) || l < 0 {
+			return fmt.Errorf("sat: literal %v uses an undeclared variable", l)
+		}
+		if l == prev {
+			continue
+		}
+		if prev != LitUndef && l == prev.Neg() {
+			return nil // tautology
+		}
+		switch s.value(l) {
+		case True:
+			return nil // already satisfied at root
+		case False:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.rootUnsat = true
+		return nil
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.rootUnsat = true
+		}
+		return nil
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	// Watch the first two literals. Watch lists are indexed by the
+	// negation of the watched literal: when that literal becomes false
+	// the clause must be inspected.
+	w0, w1 := c.lits[0], c.lits[1]
+	s.watches[w0.Neg()] = append(s.watches[w0.Neg()], watcher{c: c, blocker: w1})
+	s.watches[w1.Neg()] = append(s.watches[w1.Neg()], watcher{c: c, blocker: w0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil if a fixpoint was reached without conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; clauses watching p must move
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if conflict != nil {
+				kept = append(kept, ws[wi:]...)
+				break
+			}
+			if s.value(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Ensure the false watched literal is at position 1.
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == True {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1]
+					s.watches[nw.Neg()] = append(s.watches[nw.Neg()], watcher{c: c, blocker: first})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.value(first) == False {
+				conflict = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.stats.Propagations++
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.polarity[v] = s.assigns[v] == False
+		s.assigns[v] = Unknown
+		s.reason[v] = nil
+		s.level[v] = -1
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for _, lc := range s.learned {
+			lc.act *= 1e-20
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := s.analyzeTmp[:0]
+	learnt = append(learnt, LitUndef) // slot for the asserting literal
+	counter := 0
+	var p Lit = LitUndef
+	idx := len(s.trail) - 1
+	c := conflict
+
+	for {
+		s.bumpClause(c)
+		start := 0
+		if p != LitUndef {
+			start = 1 // c.lits[0] is p for reason clauses
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next trail literal to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+		// Reason clauses store the implied literal first; normalize.
+		if c.lits[0] != p {
+			for k := 1; k < len(c.lits); k++ {
+				if c.lits[k] == p {
+					c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+					break
+				}
+			}
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimization: drop literals implied by the rest. Snapshot
+	// the clause first: the in-place compaction below overwrites dropped
+	// literals, and every touched variable must have its seen flag
+	// cleared afterwards.
+	toClear := append([]Lit(nil), learnt...)
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = true
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if !s.redundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	for _, l := range toClear {
+		s.seen[l.Var()] = false
+	}
+	minimized := learnt[:j]
+
+	// Compute backjump level (second-highest level in the clause).
+	back := 0
+	if len(minimized) > 1 {
+		maxIdx := 1
+		for i := 2; i < len(minimized); i++ {
+			if s.level[minimized[i].Var()] > s.level[minimized[maxIdx].Var()] {
+				maxIdx = i
+			}
+		}
+		minimized[1], minimized[maxIdx] = minimized[maxIdx], minimized[1]
+		back = s.level[minimized[1].Var()]
+	}
+	s.analyzeTmp = learnt[:0]
+	out := append([]Lit(nil), minimized...)
+	return out, back
+}
+
+// redundant reports whether literal l in a learned clause is implied by
+// the remaining marked literals (local self-subsumption check: l has a
+// reason all of whose literals are already marked or at level 0).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.level[q.Var()] != 0 && !s.seen[q.Var()] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeLBD counts the distinct decision levels in a clause.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	for k := range s.levelSeen {
+		delete(s.levelSeen, k)
+	}
+	for _, l := range lits {
+		s.levelSeen[s.level[l.Var()]] = true
+	}
+	return int32(len(s.levelSeen))
+}
+
+func (s *Solver) record(lits []Lit) {
+	if len(lits) == 1 {
+		s.uncheckedEnqueue(lits[0], nil)
+		return
+	}
+	c := &clause{lits: lits, learned: true, lbd: s.computeLBD(lits)}
+	s.learned = append(s.learned, c)
+	s.stats.Learned++
+	s.attach(c)
+	s.bumpClause(c)
+	s.uncheckedEnqueue(lits[0], c)
+}
+
+// reduceDB discards roughly half the learned clauses, preferring high-LBD
+// low-activity ones. Clauses currently acting as reasons are kept.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learned, func(i, j int) bool {
+		a, b := s.learned[i], s.learned[j]
+		if a.lbd != b.lbd {
+			return a.lbd < b.lbd
+		}
+		return a.act > b.act
+	})
+	keepFrom := len(s.learned) / 2
+	kept := s.learned[:0]
+	for i, c := range s.learned {
+		if i < keepFrom || c.lbd <= 2 || s.isReason(c) {
+			kept = append(kept, c)
+			continue
+		}
+		c.deleted = true
+		s.stats.Removed++
+	}
+	s.learned = append([]*clause(nil), kept...)
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	// Clause literals get permuted by watch maintenance, so the implied
+	// literal is not necessarily at position 0: scan all of them.
+	for _, l := range c.lits {
+		v := l.Var()
+		if s.assigns[v] != Unknown && s.reason[v] == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == Unknown {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+func luby(i int) int {
+	// Luby sequence: 1,1,2,1,1,2,4,...
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i >= 1<<k {
+			continue
+		}
+		return luby(i - (1 << (k - 1)) + 1)
+	}
+}
+
+// Solve searches for a satisfying assignment consistent with the given
+// assumption literals. It returns Sat, Unsat, or Unsolved if the conflict
+// budget was exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.rootUnsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.rootUnsat = true
+		return Unsat
+	}
+
+	var conflicts uint64
+	restartLimit := s.restartBase * luby(s.lubyIdx+1)
+	conflictsAtRestart := 0
+
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflicts++
+			conflictsAtRestart++
+			if s.decisionLevel() == 0 {
+				s.rootUnsat = true
+				return Unsat
+			}
+			learnt, back := s.analyze(conflict)
+			s.cancelUntil(back)
+			s.record(learnt)
+			s.varInc /= s.varDecay
+			s.clauseInc /= s.clauseDecay
+			if s.conflictBudget > 0 && conflicts >= s.conflictBudget {
+				s.cancelUntil(0)
+				return Unsolved
+			}
+			continue
+		}
+
+		if conflictsAtRestart >= restartLimit {
+			// Restart; assumptions are re-enqueued on the next descent.
+			s.lubyIdx++
+			s.stats.Restarts++
+			restartLimit = s.restartBase * luby(s.lubyIdx+1)
+			conflictsAtRestart = 0
+			s.cancelUntil(0)
+			continue
+		}
+		if len(s.learned) > s.maxLearned+len(s.trail) {
+			s.reduceDB()
+		}
+
+		// Place assumptions as pseudo-decisions before free decisions.
+		next, pending := s.nextAssumption(assumptions)
+		if pending {
+			if next == LitUndef {
+				// An assumption is falsified by the current forced
+				// assignment: unsat under these assumptions.
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(next, nil)
+			continue
+		}
+
+		l := s.pickBranchLit()
+		if l == LitUndef {
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// nextAssumption returns the next assumption to decide on. The second
+// result is false when all assumptions are already enqueued. A LitUndef
+// first result signals an assumption that is false under the current
+// (root-level) assignment.
+func (s *Solver) nextAssumption(assumptions []Lit) (Lit, bool) {
+	for s.decisionLevel() < len(assumptions) {
+		a := assumptions[s.decisionLevel()]
+		switch s.value(a) {
+		case True:
+			// Already satisfied; open an empty pseudo-level to keep
+			// level bookkeeping aligned with the assumption index.
+			s.trailLim = append(s.trailLim, len(s.trail))
+			continue
+		case False:
+			return LitUndef, true
+		default:
+			return a, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,638 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatalf("AddClause(%v): %v", lits, err)
+	}
+}
+
+func newVars(s *Solver, n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: got %v, want sat", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if s.Value(v) != True {
+		t.Fatalf("v = %v, want true", s.Value(v))
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v))
+	mustAdd(t, s, NegLit(v))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := New()
+	mustAdd(t, s)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+	// Adding more clauses keeps the instance unsat without error.
+	v := s.NewVar()
+	if err := s.AddClause(PosLit(v)); err != nil {
+		t.Fatalf("AddClause after unsat: %v", err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("still expected unsat, got %v", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	mustAdd(t, s, PosLit(v), NegLit(v))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestUndeclaredVariableRejected(t *testing.T) {
+	s := New()
+	if err := s.AddClause(PosLit(Var(3))); err == nil {
+		t.Fatal("expected error for undeclared variable")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	vs := newVars(s, 5)
+	for i := 0; i+1 < len(vs); i++ {
+		mustAdd(t, s, NegLit(vs[i]), PosLit(vs[i+1])) // v_i -> v_{i+1}
+	}
+	mustAdd(t, s, PosLit(vs[0]))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	for i, v := range vs {
+		if s.Value(v) != True {
+			t.Fatalf("vs[%d] = %v, want true", i, s.Value(v))
+		}
+	}
+}
+
+func TestChainWithContradiction(t *testing.T) {
+	s := New()
+	vs := newVars(s, 5)
+	for i := 0; i+1 < len(vs); i++ {
+		mustAdd(t, s, NegLit(vs[i]), PosLit(vs[i+1]))
+	}
+	mustAdd(t, s, PosLit(vs[0]))
+	mustAdd(t, s, NegLit(vs[4]))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes — classically unsat, and a
+	// good stress of clause learning.
+	for _, n := range []int{3, 4, 5} {
+		s := New()
+		p := make([][]Var, n+1)
+		for i := range p {
+			p[i] = newVars(s, n)
+		}
+		// Every pigeon in some hole.
+		for i := 0; i <= n; i++ {
+			lits := make([]Lit, n)
+			for j := 0; j < n; j++ {
+				lits[j] = PosLit(p[i][j])
+			}
+			mustAdd(t, s, lits...)
+		}
+		// No two pigeons share a hole.
+		for j := 0; j < n; j++ {
+			for i1 := 0; i1 <= n; i1++ {
+				for i2 := i1 + 1; i2 <= n; i2++ {
+					mustAdd(t, s, NegLit(p[i1][j]), NegLit(p[i2][j]))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): got %v, want unsat", n+1, n, got)
+		}
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons into n holes is sat.
+	n := 5
+	s := New()
+	p := make([][]Var, n)
+	for i := range p {
+		p[i] = newVars(s, n)
+	}
+	for i := 0; i < n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = PosLit(p[i][j])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 < n; i1++ {
+			for i2 := i1 + 1; i2 < n; i2++ {
+				mustAdd(t, s, NegLit(p[i1][j]), NegLit(p[i2][j]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	// Verify the model is a valid assignment: each pigeon somewhere, no
+	// hole shared.
+	for i := 0; i < n; i++ {
+		found := false
+		for j := 0; j < n; j++ {
+			if s.Value(p[i][j]) == True {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pigeon %d unplaced in model", i)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	mustAdd(t, s, NegLit(a), PosLit(b)) // a -> b
+
+	if got := s.Solve(PosLit(a), NegLit(b)); got != Unsat {
+		t.Fatalf("assume a,!b: got %v, want unsat", got)
+	}
+	if got := s.Solve(PosLit(a)); got != Sat {
+		t.Fatalf("assume a: got %v, want sat", got)
+	}
+	if s.Value(b) != True {
+		t.Fatalf("b = %v under assumption a, want true", s.Value(b))
+	}
+	if got := s.Solve(NegLit(b), PosLit(a)); got != Unsat {
+		t.Fatalf("assume !b,a: got %v, want unsat", got)
+	}
+	// Solver remains usable and the instance is still sat without
+	// assumptions.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("no assumptions: got %v, want sat", got)
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := New()
+	vs := newVars(s, 3)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	mustAdd(t, s, NegLit(vs[0]))
+	mustAdd(t, s, NegLit(vs[1]))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after strengthening: got %v, want unsat", got)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unsolved.
+	n := 8
+	s := New()
+	p := make([][]Var, n+1)
+	for i := range p {
+		p[i] = newVars(s, n)
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = PosLit(p[i][j])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				mustAdd(t, s, NegLit(p[i1][j]), NegLit(p[i2][j]))
+			}
+		}
+	}
+	s.SetConflictBudget(5)
+	if got := s.Solve(); got != Unsolved {
+		t.Fatalf("got %v, want unsolved under budget", got)
+	}
+	s.SetConflictBudget(0)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat without budget", got)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	v := Var(7)
+	if PosLit(v).Var() != v || NegLit(v).Var() != v {
+		t.Fatal("Var round-trip broken")
+	}
+	if PosLit(v).Sign() || !NegLit(v).Sign() {
+		t.Fatal("Sign broken")
+	}
+	if PosLit(v).Neg() != NegLit(v) || NegLit(v).Neg() != PosLit(v) {
+		t.Fatal("Neg broken")
+	}
+	if MkLit(v, false) != PosLit(v) || MkLit(v, true) != NegLit(v) {
+		t.Fatal("MkLit broken")
+	}
+	if PosLit(v).String() != "8" || NegLit(v).String() != "-8" {
+		t.Fatalf("String: got %q/%q", PosLit(v).String(), NegLit(v).String())
+	}
+}
+
+func TestTriboolString(t *testing.T) {
+	cases := map[Tribool]string{True: "true", False: "false", Unknown: "unknown"}
+	for tb, want := range cases {
+		if tb.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tb, tb.String(), want)
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("Tribool.Not broken")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unsolved.String() != "unsolved" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+// randomCNF builds a random 3-CNF over nv variables with nc clauses.
+func randomCNF(rng *rand.Rand, nv, nc int) [][]Lit {
+	cls := make([][]Lit, nc)
+	for i := range cls {
+		c := make([]Lit, 3)
+		for j := range c {
+			c[j] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+		}
+		cls[i] = c
+	}
+	return cls
+}
+
+func bruteForceSat(nv int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<nv; m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				val := m>>uint(l.Var())&1 == 1
+				if l.Sign() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nv := 3 + rng.Intn(8) // up to 10 vars
+		nc := 1 + rng.Intn(5*nv)
+		clauses := randomCNF(rng, nv, nc)
+		want := bruteForceSat(nv, clauses)
+
+		s := New()
+		newVars(s, nv)
+		for _, c := range clauses {
+			if err := s.AddClause(c...); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("trial %d (nv=%d nc=%d): solver=%v brute=%v", trial, nv, nc, got, want)
+		}
+		if got == Sat {
+			// Model must actually satisfy every clause.
+			m := s.Model()
+			for ci, c := range clauses {
+				sat := false
+				for _, l := range c {
+					val := m[l.Var()]
+					if l.Sign() {
+						val = !val
+					}
+					if val {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: clause %d unsatisfied by returned model", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickModelsSatisfyFormula(t *testing.T) {
+	// Property: whenever the solver answers sat, its model satisfies
+	// every clause that was added.
+	f := func(seed int64, nvRaw, ncRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + int(nvRaw)%12
+		nc := 1 + int(ncRaw)%40
+		clauses := randomCNF(rng, nv, nc)
+		s := New()
+		newVars(s, nv)
+		for _, c := range clauses {
+			if err := s.AddClause(c...); err != nil {
+				return false
+			}
+		}
+		if s.Solve() != Sat {
+			return true // nothing to check for unsat here
+		}
+		m := s.Model()
+		for _, c := range clauses {
+			ok := false
+			for _, l := range c {
+				val := m[l.Var()]
+				if l.Sign() {
+					val = !val
+				}
+				if val {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAssumptionConsistency(t *testing.T) {
+	// Property: Solve(assumptions) == Sat implies the model honors every
+	// assumption; and adding the assumptions as unit clauses yields the
+	// same satisfiability.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 4 + rng.Intn(8)
+		nc := 1 + rng.Intn(25)
+		clauses := randomCNF(rng, nv, nc)
+		nAssume := 1 + rng.Intn(3)
+		assume := make([]Lit, nAssume)
+		for i := range assume {
+			assume[i] = MkLit(Var(rng.Intn(nv)), rng.Intn(2) == 0)
+		}
+
+		s := New()
+		newVars(s, nv)
+		for _, c := range clauses {
+			if err := s.AddClause(c...); err != nil {
+				return false
+			}
+		}
+		got := s.Solve(assume...)
+		if got == Sat {
+			for _, a := range assume {
+				want := True
+				if a.Sign() {
+					want = False
+				}
+				if s.Value(a.Var()) != want {
+					return false
+				}
+			}
+		}
+
+		s2 := New()
+		newVars(s2, nv)
+		for _, c := range clauses {
+			if err := s2.AddClause(c...); err != nil {
+				return false
+			}
+		}
+		for _, a := range assume {
+			if err := s2.AddClause(a); err != nil {
+				return false
+			}
+		}
+		return got == s2.Solve()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	in := `c a comment
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	// -1 forces !v1; 1 -2 forces !v2; 2 3 forces v3.
+	if s.Value(0) != False || s.Value(1) != False || s.Value(2) != True {
+		t.Fatalf("model = %v %v %v", s.Value(0), s.Value(1), s.Value(2))
+	}
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "p cnf 3") {
+		t.Fatalf("unexpected DIMACS output: %q", sb.String())
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	if _, err := ParseDIMACS(strings.NewReader("1 x 0")); err == nil {
+		t.Fatal("expected parse error for bad token")
+	}
+}
+
+func TestDIMACSUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+func TestDIMACSTrailingClauseWithoutZero(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := New()
+	vs := newVars(s, 4)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[2]))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	st := s.Stats()
+	if st.MaxVars != 4 {
+		t.Fatalf("MaxVars = %d, want 4", st.MaxVars)
+	}
+	if st.Clauses != 2 {
+		t.Fatalf("Clauses = %d, want 2", st.Clauses)
+	}
+	if !strings.Contains(st.String(), "vars=4") {
+		t.Fatalf("Stats.String = %q", st.String())
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	act := []float64{1, 5, 3, 4, 2}
+	h := newActivityHeap(&act)
+	for v := 0; v < 5; v++ {
+		h.push(Var(v))
+	}
+	order := []Var{}
+	for !h.empty() {
+		order = append(order, h.pop())
+	}
+	want := []Var{1, 3, 2, 4, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestGraphColoring(t *testing.T) {
+	// 3-coloring of K4 is unsat; of C5 (odd cycle) it is sat.
+	color := func(edges [][2]int, n, k int) Status {
+		s := New()
+		vars := make([][]Var, n)
+		for i := range vars {
+			vars[i] = newVars(s, k)
+			lits := make([]Lit, k)
+			for c := range lits {
+				lits[c] = PosLit(vars[i][c])
+			}
+			mustAdd(t, s, lits...)
+		}
+		for _, e := range edges {
+			for c := 0; c < k; c++ {
+				mustAdd(t, s, NegLit(vars[e[0]][c]), NegLit(vars[e[1]][c]))
+			}
+		}
+		return s.Solve()
+	}
+	k4 := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if got := color(k4, 4, 3); got != Unsat {
+		t.Fatalf("K4 3-coloring: got %v, want unsat", got)
+	}
+	c5 := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	if got := color(c5, 5, 3); got != Sat {
+		t.Fatalf("C5 3-coloring: got %v, want sat", got)
+	}
+	if got := color(c5, 5, 2); got != Unsat {
+		t.Fatalf("C5 2-coloring: got %v, want unsat", got)
+	}
+}
+
+func TestLargeRandomSatisfiableInstances(t *testing.T) {
+	// Under-constrained random 3-CNF (ratio 2.0) is satisfiable with
+	// overwhelming probability; verify models on a few hundred vars to
+	// exercise restarts and clause DB reduction.
+	rng := rand.New(rand.NewSource(7))
+	nv, nc := 300, 600
+	clauses := randomCNF(rng, nv, nc)
+	s := New()
+	newVars(s, nv)
+	for _, c := range clauses {
+		mustAdd(t, s, c...)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	m := s.Model()
+	for ci, c := range clauses {
+		ok := false
+		for _, l := range c {
+			v := m[l.Var()]
+			if l.Sign() {
+				v = !v
+			}
+			if v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("clause %d unsatisfied", ci)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sat
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Var identifies a propositional variable. Valid variables are created by
+// Solver.NewVar and are numbered from 0.
+type Var int
+
+// Lit is a literal: a variable or its negation. The encoding is the usual
+// one (lit = 2*var, or 2*var+1 for the negation) so that negation is a
+// single XOR and literals index arrays directly.
+type Lit int
+
+// LitUndef is the sentinel "no literal" value.
+const LitUndef Lit = -1
+
+// VarUndef is the sentinel "no variable" value.
+const VarUndef Var = -1
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1) | 1 }
+
+// MkLit returns the literal of v with the given sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the negation of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether l is a negated literal.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// String renders the literal in DIMACS-like form ("3", "-7").
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	n := int(l.Var()) + 1
+	if l.Sign() {
+		n = -n
+	}
+	return strconv.Itoa(n)
+}
+
+// Tribool is a three-valued truth assignment.
+type Tribool int8
+
+// The three truth values. Unknown is the zero value so fresh assignment
+// arrays start unassigned.
+const (
+	Unknown Tribool = 0
+	True    Tribool = 1
+	False   Tribool = -1
+)
+
+// Not negates a Tribool (Unknown stays Unknown).
+func (t Tribool) Not() Tribool { return -t }
+
+// String implements fmt.Stringer.
+func (t Tribool) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes. Unsolved is returned only on budget exhaustion
+// (see Solver.SetConflictBudget).
+const (
+	Unsolved Status = iota
+	Sat
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unsolved"
+	}
+}
+
+// MarshalJSON renders the status as its name.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(s.String())), nil
+}
+
+// UnmarshalJSON parses a status name.
+func (s *Status) UnmarshalJSON(data []byte) error {
+	name, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("sat: bad status %s: %w", data, err)
+	}
+	switch name {
+	case "sat":
+		*s = Sat
+	case "unsat":
+		*s = Unsat
+	case "unsolved":
+		*s = Unsolved
+	default:
+		return fmt.Errorf("sat: unknown status %q", name)
+	}
+	return nil
+}
+
+// clause is the internal clause representation. Learned clauses carry an
+// activity and an LBD ("glue") score used by database reduction.
+type clause struct {
+	lits    []Lit
+	act     float64
+	lbd     int32
+	learned bool
+	deleted bool
+}
+
+func (c *clause) String() string {
+	s := "("
+	for i, l := range c.lits {
+		if i > 0 {
+			s += " "
+		}
+		s += l.String()
+	}
+	return s + ")"
+}
+
+// watcher pairs a watched clause with a blocker literal: if the blocker is
+// already true the clause is satisfied and need not be inspected.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats aggregates solver counters, exposed for the evaluation harness.
+type Stats struct {
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+	Learned      uint64
+	Removed      uint64
+	MaxVars      int
+	Clauses      int
+}
+
+// String implements fmt.Stringer.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d",
+		st.MaxVars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned, st.Removed)
+}

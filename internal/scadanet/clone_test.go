@@ -1,0 +1,75 @@
+package scadanet
+
+import (
+	"testing"
+
+	"scadaver/internal/secpolicy"
+)
+
+func TestNetworkClone(t *testing.T) {
+	n := buildTiny(t)
+	n.LinkBetween(1, 10).Profiles = []secpolicy.Profile{{Algo: secpolicy.HMAC, KeyBits: 128}}
+	c := n.Clone()
+
+	// Same structure.
+	if len(c.Devices()) != len(n.Devices()) || len(c.Links()) != len(n.Links()) {
+		t.Fatal("clone structure differs")
+	}
+	if got := c.MeasurementsOf(1); len(got) != 2 {
+		t.Fatalf("clone measurements = %v", got)
+	}
+
+	// Mutations do not propagate in either direction.
+	c.Device(1).Down = true
+	if n.Device(1).Down {
+		t.Fatal("device mutation leaked to original")
+	}
+	c.LinkBetween(1, 10).Profiles[0] = secpolicy.Profile{Algo: secpolicy.DES, KeyBits: 56}
+	if n.LinkBetween(1, 10).Profiles[0].Algo == secpolicy.DES {
+		t.Fatal("profile mutation leaked to original")
+	}
+	if _, err := c.AddLink(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkBetween(1, 11) != nil {
+		t.Fatal("added link leaked to original")
+	}
+	if err := c.AssignMeasurements(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.MeasurementsOf(2)) != 1 {
+		t.Fatal("assignment leaked to original")
+	}
+
+	// New links on the clone get fresh IDs beyond the copied ones.
+	added := c.LinkBetween(1, 11)
+	for _, l := range n.Links() {
+		if l.ID == added.ID {
+			t.Fatal("clone reused an existing link ID")
+		}
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	cfg, err := CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Clone()
+	if c.K1 != cfg.K1 || c.K2 != cfg.K2 || c.R != cfg.R {
+		t.Fatal("spec not copied")
+	}
+	// Jacobian rows are deep copies.
+	c.Msrs.Msrs[0].Row[0] = 9999
+	if cfg.Msrs.Msrs[0].Row[0] == 9999 {
+		t.Fatal("Jacobian row leaked")
+	}
+	// Network is independent.
+	c.Net.Device(1).Down = true
+	if cfg.Net.Device(1).Down {
+		t.Fatal("network leaked")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package scadanet models the SCADA communication network the paper
+// verifies: field devices (IEDs, RTUs), the MTU (control server),
+// routers, communication links with protocol and security profiles, the
+// IED→measurement assignment, and path enumeration from IEDs to the MTU.
+package scadanet
+
+import (
+	"fmt"
+
+	"scadaver/internal/secpolicy"
+)
+
+// DeviceID identifies a SCADA device (1-based in configurations).
+type DeviceID int
+
+// DeviceKind classifies SCADA devices.
+type DeviceKind int
+
+// The device kinds the model distinguishes. PLCs behave like IEDs for
+// the analyses in scope and are represented as IEDs.
+const (
+	IED DeviceKind = iota + 1
+	RTU
+	MTU
+	Router
+)
+
+// String implements fmt.Stringer.
+func (k DeviceKind) String() string {
+	switch k {
+	case IED:
+		return "ied"
+	case RTU:
+		return "rtu"
+	case MTU:
+		return "mtu"
+	case Router:
+		return "router"
+	}
+	return "unknown"
+}
+
+// ParseDeviceKind parses the textual form used in config files.
+func ParseDeviceKind(s string) (DeviceKind, error) {
+	switch s {
+	case "ied", "plc":
+		return IED, nil
+	case "rtu":
+		return RTU, nil
+	case "mtu":
+		return MTU, nil
+	case "router", "wan":
+		return Router, nil
+	}
+	return 0, fmt.Errorf("scadanet: unknown device kind %q", s)
+}
+
+// Protocol names an ICS communication protocol.
+type Protocol string
+
+// Common ICS protocols.
+const (
+	Modbus   Protocol = "modbus"
+	DNP3     Protocol = "dnp3"
+	IEC61850 Protocol = "iec61850"
+)
+
+// Device is one SCADA device with its communication and security
+// configuration (the paper's device profile: CommProto_i, Crypt_i,
+// IpAddr_i).
+type Device struct {
+	ID        DeviceID
+	Kind      DeviceKind
+	Protocols []Protocol          // supported protocols; empty = any
+	Profiles  []secpolicy.Profile // supported crypto profiles
+	IPAddr    string              // informational
+	Down      bool                // statically configured as unavailable
+}
+
+// FieldDevice reports whether the device participates in the failure
+// model (IEDs and RTUs per the paper; the MTU and routers are assumed
+// available).
+func (d *Device) FieldDevice() bool { return d.Kind == IED || d.Kind == RTU }
+
+// SharesProtocol implements CommProtoPairing_{i,j}: the devices support
+// a common protocol. A device with an empty protocol list is treated as
+// protocol-agnostic (it can speak to anything).
+func (d *Device) SharesProtocol(o *Device) bool {
+	if len(d.Protocols) == 0 || len(o.Protocols) == 0 {
+		return true
+	}
+	for _, p := range d.Protocols {
+		for _, q := range o.Protocols {
+			if p == q {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LinkID identifies a communication link.
+type LinkID int
+
+// Link is a (possibly abstracted) communication path between two
+// devices: NodePair_l and LinkStatus_l in the paper, plus the pairwise
+// security profile of the Table II input format.
+type Link struct {
+	ID   LinkID
+	A, B DeviceID
+	Down bool // statically configured as down
+
+	// Profiles is the security profile of this host pair, as in the
+	// paper's Table II ("security profile (if exists) between the
+	// communicating entities"). When empty, hop security is judged from
+	// the endpoint devices' own profile intersection.
+	Profiles []secpolicy.Profile
+
+	Medium string // informational: ethernet, wireless, modem, ...
+}
+
+// Other returns the link endpoint opposite to id (0 if id is not an
+// endpoint).
+func (l *Link) Other(id DeviceID) DeviceID {
+	switch id {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	return 0
+}
+
+// Connects reports whether the link joins a and b (in either order).
+func (l *Link) Connects(a, b DeviceID) bool {
+	return (l.A == a && l.B == b) || (l.A == b && l.B == a)
+}

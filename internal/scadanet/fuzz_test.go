@@ -1,0 +1,46 @@
+package scadanet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig checks that arbitrary input never panics the parser
+// and that accepted configurations survive a write/parse round trip.
+func FuzzParseConfig(f *testing.F) {
+	cfg, err := CaseStudyConfig(false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("# only a comment\n")
+	f.Add("[jacobian]\n1 0\n[devices]\nied 1\nmtu 2\n[links]\n1 2\n")
+	f.Add("[jacobian]\nNaN Inf\n")
+	f.Add("[bogus]\nx\n")
+	f.Add("[jacobian]\n1\n[devices]\nied 1 99999\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ParseConfig(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be serializable and re-parsable.
+		var out bytes.Buffer
+		if err := WriteConfig(&out, parsed); err != nil {
+			t.Fatalf("write of accepted config failed: %v", err)
+		}
+		back, err := ParseConfig(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out.String())
+		}
+		if back.Msrs.Len() != parsed.Msrs.Len() {
+			t.Fatalf("round trip changed measurement count %d -> %d", parsed.Msrs.Len(), back.Msrs.Len())
+		}
+	})
+}

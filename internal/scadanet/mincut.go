@@ -1,0 +1,120 @@
+package scadanet
+
+// Link-redundancy analysis: the minimum number of link failures that
+// disconnects a field device from the MTU (edge connectivity over the
+// usable-forwarding subgraph). This is the graph-theoretic counterpart
+// of the verifier's KL (link-failure) budget: an IED with min-cut c
+// keeps delivering under any c-1 link failures and is cut by some set
+// of c.
+
+// LinkMinCut returns the minimum number of link removals that
+// disconnect the IED from the MTU, considering only links whose
+// protocol/crypto pairing permits communication (and, when secured,
+// only hops that are authenticated and integrity protected under
+// judge). Forwarding passes through RTUs and routers only, as in the
+// delivery model. It returns 0 when the IED has no usable path at all.
+//
+// judge may be nil, in which case every up link with valid pairing is
+// usable.
+func (n *Network) LinkMinCut(ied DeviceID, judge func(*Link) bool) int {
+	mtu := n.MTUID()
+	src := n.Device(ied)
+	if mtu == 0 || src == nil || src.Kind != IED {
+		return 0
+	}
+	usable := func(l *Link) bool {
+		if l.Down {
+			return false
+		}
+		protoOK, cryptoOK := n.HopPairing(l)
+		if !protoOK || !cryptoOK {
+			return false
+		}
+		return judge == nil || judge(l)
+	}
+
+	// Max-flow (Edmonds-Karp) with unit capacity per link, both
+	// directions sharing the capacity (undirected edge connectivity).
+	type edge struct {
+		to   DeviceID
+		link LinkID
+	}
+	adj := map[DeviceID][]edge{}
+	for _, l := range n.links {
+		if !usable(l) {
+			continue
+		}
+		adj[l.A] = append(adj[l.A], edge{to: l.B, link: l.ID})
+		adj[l.B] = append(adj[l.B], edge{to: l.A, link: l.ID})
+	}
+	forwardable := func(d DeviceID) bool {
+		if d == mtu || d == ied {
+			return true
+		}
+		dev := n.Device(d)
+		return dev != nil && (dev.Kind == RTU || dev.Kind == Router) && !dev.Down
+	}
+
+	// Edmonds-Karp with undirected unit capacities: per link track the
+	// signed flow relative to the A→B orientation; a direction is
+	// traversable while its net flow is below 1 (so augmenting against
+	// existing flow cancels it, which plain greedy path packing cannot
+	// do).
+	linkByID := map[LinkID]*Link{}
+	for _, l := range n.links {
+		linkByID[l.ID] = l
+	}
+	flowAB := map[LinkID]int{}
+	canTraverse := func(from DeviceID, id LinkID) bool {
+		l := linkByID[id]
+		if l.A == from {
+			return flowAB[id] < 1
+		}
+		return flowAB[id] > -1
+	}
+	push := func(from DeviceID, id LinkID) {
+		if linkByID[id].A == from {
+			flowAB[id]++
+		} else {
+			flowAB[id]--
+		}
+	}
+
+	total := 0
+	for {
+		type visit struct {
+			prev DeviceID
+			via  LinkID
+		}
+		prev := map[DeviceID]visit{}
+		seen := map[DeviceID]bool{ied: true}
+		queue := []DeviceID{ied}
+		found := false
+		for len(queue) > 0 && !found {
+			at := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[at] {
+				if seen[e.to] || !forwardable(e.to) || !canTraverse(at, e.link) {
+					continue
+				}
+				seen[e.to] = true
+				prev[e.to] = visit{prev: at, via: e.link}
+				if e.to == mtu {
+					found = true
+					break
+				}
+				queue = append(queue, e.to)
+			}
+		}
+		if !found {
+			return total
+		}
+		for d := mtu; d != ied; d = prev[d].prev {
+			push(prev[d].prev, prev[d].via)
+		}
+		total++
+	}
+}
+
+// The augmenting-path count equals the maximum number of link-disjoint
+// IED→MTU paths, which by Menger's theorem equals the minimum link cut.

@@ -1,0 +1,353 @@
+package stateest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scadaver/internal/matrix"
+	"scadaver/internal/powergrid"
+)
+
+// AC (lossless) state estimation. The DC estimator in this package is
+// the linearization SCADA state estimation textbooks start from; the AC
+// estimator here solves the underlying nonlinear weighted-least-squares
+// problem with Gauss-Newton iterations over bus voltage angles and
+// magnitudes, for the lossless line model (series reactance only,
+// G = 0):
+//
+//	P_ij = V_i V_j b_ij sin(θ_i − θ_j)
+//	Q_ij = b_ij V_i² − b_ij V_i V_j cos(θ_i − θ_j)
+//	P_i  = Σ_j P_ij,   Q_i = Σ_j Q_ij,   plus direct V_i readings.
+
+// ACMsrKind classifies AC measurements.
+type ACMsrKind int
+
+// The AC measurement kinds.
+const (
+	ACFlowP   ACMsrKind = iota + 1 // real power flow From→To
+	ACFlowQ                        // reactive power flow From→To
+	ACInjP                         // real power injection at From
+	ACInjQ                         // reactive power injection at From
+	ACVoltage                      // voltage magnitude at From
+)
+
+// String implements fmt.Stringer.
+func (k ACMsrKind) String() string {
+	switch k {
+	case ACFlowP:
+		return "P-flow"
+	case ACFlowQ:
+		return "Q-flow"
+	case ACInjP:
+		return "P-injection"
+	case ACInjQ:
+		return "Q-injection"
+	case ACVoltage:
+		return "V-magnitude"
+	}
+	return "unknown"
+}
+
+// ACMeasurement is one nonlinear measurement.
+type ACMeasurement struct {
+	Kind     ACMsrKind
+	From, To int     // 1-based buses; To used by flows
+	Value    float64 // measured value
+	Sigma    float64 // standard deviation (<=0 → 1.0)
+}
+
+// ACState is a full AC operating point.
+type ACState struct {
+	Angles   []float64 // radians, per bus
+	Voltages []float64 // per-unit magnitudes, per bus
+}
+
+// ACEstimator solves the nonlinear WLS problem on a bus system.
+type ACEstimator struct {
+	sys    *powergrid.BusSystem
+	refBus int
+
+	// Convergence controls.
+	MaxIterations int     // default 25
+	Tolerance     float64 // max |Δx| to declare convergence; default 1e-8
+}
+
+// AC estimation errors.
+var (
+	ErrNotConverged = errors.New("stateest: Gauss-Newton iteration did not converge")
+	ErrACUnsolvable = errors.New("stateest: AC gain matrix singular (measurement set insufficient)")
+	ErrACBadInput   = errors.New("stateest: invalid AC input")
+)
+
+// NewAC builds an AC estimator with the given reference bus.
+func NewAC(sys *powergrid.BusSystem, refBus int) (*ACEstimator, error) {
+	if refBus < 1 || refBus > sys.NBuses {
+		return nil, fmt.Errorf("%w: reference bus %d of %d", ErrACBadInput, refBus, sys.NBuses)
+	}
+	return &ACEstimator{sys: sys, refBus: refBus, MaxIterations: 25, Tolerance: 1e-8}, nil
+}
+
+// FlatState returns the flat start: all angles 0, all voltages 1 pu.
+func (e *ACEstimator) FlatState() ACState {
+	n := e.sys.NBuses
+	st := ACState{Angles: make([]float64, n), Voltages: make([]float64, n)}
+	for i := range st.Voltages {
+		st.Voltages[i] = 1
+	}
+	return st
+}
+
+// susceptances returns the per-branch b and an adjacency index.
+func (e *ACEstimator) branches() []powergrid.Branch { return e.sys.Branches }
+
+// evalOne computes h(x) for one measurement.
+func (e *ACEstimator) evalOne(m ACMeasurement, st ACState) (float64, error) {
+	theta := st.Angles
+	v := st.Voltages
+	flow := func(i, j int, b float64) (p, q float64) {
+		d := theta[i-1] - theta[j-1]
+		p = v[i-1] * v[j-1] * b * math.Sin(d)
+		q = b*v[i-1]*v[i-1] - b*v[i-1]*v[j-1]*math.Cos(d)
+		return p, q
+	}
+	switch m.Kind {
+	case ACFlowP, ACFlowQ:
+		for _, br := range e.branches() {
+			var b float64
+			switch {
+			case br.From == m.From && br.To == m.To:
+				b = br.Susceptance
+			case br.To == m.From && br.From == m.To:
+				b = br.Susceptance
+			default:
+				continue
+			}
+			p, q := flow(m.From, m.To, b)
+			if m.Kind == ACFlowP {
+				return p, nil
+			}
+			return q, nil
+		}
+		return 0, fmt.Errorf("%w: no branch %d-%d", ErrACBadInput, m.From, m.To)
+	case ACInjP, ACInjQ:
+		sumP, sumQ := 0.0, 0.0
+		for _, br := range e.branches() {
+			var other int
+			switch m.From {
+			case br.From:
+				other = br.To
+			case br.To:
+				other = br.From
+			default:
+				continue
+			}
+			p, q := flow(m.From, other, br.Susceptance)
+			sumP += p
+			sumQ += q
+		}
+		if m.Kind == ACInjP {
+			return sumP, nil
+		}
+		return sumQ, nil
+	case ACVoltage:
+		return v[m.From-1], nil
+	}
+	return 0, fmt.Errorf("%w: unknown kind %d", ErrACBadInput, int(m.Kind))
+}
+
+// Evaluate computes h(x) for all measurements at a state (useful for
+// synthesizing readings; add noise with MeasureAC).
+func (e *ACEstimator) Evaluate(msrs []ACMeasurement, st ACState) ([]float64, error) {
+	if err := e.checkState(st); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(msrs))
+	for i, m := range msrs {
+		v, err := e.evalOne(m, st)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MeasureAC fills in measurement Values from a true state with Gaussian
+// noise of each measurement's Sigma (rng nil = noiseless). It returns a
+// copy; the input slice is not modified.
+func (e *ACEstimator) MeasureAC(msrs []ACMeasurement, truth ACState, rng *rand.Rand) ([]ACMeasurement, error) {
+	vals, err := e.Evaluate(msrs, truth)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ACMeasurement, len(msrs))
+	copy(out, msrs)
+	for i := range out {
+		out[i].Value = vals[i]
+		if rng != nil && out[i].Sigma > 0 {
+			out[i].Value += rng.NormFloat64() * out[i].Sigma
+		}
+	}
+	return out, nil
+}
+
+func (e *ACEstimator) checkState(st ACState) error {
+	if len(st.Angles) != e.sys.NBuses || len(st.Voltages) != e.sys.NBuses {
+		return fmt.Errorf("%w: state dimensions %d/%d for %d buses",
+			ErrACBadInput, len(st.Angles), len(st.Voltages), e.sys.NBuses)
+	}
+	return nil
+}
+
+// jacobianRow fills the row of ∂h_m/∂x at state st. The state vector
+// layout is [θ (all buses except ref) | V (all buses)].
+func (e *ACEstimator) jacobianRow(m ACMeasurement, st ACState, row []float64, angleIdx []int) error {
+	theta := st.Angles
+	v := st.Voltages
+	// Partial derivatives for the lossless flow From→To over branch b:
+	//  ∂P/∂θi =  Vi Vj b cos(θij)    ∂P/∂θj = −Vi Vj b cos(θij)
+	//  ∂P/∂Vi =  Vj b sin(θij)       ∂P/∂Vj =  Vi b sin(θij)
+	//  ∂Q/∂θi =  Vi Vj b sin(θij)    ∂Q/∂θj = −Vi Vj b sin(θij)
+	//  ∂Q/∂Vi =  2 Vi b − Vj b cos   ∂Q/∂Vj = −Vi b cos(θij)
+	// The state vector is [θ reduced (one ref bus dropped) | V (all
+	// buses)]: the voltage block starts after the reduced angle block.
+	nA := 0
+	for _, ai := range angleIdx {
+		if ai >= 0 {
+			nA++
+		}
+	}
+	addFlow := func(i, j int, b float64, wantP bool, sign float64) {
+		d := theta[i-1] - theta[j-1]
+		sin, cos := math.Sin(d), math.Cos(d)
+		if wantP {
+			if ai := angleIdx[i-1]; ai >= 0 {
+				row[ai] += sign * v[i-1] * v[j-1] * b * cos
+			}
+			if aj := angleIdx[j-1]; aj >= 0 {
+				row[aj] -= sign * v[i-1] * v[j-1] * b * cos
+			}
+			row[nA+i-1] += sign * v[j-1] * b * sin
+			row[nA+j-1] += sign * v[i-1] * b * sin
+			return
+		}
+		if ai := angleIdx[i-1]; ai >= 0 {
+			row[ai] += sign * v[i-1] * v[j-1] * b * sin
+		}
+		if aj := angleIdx[j-1]; aj >= 0 {
+			row[aj] -= sign * v[i-1] * v[j-1] * b * sin
+		}
+		row[nA+i-1] += sign * (2*v[i-1]*b - v[j-1]*b*cos)
+		row[nA+j-1] += sign * (-v[i-1] * b * cos)
+	}
+
+	switch m.Kind {
+	case ACFlowP, ACFlowQ:
+		for _, br := range e.branches() {
+			if (br.From == m.From && br.To == m.To) || (br.To == m.From && br.From == m.To) {
+				addFlow(m.From, m.To, br.Susceptance, m.Kind == ACFlowP, 1)
+				return nil
+			}
+		}
+		return fmt.Errorf("%w: no branch %d-%d", ErrACBadInput, m.From, m.To)
+	case ACInjP, ACInjQ:
+		for _, br := range e.branches() {
+			var other int
+			switch m.From {
+			case br.From:
+				other = br.To
+			case br.To:
+				other = br.From
+			default:
+				continue
+			}
+			addFlow(m.From, other, br.Susceptance, m.Kind == ACInjP, 1)
+		}
+		return nil
+	case ACVoltage:
+		row[nA+m.From-1] = 1
+		return nil
+	}
+	return fmt.Errorf("%w: unknown kind %d", ErrACBadInput, int(m.Kind))
+}
+
+// EstimateAC runs Gauss-Newton WLS from the flat start and returns the
+// estimated state together with the final weighted residual sum.
+func (e *ACEstimator) EstimateAC(msrs []ACMeasurement) (ACState, float64, error) {
+	n := e.sys.NBuses
+	if len(msrs) == 0 {
+		return ACState{}, 0, fmt.Errorf("%w: no measurements", ErrACBadInput)
+	}
+	// State indexing: angles of all buses except ref, then all voltages.
+	angleIdx := make([]int, n)
+	idx := 0
+	for bus := 1; bus <= n; bus++ {
+		if bus == e.refBus {
+			angleIdx[bus-1] = -1
+			continue
+		}
+		angleIdx[bus-1] = idx
+		idx++
+	}
+	nState := idx + n
+
+	st := e.FlatState()
+	weights := make([]float64, len(msrs))
+	for i, m := range msrs {
+		s := m.Sigma
+		if s <= 0 {
+			s = 1
+		}
+		weights[i] = 1 / (s * s)
+	}
+
+	for iter := 0; iter < e.MaxIterations; iter++ {
+		h := matrix.New(len(msrs), nState)
+		residual := make([]float64, len(msrs))
+		rowBuf := make([]float64, nState)
+		for i, m := range msrs {
+			hi, err := e.evalOne(m, st)
+			if err != nil {
+				return ACState{}, 0, err
+			}
+			residual[i] = m.Value - hi
+			for j := range rowBuf {
+				rowBuf[j] = 0
+			}
+			if err := e.jacobianRow(m, st, rowBuf, angleIdx); err != nil {
+				return ACState{}, 0, err
+			}
+			for j, v := range rowBuf {
+				h.Set(i, j, v)
+			}
+		}
+		dx, err := h.SolveLSQ(residual, weights)
+		if err != nil {
+			return ACState{}, 0, fmt.Errorf("%w: %v", ErrACUnsolvable, err)
+		}
+		maxStep := 0.0
+		for bus := 1; bus <= n; bus++ {
+			if ai := angleIdx[bus-1]; ai >= 0 {
+				st.Angles[bus-1] += dx[ai]
+				maxStep = math.Max(maxStep, math.Abs(dx[ai]))
+			}
+			st.Voltages[bus-1] += dx[idx+bus-1]
+			maxStep = math.Max(maxStep, math.Abs(dx[idx+bus-1]))
+		}
+		if maxStep < e.Tolerance {
+			chi := 0.0
+			for i, m := range msrs {
+				hi, err := e.evalOne(m, st)
+				if err != nil {
+					return ACState{}, 0, err
+				}
+				r := m.Value - hi
+				chi += weights[i] * r * r
+			}
+			return st, chi, nil
+		}
+	}
+	return ACState{}, 0, ErrNotConverged
+}

@@ -1,0 +1,266 @@
+package stateest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scadaver/internal/powergrid"
+)
+
+// fullACSet builds a rich AC measurement set on a bus system: P/Q flows
+// in both directions, P/Q injections at every bus, and one voltage
+// reading per bus.
+func fullACSet(sys *powergrid.BusSystem, sigma float64) []ACMeasurement {
+	var out []ACMeasurement
+	for _, br := range sys.Branches {
+		out = append(out,
+			ACMeasurement{Kind: ACFlowP, From: br.From, To: br.To, Sigma: sigma},
+			ACMeasurement{Kind: ACFlowP, From: br.To, To: br.From, Sigma: sigma},
+			ACMeasurement{Kind: ACFlowQ, From: br.From, To: br.To, Sigma: sigma},
+		)
+	}
+	for bus := 1; bus <= sys.NBuses; bus++ {
+		out = append(out,
+			ACMeasurement{Kind: ACInjP, From: bus, Sigma: sigma},
+			ACMeasurement{Kind: ACInjQ, From: bus, Sigma: sigma},
+			ACMeasurement{Kind: ACVoltage, From: bus, Sigma: sigma},
+		)
+	}
+	return out
+}
+
+func acTruth(n int) ACState {
+	st := ACState{Angles: make([]float64, n), Voltages: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		st.Angles[i] = -0.02 * float64(i)
+		st.Voltages[i] = 1.0 + 0.01*float64(i%3)
+	}
+	return st
+}
+
+func TestACEstimateRecoversTruthNoiseless(t *testing.T) {
+	sys := powergrid.Case5()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := acTruth(sys.NBuses)
+	msrs, err := e.MeasureAC(fullACSet(sys, 0.01), truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, chi, err := e.EstimateAC(msrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi > 1e-10 {
+		t.Fatalf("noiseless chi = %v", chi)
+	}
+	for i := range truth.Angles {
+		wantAngle := truth.Angles[i] - truth.Angles[0] // ref shift
+		if math.Abs(st.Angles[i]-wantAngle) > 1e-6 {
+			t.Fatalf("angle %d = %v, want %v", i, st.Angles[i], wantAngle)
+		}
+		if math.Abs(st.Voltages[i]-truth.Voltages[i]) > 1e-6 {
+			t.Fatalf("voltage %d = %v, want %v", i, st.Voltages[i], truth.Voltages[i])
+		}
+	}
+}
+
+func TestACEstimateWithNoise(t *testing.T) {
+	sys := powergrid.IEEE14()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := acTruth(sys.NBuses)
+	msrs, err := e.MeasureAC(fullACSet(sys, 0.02), truth, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := e.EstimateAC(msrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Voltages {
+		if math.Abs(st.Voltages[i]-truth.Voltages[i]) > 0.05 {
+			t.Fatalf("voltage %d = %v, want ≈%v", i, st.Voltages[i], truth.Voltages[i])
+		}
+	}
+}
+
+// TestACMatchesDCInSmallAngleLimit: with flat voltages and small
+// angles, AC real-power flows approach the DC model b·(θi−θj).
+func TestACMatchesDCInSmallAngleLimit(t *testing.T) {
+	sys := powergrid.Case5()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.FlatState()
+	for i := range st.Angles {
+		st.Angles[i] = -0.001 * float64(i)
+	}
+	for _, br := range sys.Branches {
+		m := ACMeasurement{Kind: ACFlowP, From: br.From, To: br.To}
+		got, err := e.evalOne(m, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := st.Angles[br.From-1] - st.Angles[br.To-1]
+		dc := br.Susceptance * d
+		// |sin x − x| ≤ |x|³/6: the AC value may differ from DC by the
+		// cubic linearization error.
+		bound := br.Susceptance*math.Abs(d*d*d)/6 + 1e-12
+		if math.Abs(got-dc) > bound {
+			t.Fatalf("branch %d-%d: AC %v vs DC %v (bound %v)", br.From, br.To, got, dc, bound)
+		}
+	}
+}
+
+// TestACJacobianMatchesFiniteDifferences validates the analytic
+// derivatives against central differences at a random-ish state.
+func TestACJacobianMatchesFiniteDifferences(t *testing.T) {
+	sys := powergrid.Case5()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := acTruth(sys.NBuses)
+	msrs := fullACSet(sys, 0)
+
+	n := sys.NBuses
+	angleIdx := make([]int, n)
+	idx := 0
+	for bus := 1; bus <= n; bus++ {
+		if bus == 1 {
+			angleIdx[bus-1] = -1
+			continue
+		}
+		angleIdx[bus-1] = idx
+		idx++
+	}
+	nState := idx + n
+
+	const h = 1e-6
+	perturb := func(base ACState, j int, delta float64) ACState {
+		out := ACState{
+			Angles:   append([]float64(nil), base.Angles...),
+			Voltages: append([]float64(nil), base.Voltages...),
+		}
+		if j < idx {
+			for bus := 1; bus <= n; bus++ {
+				if angleIdx[bus-1] == j {
+					out.Angles[bus-1] += delta
+				}
+			}
+		} else {
+			out.Voltages[j-idx] += delta
+		}
+		return out
+	}
+
+	for _, m := range msrs {
+		row := make([]float64, nState)
+		if err := e.jacobianRow(m, st, row, angleIdx); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < nState; j++ {
+			plus, err := e.evalOne(m, perturb(st, j, h))
+			if err != nil {
+				t.Fatal(err)
+			}
+			minus, err := e.evalOne(m, perturb(st, j, -h))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fd := (plus - minus) / (2 * h)
+			if math.Abs(fd-row[j]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("%v d/dx%d: analytic %v, finite-diff %v", m.Kind, j, row[j], fd)
+			}
+		}
+	}
+}
+
+func TestACUnsolvableWithoutVoltageAnchor(t *testing.T) {
+	// Pure P-flow measurements cannot fix the voltage magnitudes.
+	sys := powergrid.Case5()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msrs []ACMeasurement
+	for _, br := range sys.Branches {
+		msrs = append(msrs, ACMeasurement{Kind: ACFlowP, From: br.From, To: br.To})
+	}
+	truth := acTruth(sys.NBuses)
+	msrs, err = e.MeasureAC(msrs, truth, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.EstimateAC(msrs); !errors.Is(err, ErrACUnsolvable) {
+		t.Fatalf("want ErrACUnsolvable, got %v", err)
+	}
+}
+
+func TestACInputValidation(t *testing.T) {
+	sys := powergrid.Case5()
+	if _, err := NewAC(sys, 0); !errors.Is(err, ErrACBadInput) {
+		t.Fatal("bad ref accepted")
+	}
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.EstimateAC(nil); !errors.Is(err, ErrACBadInput) {
+		t.Fatal("empty measurement set accepted")
+	}
+	// Flow on a nonexistent branch.
+	bad := []ACMeasurement{{Kind: ACFlowP, From: 1, To: 4}}
+	if _, err := e.Evaluate(bad, e.FlatState()); !errors.Is(err, ErrACBadInput) {
+		t.Fatal("nonexistent branch accepted")
+	}
+	// Wrong state dims.
+	if _, err := e.Evaluate(nil, ACState{}); !errors.Is(err, ErrACBadInput) {
+		t.Fatal("bad state accepted")
+	}
+}
+
+func TestACKindString(t *testing.T) {
+	kinds := map[ACMsrKind]string{
+		ACFlowP: "P-flow", ACFlowQ: "Q-flow", ACInjP: "P-injection",
+		ACInjQ: "Q-injection", ACVoltage: "V-magnitude", ACMsrKind(0): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestACDetectsGrossErrorViaChi(t *testing.T) {
+	sys := powergrid.Case5()
+	e, err := NewAC(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := acTruth(sys.NBuses)
+	msrs, err := e.MeasureAC(fullACSet(sys, 0.01), truth, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cleanChi, err := e.EstimateAC(msrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msrs[0].Value += 5
+	_, dirtyChi, err := e.EstimateAC(msrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyChi < 10*cleanChi {
+		t.Fatalf("gross error not visible: clean %v dirty %v", cleanChi, dirtyChi)
+	}
+}

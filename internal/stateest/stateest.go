@@ -1,0 +1,275 @@
+// Package stateest implements DC weighted-least-squares power-system
+// state estimation with chi-square and largest-normalized-residual bad
+// data detection — the SCADA control routine whose data requirements
+// (observability, redundancy for bad-data detectability) the verifier in
+// package core reasons about. It demonstrates concretely why the
+// verified properties matter: an unobservable measurement subset makes
+// estimation impossible, and a state covered by r or fewer measurements
+// lets r coordinated corruptions go undetected.
+package stateest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scadaver/internal/matrix"
+	"scadaver/internal/powergrid"
+)
+
+// Estimator solves the DC state-estimation problem for a measurement
+// set. One bus is the angle reference (fixed to zero); the estimator
+// works in the reduced state space without that column.
+type Estimator struct {
+	ms     *powergrid.MeasurementSet
+	refBus int // 1-based reference bus
+	cols   []int
+}
+
+// Estimation errors.
+var (
+	ErrUnobservable = errors.New("stateest: selected measurements do not observe the system")
+	ErrBadInput     = errors.New("stateest: invalid input")
+)
+
+// New builds an estimator with the given reference bus (1-based).
+func New(ms *powergrid.MeasurementSet, refBus int) (*Estimator, error) {
+	if refBus < 1 || refBus > ms.NStates {
+		return nil, fmt.Errorf("%w: reference bus %d of %d states", ErrBadInput, refBus, ms.NStates)
+	}
+	cols := make([]int, 0, ms.NStates-1)
+	for x := 0; x < ms.NStates; x++ {
+		if x != refBus-1 {
+			cols = append(cols, x)
+		}
+	}
+	return &Estimator{ms: ms, refBus: refBus, cols: cols}, nil
+}
+
+// reducedH stacks the selected measurement rows with the reference
+// column removed. selected holds 0-based measurement indices.
+func (e *Estimator) reducedH(selected []int) *matrix.Matrix {
+	h := matrix.New(len(selected), len(e.cols))
+	for i, z := range selected {
+		row := e.ms.Msrs[z].Row
+		for j, c := range e.cols {
+			h.Set(i, j, row[c])
+		}
+	}
+	return h
+}
+
+// Observable reports whether the selected measurements (0-based indices)
+// numerically observe the system: the reduced Jacobian has full column
+// rank n-1.
+func (e *Estimator) Observable(selected []int) bool {
+	if len(selected) < len(e.cols) {
+		return false
+	}
+	return e.reducedH(selected).Rank() == len(e.cols)
+}
+
+// Result is the outcome of one estimation.
+type Result struct {
+	// Angles are the estimated bus angles (radians), full-length with
+	// the reference bus fixed at 0.
+	Angles []float64
+	// Residuals are z - H·x̂ for the selected measurements, in their
+	// given order.
+	Residuals []float64
+	// ChiSquare is the weighted residual sum Σ (r_i/σ_i)².
+	ChiSquare float64
+	// NormalizedResiduals are r_i / sqrt(Ω_ii), the statistic the
+	// largest-normalized-residual test thresholds.
+	NormalizedResiduals []float64
+}
+
+// Estimate solves the WLS problem for the selected measurements
+// (0-based indices) with per-measurement standard deviations sigma
+// (nil = unit). It returns ErrUnobservable when the selection cannot
+// determine the state.
+func (e *Estimator) Estimate(z []float64, sigma []float64, selected []int) (*Result, error) {
+	m := len(selected)
+	if len(z) != m {
+		return nil, fmt.Errorf("%w: %d observations for %d selected measurements", ErrBadInput, len(z), m)
+	}
+	if sigma != nil && len(sigma) != m {
+		return nil, fmt.Errorf("%w: %d sigmas for %d measurements", ErrBadInput, len(sigma), m)
+	}
+	if !e.Observable(selected) {
+		return nil, ErrUnobservable
+	}
+	h := e.reducedH(selected)
+	weights := make([]float64, m)
+	for i := range weights {
+		s := 1.0
+		if sigma != nil {
+			s = sigma[i]
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("%w: non-positive sigma %v", ErrBadInput, s)
+		}
+		weights[i] = 1 / (s * s)
+	}
+	xRed, err := h.SolveLSQ(z, weights)
+	if err != nil {
+		return nil, fmt.Errorf("stateest: %w", err)
+	}
+
+	angles := make([]float64, e.ms.NStates)
+	for j, c := range e.cols {
+		angles[c] = xRed[j]
+	}
+
+	fitted, err := h.MulVec(xRed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Angles: angles, Residuals: make([]float64, m)}
+	for i := range fitted {
+		res.Residuals[i] = z[i] - fitted[i]
+		s := 1.0
+		if sigma != nil {
+			s = sigma[i]
+		}
+		res.ChiSquare += (res.Residuals[i] / s) * (res.Residuals[i] / s)
+	}
+
+	res.NormalizedResiduals, err = e.normalizedResiduals(h, weights, sigma, res.Residuals)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// normalizedResiduals computes r_i / sqrt(Ω_ii) with
+// Ω = R − H·G⁻¹·Hᵀ (R = diag(σ²), G = HᵀWH), the residual covariance
+// used by the largest-normalized-residual test.
+func (e *Estimator) normalizedResiduals(h *matrix.Matrix, weights, sigma, residuals []float64) ([]float64, error) {
+	m := h.Rows()
+	n := h.Cols()
+	g := matrix.New(n, n)
+	for r := 0; r < m; r++ {
+		for i := 0; i < n; i++ {
+			hi := h.At(r, i)
+			if hi == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				g.Set(i, j, g.At(i, j)+weights[r]*hi*h.At(r, j))
+			}
+		}
+	}
+	gInv, err := g.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("stateest: gain matrix: %w", err)
+	}
+	out := make([]float64, m)
+	for r := 0; r < m; r++ {
+		// (H G⁻¹ Hᵀ)_rr
+		hgh := 0.0
+		for i := 0; i < n; i++ {
+			hi := h.At(r, i)
+			if hi == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				hgh += hi * gInv.At(i, j) * h.At(r, j)
+			}
+		}
+		s := 1.0
+		if sigma != nil {
+			s = sigma[r]
+		}
+		omega := s*s - hgh
+		if omega < 1e-12 {
+			// Critical measurement: its residual is structurally zero
+			// and bad data on it is undetectable — exactly the situation
+			// r-bad-data detectability excludes.
+			out[r] = 0
+			continue
+		}
+		out[r] = residuals[r] / math.Sqrt(omega)
+	}
+	return out, nil
+}
+
+// DetectBadData runs the classical detection loop: estimate, chi-square
+// test against the threshold, remove the measurement with the largest
+// normalized residual, repeat. It returns the indices (into the original
+// selected slice) of measurements flagged bad. Detection stops when the
+// chi-square statistic passes, when removal would lose observability, or
+// when maxRemovals have been flagged.
+func (e *Estimator) DetectBadData(z, sigma []float64, selected []int, chiThreshold float64, maxRemovals int) ([]int, error) {
+	active := make([]int, len(selected))
+	for i := range active {
+		active[i] = i
+	}
+	var flagged []int
+	for len(flagged) < maxRemovals || maxRemovals <= 0 {
+		sel := make([]int, len(active))
+		zz := make([]float64, len(active))
+		var ss []float64
+		if sigma != nil {
+			ss = make([]float64, len(active))
+		}
+		for i, idx := range active {
+			sel[i] = selected[idx]
+			zz[i] = z[idx]
+			if sigma != nil {
+				ss[i] = sigma[idx]
+			}
+		}
+		res, err := e.Estimate(zz, ss, sel)
+		if err != nil {
+			if errors.Is(err, ErrUnobservable) {
+				// Cannot keep removing without losing the estimate.
+				return flagged, nil
+			}
+			return nil, err
+		}
+		if res.ChiSquare <= chiThreshold {
+			return flagged, nil
+		}
+		// Flag the largest normalized residual.
+		worst, worstVal := -1, 0.0
+		for i, nr := range res.NormalizedResiduals {
+			if v := math.Abs(nr); v > worstVal {
+				worst, worstVal = i, v
+			}
+		}
+		if worst < 0 {
+			// All residuals structurally zero: bad data is undetectable.
+			return flagged, nil
+		}
+		flagged = append(flagged, active[worst])
+		active = append(active[:worst], active[worst+1:]...)
+		if len(active) == 0 {
+			return flagged, nil
+		}
+	}
+	return flagged, nil
+}
+
+// Measure synthesizes measurement values for the given true angles with
+// Gaussian noise of standard deviation noiseStd (selected are 0-based
+// measurement indices; rng may be nil for noiseless output).
+func (e *Estimator) Measure(trueAngles []float64, selected []int, noiseStd float64, rng *rand.Rand) ([]float64, error) {
+	if len(trueAngles) != e.ms.NStates {
+		return nil, fmt.Errorf("%w: %d angles for %d states", ErrBadInput, len(trueAngles), e.ms.NStates)
+	}
+	out := make([]float64, len(selected))
+	for i, zIdx := range selected {
+		row := e.ms.Msrs[zIdx].Row
+		v := 0.0
+		for x, hx := range row {
+			v += hx * (trueAngles[x] - trueAngles[e.refBus-1])
+		}
+		if rng != nil && noiseStd > 0 {
+			v += rng.NormFloat64() * noiseStd
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package stateest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scadaver/internal/powergrid"
+)
+
+func setupCase5(t *testing.T) (*powergrid.MeasurementSet, *Estimator) {
+	t.Helper()
+	ms := powergrid.FullMeasurementSet(powergrid.Case5())
+	e, err := New(ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, e
+}
+
+func allIdx(ms *powergrid.MeasurementSet) []int {
+	out := make([]int, ms.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	ms := powergrid.FullMeasurementSet(powergrid.Case5())
+	if _, err := New(ms, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("ref 0: %v", err)
+	}
+	if _, err := New(ms, 6); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("ref 6: %v", err)
+	}
+}
+
+func TestObservable(t *testing.T) {
+	ms, e := setupCase5(t)
+	if !e.Observable(allIdx(ms)) {
+		t.Fatal("full set must be observable")
+	}
+	// A single flow measurement cannot observe 4 reduced states.
+	if e.Observable([]int{0}) {
+		t.Fatal("one measurement cannot observe")
+	}
+	// Injection at bus 2 (touches everything) plus flows along a
+	// spanning structure observes; flows on one line only do not.
+	if e.Observable([]int{0, 1}) { // fwd+bwd on same line
+		t.Fatal("redundant pair cannot observe")
+	}
+}
+
+func TestEstimateRecoversTruth(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	sel := allIdx(ms)
+	z, err := e.Measure(truth, sel, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate(z, nil, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range truth {
+		want := truth[x] - truth[0]
+		if math.Abs(res.Angles[x]-want) > 1e-9 {
+			t.Fatalf("angle %d = %v, want %v", x, res.Angles[x], want)
+		}
+	}
+	if res.ChiSquare > 1e-12 {
+		t.Fatalf("noiseless chi-square = %v", res.ChiSquare)
+	}
+}
+
+func TestEstimateWithNoise(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	sel := allIdx(ms)
+	rng := rand.New(rand.NewSource(2))
+	sigma := make([]float64, len(sel))
+	for i := range sigma {
+		sigma[i] = 0.01
+	}
+	z, err := e.Measure(truth, sel, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Estimate(z, sigma, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range truth {
+		if math.Abs(res.Angles[x]-truth[x]) > 0.01 {
+			t.Fatalf("angle %d = %v, want ≈%v", x, res.Angles[x], truth[x])
+		}
+	}
+	// Chi-square should be around m - (n-1) = 19-4 = 15, certainly below
+	// a generous 40 threshold.
+	if res.ChiSquare > 40 {
+		t.Fatalf("chi-square = %v for clean noise", res.ChiSquare)
+	}
+}
+
+func TestEstimateUnobservable(t *testing.T) {
+	_, e := setupCase5(t)
+	if _, err := e.Estimate([]float64{1}, nil, []int{0}); !errors.Is(err, ErrUnobservable) {
+		t.Fatalf("want ErrUnobservable, got %v", err)
+	}
+}
+
+func TestEstimateInputErrors(t *testing.T) {
+	ms, e := setupCase5(t)
+	sel := allIdx(ms)
+	if _, err := e.Estimate([]float64{1, 2}, nil, sel); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput, got %v", err)
+	}
+	z := make([]float64, len(sel))
+	if _, err := e.Estimate(z, []float64{1}, sel); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("sigma mismatch: %v", err)
+	}
+	bad := make([]float64, len(sel))
+	if _, err := e.Estimate(z, bad, sel); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero sigma: %v", err)
+	}
+	if _, err := e.Measure([]float64{0, 0}, sel, 0, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad angles: %v", err)
+	}
+}
+
+func TestChiSquareFlagsInjectedBadData(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	sel := allIdx(ms)
+	sigma := make([]float64, len(sel))
+	for i := range sigma {
+		sigma[i] = 0.01
+	}
+	z, err := e.Measure(truth, sel, 0.005, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := e.Estimate(z, sigma, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject gross error into measurement 8 (injection at bus 2).
+	z[7] += 5.0
+	dirty, err := e.Estimate(z, sigma, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.ChiSquare < 10*clean.ChiSquare {
+		t.Fatalf("chi-square barely moved: %v -> %v", clean.ChiSquare, dirty.ChiSquare)
+	}
+}
+
+func TestDetectBadDataFlagsTheCulprit(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	sel := allIdx(ms)
+	sigma := make([]float64, len(sel))
+	for i := range sigma {
+		sigma[i] = 0.01
+	}
+	z, err := e.Measure(truth, sel, 0.005, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z[4] += 3.0 // corrupt measurement index 4 (flow 1→2)
+	flagged, err := e.DetectBadData(z, sigma, sel, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) == 0 {
+		t.Fatal("bad data not detected")
+	}
+	if flagged[0] != 4 {
+		t.Fatalf("flagged %v, want measurement 4 first", flagged)
+	}
+	// After removal the remaining set passes: only one flag.
+	if len(flagged) != 1 {
+		t.Fatalf("flagged %v, want exactly one", flagged)
+	}
+}
+
+func TestDetectBadDataCleanPasses(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	sel := allIdx(ms)
+	sigma := make([]float64, len(sel))
+	for i := range sigma {
+		sigma[i] = 0.01
+	}
+	z, err := e.Measure(truth, sel, 0.005, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged, err := e.DetectBadData(z, sigma, sel, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) != 0 {
+		t.Fatalf("clean data flagged: %v", flagged)
+	}
+}
+
+// TestCriticalMeasurementUndetectable demonstrates the property the
+// paper's r-bad-data detectability captures: with a minimal (just
+// observable) measurement set, residuals are structurally zero and bad
+// data cannot be detected.
+func TestCriticalMeasurementUndetectable(t *testing.T) {
+	ms, e := setupCase5(t)
+	truth := []float64{0, -0.05, -0.12, -0.10, -0.08}
+	// Spanning-tree flows: lines 1-2, 2-3, 2-4, 4-5 (forward indices).
+	var sel []int
+	want := map[[2]int]bool{{1, 2}: true, {2, 3}: true, {2, 4}: true, {4, 5}: true}
+	for i, m := range ms.Msrs {
+		if m.Kind == powergrid.FlowForward && want[[2]int{m.From, m.To}] {
+			sel = append(sel, i)
+		}
+	}
+	if len(sel) != 4 {
+		t.Fatalf("selected %d measurements, want 4", len(sel))
+	}
+	if !e.Observable(sel) {
+		t.Fatal("spanning flows must observe")
+	}
+	z, err := e.Measure(truth, sel, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z[2] += 10 // gross corruption
+	res, err := e.Estimate(z, nil, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With m = n-1 the fit is exact: residuals are all ~0 and the
+	// corruption is silently absorbed into the state estimate.
+	if res.ChiSquare > 1e-9 {
+		t.Fatalf("chi-square = %v, expected structural zero", res.ChiSquare)
+	}
+	flagged, err := e.DetectBadData(z, nil, sel, 1e-6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) != 0 {
+		t.Fatalf("critical bad data should be undetectable, flagged %v", flagged)
+	}
+}
+
+func TestMeasureShiftInvariance(t *testing.T) {
+	ms, e := setupCase5(t)
+	sel := allIdx(ms)
+	a, err := e.Measure([]float64{0, 1, 2, 3, 4}, sel, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Measure([]float64{10, 11, 12, 13, 14}, sel, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("measurement %d not shift invariant: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

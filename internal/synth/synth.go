@@ -1,0 +1,248 @@
+// Package synth generates synthetic SCADA systems over bus systems,
+// following the paper's evaluation methodology (Section V-A): on average
+// one IED per two power-flow measurements and one IED per consumption
+// (injection) measurement; RTU counts proportional to the bus count; and
+// communication paths from IEDs to the MTU shaped by a hierarchy-level
+// parameter giving the average number of intermediate RTUs.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+)
+
+// Params configures one synthetic SCADA system.
+type Params struct {
+	// Bus is the underlying bus system (required).
+	Bus *powergrid.BusSystem
+
+	// MeasurementPercent selects how much of the maximum measurement set
+	// (2L+N) is deployed, as in the paper's Fig. 7(a). Default 100.
+	MeasurementPercent float64
+
+	// Hierarchy is the average number of intermediate RTUs on an
+	// IED→MTU path (the paper's hierarchy level, Figs. 6 and 7(b)).
+	// Default 1: IED → RTU → MTU.
+	Hierarchy int
+
+	// SecureFraction is the probability that an IED uplink carries an
+	// authenticating and integrity-protecting profile. Default 0.8.
+	SecureFraction float64
+
+	// RTUsPerIEDs controls RTU count: one RTU per this many IEDs
+	// (minimum 2 RTUs). Default 3, which matches the paper's ~400
+	// devices for the 118-bus system.
+	RTUsPerIEDs int
+
+	// CrossLinkProb adds redundant RTU-RTU links with this probability
+	// per RTU (more connectivity at higher hierarchy, as the paper
+	// observes). Default 0.25.
+	CrossLinkProb float64
+
+	// Seed drives all randomness; equal parameters give equal systems.
+	Seed int64
+
+	// Resiliency specification copied into the generated config.
+	K1, K2, R int
+}
+
+func (p *Params) withDefaults() Params {
+	out := *p
+	if out.MeasurementPercent == 0 {
+		out.MeasurementPercent = 100
+	}
+	if out.Hierarchy <= 0 {
+		out.Hierarchy = 1
+	}
+	if out.SecureFraction == 0 {
+		out.SecureFraction = 0.8
+	}
+	if out.RTUsPerIEDs <= 0 {
+		out.RTUsPerIEDs = 3
+	}
+	if out.CrossLinkProb == 0 {
+		out.CrossLinkProb = 0.25
+	}
+	return out
+}
+
+// ErrNilBus is returned when Params.Bus is missing.
+var ErrNilBus = errors.New("synth: Params.Bus is required")
+
+// Generate builds a synthetic SCADA configuration.
+func Generate(p Params) (*scadanet.Config, error) {
+	if p.Bus == nil {
+		return nil, ErrNilBus
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	full := powergrid.FullMeasurementSet(p.Bus)
+	msrs := full.Sample(p.MeasurementPercent, rng)
+
+	// Partition measurements among IEDs: flows in pairs, injections
+	// singly (Section V-A).
+	var flowIdx, injIdx []int
+	for i, m := range msrs.Msrs {
+		if m.Kind == powergrid.Injection {
+			injIdx = append(injIdx, i)
+		} else {
+			flowIdx = append(flowIdx, i)
+		}
+	}
+	var assignments [][]int // per IED: 1-based measurement IDs
+	for i := 0; i < len(flowIdx); i += 2 {
+		ids := []int{msrs.Msrs[flowIdx[i]].ID}
+		if i+1 < len(flowIdx) {
+			ids = append(ids, msrs.Msrs[flowIdx[i+1]].ID)
+		}
+		assignments = append(assignments, ids)
+	}
+	for _, i := range injIdx {
+		assignments = append(assignments, []int{msrs.Msrs[i].ID})
+	}
+	nIED := len(assignments)
+	if nIED == 0 {
+		return nil, fmt.Errorf("synth: no measurements to assign (percent=%v)", p.MeasurementPercent)
+	}
+
+	nRTU := nIED / p.RTUsPerIEDs
+	if nRTU < 2 {
+		nRTU = 2
+	}
+
+	net := scadanet.NewNetwork()
+	// Device IDs: IEDs 1..nIED, RTUs nIED+1..nIED+nRTU, MTU last.
+	for i := 1; i <= nIED; i++ {
+		if _, err := net.AddDevice(scadanet.Device{ID: scadanet.DeviceID(i), Kind: scadanet.IED}); err != nil {
+			return nil, err
+		}
+	}
+	rtuID := func(i int) scadanet.DeviceID { return scadanet.DeviceID(nIED + 1 + i) }
+	for i := 0; i < nRTU; i++ {
+		if _, err := net.AddDevice(scadanet.Device{ID: rtuID(i), Kind: scadanet.RTU}); err != nil {
+			return nil, err
+		}
+	}
+	mtu := scadanet.DeviceID(nIED + nRTU + 1)
+	if _, err := net.AddDevice(scadanet.Device{ID: mtu, Kind: scadanet.MTU}); err != nil {
+		return nil, err
+	}
+
+	// Arrange RTUs into `Hierarchy` levels: level 0 uplinks to the MTU,
+	// level j to a random RTU at level j-1. Levels are sized as evenly
+	// as the RTU count permits.
+	levels := p.Hierarchy
+	if levels > nRTU {
+		levels = nRTU
+	}
+	levelOf := make([]int, nRTU)
+	for i := range levelOf {
+		levelOf[i] = i % levels
+	}
+	byLevel := make([][]int, levels)
+	for i, lv := range levelOf {
+		byLevel[lv] = append(byLevel[lv], i)
+	}
+	backbone := rsaProfile(rng)
+	for _, i := range byLevel[0] {
+		if _, err := net.AddLink(rtuID(i), mtu, backbone...); err != nil {
+			return nil, err
+		}
+	}
+	for lv := 1; lv < levels; lv++ {
+		for _, i := range byLevel[lv] {
+			parent := byLevel[lv-1][rng.Intn(len(byLevel[lv-1]))]
+			if _, err := net.AddLink(rtuID(i), rtuID(parent), rsaProfile(rng)...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Redundant cross links among RTUs (same or adjacent levels).
+	for i := 0; i < nRTU; i++ {
+		if rng.Float64() >= p.CrossLinkProb {
+			continue
+		}
+		j := rng.Intn(nRTU)
+		if j == i || net.LinkBetween(rtuID(i), rtuID(j)) != nil {
+			continue
+		}
+		if abs(levelOf[i]-levelOf[j]) > 1 {
+			continue
+		}
+		if _, err := net.AddLink(rtuID(i), rtuID(j), rsaProfile(rng)...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Attach each IED to a random deepest-level RTU so that the average
+	// intermediate-RTU count matches the hierarchy parameter; assign its
+	// measurements and uplink security profile.
+	deepest := byLevel[levels-1]
+	for i, ids := range assignments {
+		ied := scadanet.DeviceID(i + 1)
+		r := deepest[rng.Intn(len(deepest))]
+		profile := iedProfile(rng, p.SecureFraction)
+		if _, err := net.AddLink(ied, rtuID(r), profile...); err != nil {
+			return nil, err
+		}
+		if err := net.AssignMeasurements(ied, ids...); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg := &scadanet.Config{Msrs: msrs, Net: net, K1: p.K1, K2: p.K2, R: p.R}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated config invalid: %w", err)
+	}
+	return cfg, nil
+}
+
+// rsaProfile returns an RTU/MTU backbone profile (always authenticated
+// and integrity protected; key size varies).
+func rsaProfile(rng *rand.Rand) []secpolicy.Profile {
+	bits := 2048
+	if rng.Intn(2) == 0 {
+		bits = 4096
+	}
+	return []secpolicy.Profile{
+		{Algo: secpolicy.RSA, KeyBits: bits},
+		{Algo: secpolicy.AES, KeyBits: 256},
+	}
+}
+
+// iedProfile draws an IED uplink profile: with probability secureFrac a
+// CHAP+SHA2 profile (authenticated, integrity protected), otherwise a
+// weak alternative (hmac-only, broken DES, or nothing).
+func iedProfile(rng *rand.Rand, secureFrac float64) []secpolicy.Profile {
+	if rng.Float64() < secureFrac {
+		bits := 128
+		if rng.Intn(2) == 0 {
+			bits = 256
+		}
+		return []secpolicy.Profile{
+			{Algo: secpolicy.CHAP, KeyBits: 64},
+			{Algo: secpolicy.SHA2, KeyBits: bits},
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return []secpolicy.Profile{{Algo: secpolicy.HMAC, KeyBits: 128}}
+	case 1:
+		return []secpolicy.Profile{{Algo: secpolicy.DES, KeyBits: 56}}
+	default:
+		return nil
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,176 @@
+// Package scadaver is a formal security and resiliency verifier for
+// SCADA systems in smart grids, reproducing "Formal Analysis for
+// Dependable Supervisory Control and Data Acquisition in Smart Grids"
+// (DSN 2016).
+//
+// The verifier takes a SCADA configuration — the power-system
+// measurement Jacobian, the communication topology of IEDs, RTUs,
+// routers and the MTU, per-link protocol and cryptographic profiles —
+// plus a resiliency specification, encodes the analysis as a
+// constraint-satisfaction problem, and decides it with the built-in
+// CDCL SAT engine: a satisfiable query yields a threat vector (a set of
+// device failures that breaks the property), an unsatisfiable one
+// certifies the specification. Three properties are supported:
+// k-resilient observability, k-resilient secured observability, and
+// (k,r)-resilient bad-data detectability.
+//
+// This package is the public facade; it re-exports the library's
+// primary API from the internal packages. Typical use:
+//
+//	cfg, err := scadaver.ParseConfigFile("system.scada")
+//	analyzer, err := scadaver.NewAnalyzer(cfg)
+//	res, err := analyzer.Verify(scadaver.Query{
+//		Property: scadaver.Observability, K1: 1, K2: 1,
+//	})
+//	if !res.Resilient() {
+//		fmt.Println("threat vector:", res.Vector)
+//	}
+package scadaver
+
+import (
+	"io"
+	"os"
+
+	"scadaver/internal/core"
+	"scadaver/internal/hardening"
+	"scadaver/internal/lint"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/secpolicy"
+	"scadaver/internal/synth"
+)
+
+// Core verification API.
+type (
+	// Analyzer verifies resiliency specifications of one configuration.
+	Analyzer = core.Analyzer
+	// Query selects a property and a failure budget.
+	Query = core.Query
+	// Result is one verification outcome.
+	Result = core.Result
+	// ThreatVector is a violating set of device failures.
+	ThreatVector = core.ThreatVector
+	// Property selects the verified dependability property.
+	Property = core.Property
+	// Option configures an Analyzer.
+	Option = core.Option
+)
+
+// The verified properties.
+const (
+	Observability        = core.Observability
+	SecuredObservability = core.SecuredObservability
+	BadDataDetectability = core.BadDataDetectability
+)
+
+// Configuration model.
+type (
+	// Config is a complete verifier input.
+	Config = scadanet.Config
+	// Network is the SCADA communication topology.
+	Network = scadanet.Network
+	// Device is one SCADA device.
+	Device = scadanet.Device
+	// DeviceID identifies a device.
+	DeviceID = scadanet.DeviceID
+	// Link is a communication link.
+	Link = scadanet.Link
+	// BusSystem is a transmission network.
+	BusSystem = powergrid.BusSystem
+	// MeasurementSet is the measurement model over a bus system.
+	MeasurementSet = powergrid.MeasurementSet
+	// SecurityPolicy judges cryptographic profiles.
+	SecurityPolicy = secpolicy.Policy
+	// SynthParams configures synthetic system generation.
+	SynthParams = synth.Params
+)
+
+// Device kinds.
+const (
+	IED    = scadanet.IED
+	RTU    = scadanet.RTU
+	MTU    = scadanet.MTU
+	Router = scadanet.Router
+)
+
+// NewAnalyzer builds an analyzer over a validated configuration.
+func NewAnalyzer(cfg *Config, opts ...Option) (*Analyzer, error) {
+	return core.NewAnalyzer(cfg, opts...)
+}
+
+// WithPolicy overrides the default security policy.
+func WithPolicy(p *SecurityPolicy) Option { return core.WithPolicy(p) }
+
+// DefaultPolicy returns the paper's Section III-D security policy.
+func DefaultPolicy() *SecurityPolicy { return secpolicy.Default() }
+
+// NewNetwork returns an empty SCADA network.
+func NewNetwork() *Network { return scadanet.NewNetwork() }
+
+// ParseConfig reads a configuration in the .scada text format.
+func ParseConfig(r io.Reader) (*Config, error) { return scadanet.ParseConfig(r) }
+
+// ParseConfigFile reads a .scada configuration from a file.
+func ParseConfigFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scadanet.ParseConfig(f)
+}
+
+// WriteConfig serializes a configuration in the .scada text format.
+func WriteConfig(w io.Writer, cfg *Config) error { return scadanet.WriteConfig(w, cfg) }
+
+// CaseStudyConfig builds the paper's Section IV 5-bus case study; fig4
+// selects the rewired topology variant.
+func CaseStudyConfig(fig4 bool) (*Config, error) { return scadanet.CaseStudyConfig(fig4) }
+
+// BusSystemByName returns an embedded test system: "ieee14", "ieee30",
+// "ieee57", "ieee118", or "case5".
+func BusSystemByName(name string) (*BusSystem, error) { return powergrid.ByName(name) }
+
+// FullMeasurementSet builds the maximum measurement set of a bus system.
+func FullMeasurementSet(sys *BusSystem) *MeasurementSet {
+	return powergrid.FullMeasurementSet(sys)
+}
+
+// GenerateSCADA builds a synthetic SCADA configuration per the paper's
+// evaluation methodology.
+func GenerateSCADA(p SynthParams) (*Config, error) { return synth.Generate(p) }
+
+// Hardening synthesis (the paper's future-work direction).
+type (
+	// HardeningPlan is a synthesized remediation sequence.
+	HardeningPlan = hardening.Plan
+	// HardeningAction is one remediation step.
+	HardeningAction = hardening.Action
+	// HardeningOptions tunes the planner.
+	HardeningOptions = hardening.Options
+)
+
+// Harden synthesizes configuration changes (security-profile upgrades,
+// redundant links) that make cfg satisfy the query. The input is not
+// modified; the hardened copy is in the returned plan.
+func Harden(cfg *Config, q Query, opt HardeningOptions) (*HardeningPlan, error) {
+	return hardening.Synthesize(cfg, q, opt)
+}
+
+// Misconfiguration linting.
+type (
+	// LintReport is the result of a configuration lint.
+	LintReport = lint.Report
+	// LintFinding is one diagnostic.
+	LintFinding = lint.Finding
+)
+
+// Lint statically checks a configuration for the misconfiguration
+// classes the paper identifies (protocol/crypto inconsistencies,
+// unreachable devices, missing redundancy). nil policy uses the default.
+func Lint(cfg *Config, policy *SecurityPolicy) *LintReport {
+	return lint.Check(cfg, policy)
+}
+
+// Failures is a concrete contingency for direct evaluation.
+type Failures = core.Failures

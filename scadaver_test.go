@@ -1,0 +1,128 @@
+package scadaver_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scadaver"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg, err := scadaver.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer, err := scadaver.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyzer.Verify(scadaver.Query{Property: scadaver.Observability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatalf("case study must be (1,1)-resilient observable: %v", res)
+	}
+	res, err = analyzer.Verify(scadaver.Query{Property: scadaver.SecuredObservability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilient() {
+		t.Fatal("case study must violate secured (1,1)")
+	}
+}
+
+func TestFacadeConfigRoundTrip(t *testing.T) {
+	cfg, err := scadaver.CaseStudyConfig(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scadaver.WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := scadaver.ParseConfig(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Msrs.Len() != cfg.Msrs.Len() {
+		t.Fatal("round trip changed the measurement model")
+	}
+}
+
+func TestFacadeParseConfigFile(t *testing.T) {
+	cfg, err := scadaver.ParseConfigFile("testdata/case5bus.scada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Msrs.NStates != 5 {
+		t.Fatalf("states = %d", cfg.Msrs.NStates)
+	}
+	if _, err := scadaver.ParseConfigFile("testdata/never-exists.scada"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestFacadeSynthAndPolicy(t *testing.T) {
+	sys, err := scadaver.BusSystemByName("ieee14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := scadaver.FullMeasurementSet(sys); ms.Len() != 54 {
+		t.Fatalf("measurement set = %d", ms.Len())
+	}
+	cfg, err := scadaver.GenerateSCADA(scadaver.SynthParams{Bus: sys, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer, err := scadaver.NewAnalyzer(cfg, scadaver.WithPolicy(scadaver.DefaultPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analyzer.Verify(scadaver.Query{Property: scadaver.Observability, Combined: true, K: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeHarden(t *testing.T) {
+	cfg, err := scadaver.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := scadaver.Query{Property: scadaver.SecuredObservability, K1: 1, K2: 1}
+	plan, err := scadaver.Harden(cfg, q, scadaver.HardeningOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Achieved {
+		t.Fatalf("plan: %v", plan)
+	}
+	hardened, err := scadaver.NewAnalyzer(plan.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hardened.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resilient() {
+		t.Fatal("hardened config does not verify")
+	}
+}
+
+func TestFacadeBuildNetwork(t *testing.T) {
+	net := scadaver.NewNetwork()
+	if _, err := net.AddDevice(scadaver.Device{ID: 1, Kind: scadaver.IED}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddDevice(scadaver.Device{ID: 2, Kind: scadaver.MTU}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
