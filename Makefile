@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race lint bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Lint the checked-in case-study configuration with the repository's own
+# misconfiguration analyzer (internal/lint via scada-analyzer -lint).
+# Exits non-zero if the linter reports errors (warnings are expected:
+# the paper's Table II input deliberately contains weak profiles).
+lint:
+	$(GO) run ./cmd/scada-analyzer -lint -config testdata/case5bus.scada
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The pre-merge gate: static checks, full build, race-enabled tests,
+# and the config lint.
+verify: vet build race lint

@@ -10,6 +10,7 @@ package scadaver_test
 // time the core verification queries each figure is built from.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -217,6 +218,57 @@ func BenchmarkFig7bThreatSpace(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelSweep57 measures the worker-pool speedup on the
+// repository's reference campaign: the IEEE 57-bus k-sweep
+// (cmd/scada-bench -fig sweep), identical queries at every pool size.
+// The measured speedups are recorded in EXPERIMENTS.md.
+func BenchmarkParallelSweep57(b *testing.B) {
+	cfg := mustSynth(b, synth.Params{Bus: powergrid.IEEE57(), Seed: 1000*57 + 7, Hierarchy: 2, SecureFraction: 0.9})
+	queries := experiments.SweepQueries(6)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			r := scadaver.NewRunner(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := r.VerifyAll(context.Background(), cfg, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepVsFresh ablates the encoding-reuse path: one
+// incrementally reused solver across a k-sweep versus a fresh encoding
+// per budget.
+func BenchmarkSweepVsFresh(b *testing.B) {
+	cfg := mustSynth(b, synth.Params{Bus: powergrid.IEEE57(), Seed: 3, Hierarchy: 2, SecureFraction: 0.9})
+	const maxK = 6
+	b.Run("reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := mustAnalyzer(b, cfg)
+			sw, err := a.NewSweep(scadaver.Observability, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k <= maxK; k++ {
+				if _, err := sw.VerifyK(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := mustAnalyzer(b, cfg)
+			for k := 0; k <= maxK; k++ {
+				if _, err := a.Verify(scadaver.Query{Property: scadaver.Observability, Combined: true, K: k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkAblationSATvsBruteForce compares the paper's

@@ -7,9 +7,18 @@
 //
 //	scada-analyzer -config system.scada [-property observability] \
 //	    [-k1 1 -k2 1] [-k 2] [-r 1] [-enumerate 10] [-max-resiliency]
+//	scada-analyzer -config system.scada -sweep 6 [-workers 4] [-stats]
+//
+// -sweep K verifies the property for every combined budget k = 0..K;
+// with -workers 1 (the default) a single solver is reused across the
+// sweep, rebuilding only the cardinality constraint per budget, while
+// -workers N > 1 fans the budgets out over a pool of independent
+// solvers. -stats prints per-solve SAT statistics (decisions,
+// conflicts, propagations, learned clauses, solve time).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,7 +50,9 @@ func run(args []string, out io.Writer) error {
 		r          = fs.Int("r", -1, "corrupted-measurement budget for baddata (default: from config)")
 		enumerate  = fs.Int("enumerate", 10, "max threat vectors to enumerate when violated (0 = none)")
 		maxRes     = fs.Bool("max-resiliency", false, "also report maximum IED-only and RTU-only resiliency")
-		stats      = fs.Bool("stats", false, "print solver statistics")
+		sweepK     = fs.Int("sweep", -1, "verify every combined budget k = 0..K (overrides -k/-k1/-k2)")
+		workers    = fs.Int("workers", 1, "sweep pool size: 1 = incremental solver reuse, N > 1 = parallel pool, 0 = GOMAXPROCS")
+		stats      = fs.Bool("stats", false, "print per-solve solver statistics")
 		harden     = fs.Bool("harden", false, "when violated, synthesize a remediation plan")
 		hardenOut  = fs.String("harden-out", "", "write the hardened configuration to this file")
 		lintOnly   = fs.Bool("lint", false, "run the misconfiguration linter and exit")
@@ -110,11 +121,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "system: %d states, %d measurements, %d IEDs, %d RTUs, %d links\n",
-		cfg.Msrs.NStates, cfg.Msrs.Len(),
-		len(cfg.Net.DevicesOfKind(scadanet.IED)),
-		len(cfg.Net.DevicesOfKind(scadanet.RTU)),
-		len(cfg.Net.Links()))
+	if !*jsonOut {
+		fmt.Fprintf(out, "system: %d states, %d measurements, %d IEDs, %d RTUs, %d links\n",
+			cfg.Msrs.NStates, cfg.Msrs.Len(),
+			len(cfg.Net.DevicesOfKind(scadanet.IED)),
+			len(cfg.Net.DevicesOfKind(scadanet.RTU)),
+			len(cfg.Net.Links()))
+	}
+
+	if *sweepK >= 0 {
+		return runSweep(out, cfg, analyzer, prop, q.R, *sweepK, *workers, *stats, *jsonOut)
+	}
 
 	res, err := analyzer.Verify(q)
 	if err != nil {
@@ -177,6 +194,51 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "maximum resiliency: %d IED-only failures, %d RTU-only failures\n", mi, mr)
+	}
+	return nil
+}
+
+// runSweep verifies the property under every combined budget k = 0..maxK.
+// With one worker a single solver is reused incrementally across budgets
+// (core.Sweep); with more, the budgets fan out over a core.Runner pool of
+// independent solvers. Both paths report identical verdicts.
+func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop core.Property, r, maxK, workers int, stats, jsonOut bool) error {
+	queries := make([]core.Query, 0, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		queries = append(queries, core.Query{Property: prop, Combined: true, K: k, R: r})
+	}
+
+	var results []*core.Result
+	if workers == 1 {
+		sw, err := analyzer.NewSweep(prop, r, 0)
+		if err != nil {
+			return err
+		}
+		for k := 0; k <= maxK; k++ {
+			res, err := sw.VerifyK(k)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	} else {
+		var err error
+		results, err = core.NewRunner(workers).VerifyAll(context.Background(), cfg, queries)
+		if err != nil {
+			return err
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	for _, res := range results {
+		fmt.Fprintln(out, res)
+		if stats {
+			fmt.Fprintln(out, "  solver:", res.Stats)
+		}
 	}
 	return nil
 }

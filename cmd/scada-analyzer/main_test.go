@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -96,6 +97,59 @@ func TestRunHarden(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "hardening plan: achieved") {
 		t.Fatalf("harden output: %s", sb.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	// The incremental single-solver path and the parallel pool must
+	// print the same verdict lines.
+	var serial, parallel strings.Builder
+	if err := run([]string{"-config", configPath, "-property", "obs", "-sweep", "4", "-stats"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", configPath, "-property", "obs", "-sweep", "4", "-workers", "4", "-stats"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{serial.String(), parallel.String()} {
+		if !strings.Contains(out, "0-resilient observability: HOLDS") ||
+			!strings.Contains(out, "4-resilient observability: VIOLATED") {
+			t.Fatalf("sweep output: %s", out)
+		}
+		if !strings.Contains(out, "solves=1") {
+			t.Fatalf("missing per-solve stats: %s", out)
+		}
+	}
+	verdicts := func(out string) []string {
+		var vs []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "-resilient") {
+				// Strip the trailing wall-time annotation; only the
+				// verdict and vector must agree across pool sizes.
+				if i := strings.LastIndex(line, " ("); i >= 0 {
+					line = line[:i]
+				}
+				vs = append(vs, line)
+			}
+		}
+		return vs
+	}
+	s, p := verdicts(serial.String()), verdicts(parallel.String())
+	if len(s) != 5 || strings.Join(s, "|") != strings.Join(p, "|") {
+		t.Fatalf("verdicts differ:\nserial:   %v\nparallel: %v", s, p)
+	}
+}
+
+func TestRunSweepJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-config", configPath, "-property", "obs", "-sweep", "2", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
 	}
 }
 

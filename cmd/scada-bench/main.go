@@ -1,10 +1,13 @@
 // Command scada-bench regenerates the paper's evaluation artifacts: one
-// subcommand per figure of Section V plus the Section IV case study.
+// subcommand per figure of Section V plus the Section IV case study,
+// and a parallel k-sweep campaign (-fig sweep) for measuring the
+// worker-pool speedup.
 //
 // Usage:
 //
-//	scada-bench -fig 5a [-inputs 3] [-runs 5]
+//	scada-bench -fig 5a [-inputs 3] [-runs 5] [-workers N]
 //	scada-bench -fig all
+//	scada-bench -fig sweep [-bus ieee57] [-maxk 8] [-workers N]
 package main
 
 import (
@@ -27,17 +30,31 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("scada-bench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all")
-		inputs = fs.Int("inputs", 3, "random inputs per point")
-		runs   = fs.Int("runs", 5, "timed runs per input")
+		fig     = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all | sweep")
+		inputs  = fs.Int("inputs", 3, "random inputs per point")
+		runs    = fs.Int("runs", 5, "timed runs per input")
+		workers = fs.Int("workers", 0, "verification worker-pool size (0 = GOMAXPROCS)")
+		bus     = fs.String("bus", "ieee57", "bus system for -fig sweep")
+		maxK    = fs.Int("maxk", 8, "largest failure budget for -fig sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Inputs: *inputs, Runs: *runs}
+	opt := experiments.Options{Inputs: *inputs, Runs: *runs, Workers: *workers}
 
 	want := func(name string) bool { return *fig == name || *fig == "all" }
 	ran := false
+
+	// The sweep is a performance campaign, not a paper figure, so "all"
+	// does not include it.
+	if *fig == "sweep" {
+		sr, err := experiments.KSweep(*bus, *maxK, *workers)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweep(w, sr)
+		return nil
+	}
 
 	if want("case") {
 		ran = true

@@ -28,6 +28,19 @@ func TestRun7a(t *testing.T) {
 	}
 }
 
+func TestRunSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "sweep", "-bus", "ieee14", "-maxk", "2", "-workers", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"k-sweep campaign: ieee14", "4 workers", "campaign wall time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-fig", "9z"}, &sb); err == nil {

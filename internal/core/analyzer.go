@@ -1,11 +1,3 @@
-// Package core implements the paper's contribution: the SCADA Analyzer.
-// It formally models SCADA configurations (device availability, link
-// status, reachability, protocol and crypto pairing), the observability
-// requirement of state estimation, secured delivery, and bad-data
-// detectability, and verifies k- and (k1,k2)-resilient variants of those
-// properties as threat queries: a satisfiable query yields a threat
-// vector (a set of device failures violating the property), an
-// unsatisfiable one certifies the resiliency specification.
 package core
 
 import (
@@ -183,19 +175,32 @@ func WithMaxPaths(n int) Option {
 }
 
 // WithConflictBudget bounds SAT search per query (0 = unlimited); an
-// exhausted budget yields Status Unsolved.
+// exhausted budget yields Status Unsolved. The budget applies to every
+// individual solve: each verification — and each iteration of threat
+// enumeration — gets the full budget.
 func WithConflictBudget(n uint64) Option {
 	return func(a *Analyzer) { a.conflictBudget = n }
 }
 
+// WithInterrupt installs a cancellation hook polled by every solver this
+// analyzer creates. When it returns true the in-flight solve unwinds and
+// the verification reports Status Unsolved. Runner uses this to wire
+// context cancellation into workers.
+func WithInterrupt(f func() bool) Option {
+	return func(a *Analyzer) { a.interrupt = f }
+}
+
 // Analyzer verifies resiliency specifications of one SCADA
 // configuration. It is not safe for concurrent use; create one analyzer
-// per goroutine.
+// per goroutine (see Runner, which enforces exactly that ownership
+// rule). The underlying configuration is only ever read, so any number
+// of analyzers may share one Config concurrently.
 type Analyzer struct {
 	cfg            *scadanet.Config
 	policy         *secpolicy.Policy
 	maxPaths       int
 	conflictBudget uint64
+	interrupt      func() bool
 
 	// Derived, computed once.
 	fieldIEDs []*scadanet.Device
@@ -277,9 +282,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	}
 	start := time.Now()
 	enc := a.encode(q)
-	if a.conflictBudget > 0 {
-		enc.Solver().SetConflictBudget(a.conflictBudget)
-	}
+	a.arm(enc)
 	status := enc.Solve()
 	res := &Result{
 		Query:    q,
@@ -308,10 +311,34 @@ func pairVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Pair_%d", id)
 // link (secured properties only).
 func secVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Sec_%d", id) }
 
+// arm applies the analyzer's per-solve solver settings (conflict budget,
+// cancellation hook) to a freshly built encoder.
+func (a *Analyzer) arm(enc *logic.Encoder) {
+	if a.conflictBudget > 0 {
+		enc.Solver().SetConflictBudget(a.conflictBudget)
+	}
+	if a.interrupt != nil {
+		enc.Solver().SetInterrupt(a.interrupt)
+	}
+}
+
 // encode builds the full SMT-style model of the query: configuration
 // constraints, the delivery/observability definitions, the failure
 // budget, and the negated property as the goal.
 func (a *Analyzer) encode(q Query) *logic.Encoder {
+	enc, delivered := a.encodeStructure(q)
+	enc.Assert(a.budgetFormula(q))
+	enc.Assert(a.violationFormula(q, delivered))
+	return enc
+}
+
+// encodeStructure builds the query-independent part of the model — the
+// configuration constraints and the delivery definitions — and returns
+// the encoder together with the per-measurement delivered terms. Only
+// the property family (plain vs secured) and the link budget of q are
+// consulted; the failure budget and the goal are NOT asserted, which is
+// what lets Sweep reuse one structural encoding across a whole k-sweep.
+func (a *Analyzer) encodeStructure(q Query) (*logic.Encoder, []*logic.Formula) {
 	enc := logic.NewEncoder()
 	secured := q.Property != Observability
 
@@ -373,12 +400,7 @@ func (a *Analyzer) encode(q Query) *logic.Encoder {
 		}
 		delivered[z] = logic.Or(alts...) // False when unassigned
 	}
-
-	budget := a.budgetFormula(q)
-	goal := a.violationFormula(q, delivered)
-	enc.Assert(budget)
-	enc.Assert(goal)
-	return enc
+	return enc, delivered
 }
 
 // deliveryFormula builds AssuredDelivery_I (or SecuredDelivery_I): the

@@ -19,12 +19,14 @@ func (a *Analyzer) EnumerateThreats(q Query, max int) ([]ThreatVector, error) {
 		return nil, err
 	}
 	enc := a.encode(q)
-	if a.conflictBudget > 0 {
-		enc.Solver().SetConflictBudget(a.conflictBudget)
-	}
+	a.arm(enc)
 	var out []ThreatVector
 	seen := map[string]bool{}
 	for max <= 0 || len(out) < max {
+		// Re-arm before every solve so each enumerated vector gets the
+		// full conflict budget rather than sharing one budget across the
+		// whole enumeration (regression: TestEnumerateBudgetPerSolve).
+		a.arm(enc)
 		status := enc.Solve()
 		if status != sat.Sat {
 			break
@@ -67,6 +69,7 @@ func (a *Analyzer) CountThreats(q Query, max int) (int, error) {
 // varyRTUs select the failure class: (true,false) answers "how many IED
 // failures are tolerable with no RTU failures" (the paper's maximum
 // (k,0) form), and vice versa; (true,true) uses the combined budget.
+// The scan reuses one structural encoding across all k (see Sweep).
 func (a *Analyzer) MaxResiliency(p Property, r int, varyIEDs, varyRTUs bool) (int, error) {
 	if !varyIEDs && !varyRTUs {
 		return 0, fmt.Errorf("%w: nothing to vary", ErrBadQuery)
@@ -78,19 +81,22 @@ func (a *Analyzer) MaxResiliency(p Property, r int, varyIEDs, varyRTUs bool) (in
 	if varyRTUs {
 		limit += len(a.fieldRTUs)
 	}
+	sw, err := a.NewSweep(p, r, 0)
+	if err != nil {
+		return 0, err
+	}
 	maxK := -1
 	for k := 0; k <= limit; k++ {
-		q := Query{Property: p, R: r}
+		var res *Result
+		var err error
 		switch {
 		case varyIEDs && varyRTUs:
-			q.Combined = true
-			q.K = k
+			res, err = sw.VerifyK(k)
 		case varyIEDs:
-			q.K1, q.K2 = k, 0
+			res, err = sw.VerifySplit(k, 0)
 		default:
-			q.K1, q.K2 = 0, k
+			res, err = sw.VerifySplit(0, k)
 		}
-		res, err := a.Verify(q)
 		if err != nil {
 			return 0, err
 		}
@@ -105,14 +111,19 @@ func (a *Analyzer) MaxResiliency(p Property, r int, varyIEDs, varyRTUs bool) (in
 // MaxResiliencyCombined computes the maximum combined budget k for
 // which the system is k-resilient for the property, by binary search
 // over k (resiliency is monotone: enlarging the failure budget only adds
-// candidate threat models).
+// candidate threat models). The search reuses one structural encoding
+// across all probed budgets (see Sweep).
 func (a *Analyzer) MaxResiliencyCombined(p Property, r int) (int, error) {
+	sw, err := a.NewSweep(p, r, 0)
+	if err != nil {
+		return 0, err
+	}
 	lo, hi := -1, len(a.fieldIEDs)+len(a.fieldRTUs)
 	// Invariant: resilient at lo (or lo == -1), violated at hi+1
 	// conceptually; search the largest unsat k.
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		res, err := a.Verify(Query{Property: p, Combined: true, K: mid, R: r})
+		res, err := sw.VerifyK(mid)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
+)
+
+// Runner fans independent verification work out across a pool of worker
+// goroutines. The paper's evaluation — per-bus-system, per-property,
+// per-budget queries — is embarrassingly parallel: every query is an
+// independent SAT instance. The runner exploits that while enforcing the
+// solver ownership rule: each worker builds and owns its own Analyzer
+// (and therefore its own encoder and SAT solver); only the read-only
+// Config is shared. Results come back in input order regardless of
+// which worker finished first, so parallel campaigns produce results
+// identical to serial ones.
+//
+// Cancellation is context-based: cancelling the context stops dispatch
+// and interrupts in-flight solves through the solver's cooperative
+// interrupt hook, so even a long unsat proof unwinds within a few
+// hundred search steps.
+type Runner struct {
+	workers int
+	opts    []Option
+}
+
+// NewRunner returns a runner with the given pool size; workers <= 0
+// selects runtime.GOMAXPROCS(0). The options are applied to every
+// analyzer the runner builds (WithConflictBudget, WithPolicy, ...).
+func NewRunner(workers int, opts ...Option) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, opts: opts}
+}
+
+// Workers returns the configured pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// analyzerOptions returns the runner's options plus an interrupt hook
+// polling ctx, for analyzers that must abandon solves on cancellation.
+func (r *Runner) analyzerOptions(ctx context.Context) []Option {
+	done := ctx.Done()
+	hook := WithInterrupt(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+	return append(append([]Option(nil), r.opts...), hook)
+}
+
+// VerifyAll verifies all queries against one shared configuration and
+// returns results indexed like the input. Each worker owns a private
+// Analyzer over cfg, which itself is only ever read.
+//
+// On context cancellation (or the first verification error) the
+// remaining queries are abandoned: the returned slice holds nil at every
+// unfinished index and the error is the context's (respectively the
+// verification error). A nil error guarantees every entry is non-nil.
+func (r *Runner) VerifyAll(ctx context.Context, cfg *scadanet.Config, queries []Query) ([]*Result, error) {
+	results := make([]*Result, len(queries))
+	err := r.RunEach(ctx, len(queries), func(ctx context.Context) (func(i int) error, error) {
+		a, err := NewAnalyzer(cfg, r.analyzerOptions(ctx)...)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) error {
+			res, err := a.Verify(queries[i])
+			if err != nil {
+				return err
+			}
+			if res.Status == sat.Unsolved && ctx.Err() != nil {
+				// The solve was interrupted by cancellation, not decided;
+				// leave the slot nil like every other unfinished query.
+				return nil
+			}
+			results[i] = res
+			return nil
+		}, nil
+	})
+	return results, err
+}
+
+// Run executes task(0) … task(n-1) on the worker pool, at most Workers
+// at a time, and returns the first error (cancelling the rest). Tasks
+// must be independent; they run on arbitrary workers in arbitrary
+// order. Callers needing per-worker state (e.g. a private Analyzer
+// reused across tasks) should use RunEach or VerifyAll.
+func (r *Runner) Run(ctx context.Context, n int, task func(i int) error) error {
+	return r.RunEach(ctx, n, func(context.Context) (func(i int) error, error) {
+		return task, nil
+	})
+}
+
+// RunEach is Run with per-worker setup: newTask runs once on each worker
+// goroutine and returns that worker's task function, closing over any
+// single-goroutine state (an Analyzer, a Sweep, scratch buffers). The
+// context passed to newTask is cancelled as soon as any task errors or
+// the caller's context is done — wire it into WithInterrupt (as
+// VerifyAll does) to make in-flight solves abandonable.
+func (r *Runner) RunEach(ctx context.Context, n int, newTask func(ctx context.Context) (func(i int) error, error)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task, err := newTask(ctx)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for i := range jobs {
+				if err := task(i); err != nil {
+					fail(err)
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

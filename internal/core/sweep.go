@@ -1,0 +1,82 @@
+package core
+
+import (
+	"time"
+
+	"scadaver/internal/logic"
+	"scadaver/internal/sat"
+)
+
+// Sweep verifies a family of queries that differ only in their failure
+// budget over one topology, reusing the structural encoding. The
+// configuration constraints, the delivery definitions and the negated
+// property are encoded once; each VerifyK / VerifySplit call then adds
+// only the cardinality constraint for its budget and solves it as an
+// assumption, so the SAT core keeps its variables, saved phases and
+// learned clauses across the whole sweep instead of rebuilding the CNF
+// from scratch per k. This is the fast path behind MaxResiliency and
+// MaxResiliencyCombined.
+//
+// Result.Stats of a sweep verification is the per-solve delta (via
+// sat.Stats.Sub), so instrumentation stays attributable to individual
+// queries even though the solver is shared across the sweep.
+//
+// A Sweep borrows its Analyzer and is subject to the same ownership
+// rule: one goroutine at a time (see Runner).
+type Sweep struct {
+	a    *Analyzer
+	enc  *logic.Encoder
+	prop Property
+	r    int
+	kl   int
+}
+
+// NewSweep prepares a reusable encoding of the property — with the fixed
+// corrupted-measurement budget r and link budget kl — for repeated
+// verification under varying device-failure budgets.
+func (a *Analyzer) NewSweep(p Property, r, kl int) (*Sweep, error) {
+	probe := Query{Property: p, Combined: true, K: 0, R: r, KL: kl}
+	if err := validateQuery(probe); err != nil {
+		return nil, err
+	}
+	enc, delivered := a.encodeStructure(probe)
+	enc.Assert(a.violationFormula(probe, delivered))
+	return &Sweep{a: a, enc: enc, prop: p, r: r, kl: kl}, nil
+}
+
+// VerifyK verifies the combined-budget query with at most k device
+// failures, reusing the sweep's encoding.
+func (s *Sweep) VerifyK(k int) (*Result, error) {
+	return s.verify(Query{Property: s.prop, Combined: true, K: k, R: s.r, KL: s.kl})
+}
+
+// VerifySplit verifies the split-budget query with at most k1 IED and
+// k2 RTU failures, reusing the sweep's encoding.
+func (s *Sweep) VerifySplit(k1, k2 int) (*Result, error) {
+	return s.verify(Query{Property: s.prop, K1: k1, K2: k2, R: s.r, KL: s.kl})
+}
+
+func (s *Sweep) verify(q Query) (*Result, error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s.a.arm(s.enc)
+	before := s.enc.Solver().Stats()
+	// The budget is passed as an assumption, not asserted: only its
+	// sequential counter is added to the instance, and the next budget
+	// does not have to be compatible with this one.
+	status := s.enc.Solve(s.a.budgetFormula(q))
+	res := &Result{
+		Query:    q,
+		Status:   status,
+		Duration: time.Since(start),
+		Stats:    s.enc.Solver().Stats().Sub(before),
+	}
+	if status == sat.Sat {
+		v := s.a.extractVector(q, s.enc)
+		v = s.a.minimizeVector(q, v)
+		res.Vector = &v
+	}
+	return res, nil
+}

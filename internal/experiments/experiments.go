@@ -3,11 +3,22 @@
 // with problem size (Fig. 5a/5b), the impact of the hierarchy level on
 // execution time (Fig. 6a/6b), maximum resiliency versus measurement
 // density (Fig. 7a), and the threat-space size versus hierarchy
-// (Fig. 7b), plus the Section IV case-study scenarios. It is shared by
-// cmd/scada-bench and the repository's testing.B benchmarks.
+// (Fig. 7b), plus the Section IV case-study scenarios and a parallel
+// k-sweep campaign used to measure the worker-pool speedup. It is
+// shared by cmd/scada-bench and the repository's testing.B benchmarks.
+//
+// The figure campaigns fan their (point, input) grid out over a
+// core.Runner worker pool: every grid cell generates its own synthetic
+// configuration and analyzer (the solver ownership rule), writes only
+// its own result slot, and the per-point averages are folded serially
+// in index order afterwards, so the reported numbers are independent of
+// scheduling. Verdicts and counts are bit-identical to a serial run;
+// wall-clock timings of individual solves are measured per solve and
+// stay meaningful under contention, though noisier.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -24,6 +35,11 @@ import (
 type Options struct {
 	Inputs int // random inputs per point (default 3)
 	Runs   int // timed runs per input (default 5)
+
+	// Workers sizes the worker pool the campaigns fan out on; <= 0
+	// selects runtime.GOMAXPROCS(0). Use 1 to reproduce the paper's
+	// serial methodology with minimal timing noise.
+	Workers int
 
 	// Systems restricts Fig5 to a subset of the bus systems (default:
 	// ieee14, ieee30, ieee57, ieee118).
@@ -53,45 +69,70 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// runGrid evaluates cell(point, input) for every pair on the options'
+// worker pool. Cells are independent: each must write only its own
+// pre-allocated slot. Aggregation belongs after runGrid returns, in
+// index order, so campaign outputs do not depend on scheduling.
+func runGrid(opt Options, points int, cell func(p, i int) error) error {
+	r := core.NewRunner(opt.Workers)
+	return r.Run(context.Background(), points*opt.Inputs, func(idx int) error {
+		return cell(idx/opt.Inputs, idx%opt.Inputs)
+	})
+}
+
 // ScalePoint is one x-position of a timing figure: average execution
-// time of the verification for satisfiable and unsatisfiable
-// specifications at the resiliency boundary.
+// time and solver effort of the verification for satisfiable and
+// unsatisfiable specifications at the resiliency boundary.
 type ScalePoint struct {
-	Label       string  // e.g. "ieee30" or "h=2"
-	Buses       int     // problem size
-	Devices     int     // IEDs + RTUs (averaged over inputs)
-	BoundaryK   float64 // average maximum-resiliency k
-	SatMillis   float64 // avg time of the sat query (k*+1)
-	UnsatMillis float64 // avg time of the unsat query (k*)
+	Label          string  // e.g. "ieee30" or "h=2"
+	Buses          int     // problem size
+	Devices        int     // IEDs + RTUs (averaged over inputs)
+	BoundaryK      float64 // average maximum-resiliency k
+	SatMillis      float64 // avg time of the sat query (k*+1)
+	UnsatMillis    float64 // avg time of the unsat query (k*)
+	SatConflicts   float64 // avg solver conflicts of the sat query
+	UnsatConflicts float64 // avg solver conflicts of the unsat query
 }
 
 // timedVerify runs the query `runs` times and returns the average
-// duration plus the (stable) status.
-func timedVerify(a *core.Analyzer, q core.Query, runs int) (time.Duration, sat.Status, error) {
+// duration plus the (stable) status and per-solve solver statistics.
+// The search is deterministic for a fixed encoding, so the stats of the
+// last run stand for all of them.
+func timedVerify(a *core.Analyzer, q core.Query, runs int) (time.Duration, sat.Status, sat.Stats, error) {
 	var total time.Duration
 	var status sat.Status
+	var stats sat.Stats
 	for i := 0; i < runs; i++ {
 		res, err := a.Verify(q)
 		if err != nil {
-			return 0, sat.Unsolved, err
+			return 0, sat.Unsolved, sat.Stats{}, err
 		}
 		total += res.Duration
 		status = res.Status
+		stats = res.Stats
 	}
-	return total / time.Duration(runs), status, nil
+	return total / time.Duration(runs), status, stats, nil
+}
+
+// boundary is one instance's timed resiliency boundary: the unsat query
+// at k* and the sat query at k*+1, with their per-solve solver stats.
+type boundary struct {
+	k                  int
+	satMs, unsatMs     float64
+	satConf, unsatConf uint64
 }
 
 // boundaryTimes finds the instance's resiliency boundary k* for the
 // property (combined budget) and times the unsat query at k* and the sat
 // query at k*+1 — the paper's sat/unsat series at a meaningful spec.
-func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int) (kStar int, satMs, unsatMs float64, err error) {
+func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int) (boundary, error) {
 	a, err := core.NewAnalyzer(cfg)
 	if err != nil {
-		return 0, 0, 0, err
+		return boundary{}, err
 	}
-	kStar, err = a.MaxResiliencyCombined(prop, cfg.R)
+	kStar, err := a.MaxResiliencyCombined(prop, cfg.R)
 	if err != nil {
-		return 0, 0, 0, err
+		return boundary{}, err
 	}
 	unsatK := kStar
 	if unsatK < 0 {
@@ -100,15 +141,15 @@ func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int) (kStar in
 		// query — time the k=0 sat query on both series.
 		unsatK = 0
 	}
-	du, _, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: unsatK, R: cfg.R}, runs)
+	du, _, su, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: unsatK, R: cfg.R}, runs)
 	if err != nil {
-		return 0, 0, 0, err
+		return boundary{}, err
 	}
-	ds, _, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: kStar + 1, R: cfg.R}, runs)
+	ds, _, ss, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: kStar + 1, R: cfg.R}, runs)
 	if err != nil {
-		return 0, 0, 0, err
+		return boundary{}, err
 	}
-	return kStar, ms(ds), ms(du), nil
+	return boundary{k: kStar, satMs: ms(ds), unsatMs: ms(du), satConf: ss.Conflicts, unsatConf: su.Conflicts}, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -122,40 +163,65 @@ func deviceCount(cfg *scadanet.Config) int {
 // with SecuredObservability.
 func Fig5(prop core.Property, opt Options) ([]ScalePoint, error) {
 	opt = opt.withDefaults()
-	var out []ScalePoint
-	for _, name := range opt.Systems {
+	systems := make([]*powergrid.BusSystem, len(opt.Systems))
+	for i, name := range opt.Systems {
 		sys, err := powergrid.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		pt := ScalePoint{Label: name, Buses: sys.NBuses}
-		for i := 0; i < opt.Inputs; i++ {
-			cfg, err := synth.Generate(synth.Params{
-				Bus:       sys,
-				Seed:      int64(1000*sys.NBuses + i),
-				Hierarchy: 2,
-				// Fully secured uplinks keep the observability and
-				// secured-observability boundaries aligned, so Fig. 5(a)
-				// vs 5(b) isolates the model-size effect of the security
-				// constraints, as in the paper.
-				SecureFraction: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			k, satMs, unsatMs, err := boundaryTimes(cfg, prop, opt.Runs)
-			if err != nil {
-				return nil, err
-			}
-			pt.Devices += deviceCount(cfg)
-			pt.BoundaryK += float64(k)
-			pt.SatMillis += satMs
-			pt.UnsatMillis += unsatMs
+		systems[i] = sys
+	}
+
+	type cell struct {
+		devices int
+		b       boundary
+	}
+	cells := make([]cell, len(systems)*opt.Inputs)
+	err := runGrid(opt, len(systems), func(p, i int) error {
+		sys := systems[p]
+		cfg, err := synth.Generate(synth.Params{
+			Bus:       sys,
+			Seed:      int64(1000*sys.NBuses + i),
+			Hierarchy: 2,
+			// Fully secured uplinks keep the observability and
+			// secured-observability boundaries aligned, so Fig. 5(a)
+			// vs 5(b) isolates the model-size effect of the security
+			// constraints, as in the paper.
+			SecureFraction: 1,
+		})
+		if err != nil {
+			return err
 		}
+		b, err := boundaryTimes(cfg, prop, opt.Runs)
+		if err != nil {
+			return err
+		}
+		cells[p*opt.Inputs+i] = cell{devices: deviceCount(cfg), b: b}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ScalePoint
+	for p, sys := range systems {
+		pt := ScalePoint{Label: opt.Systems[p], Buses: sys.NBuses}
+		for i := 0; i < opt.Inputs; i++ {
+			c := cells[p*opt.Inputs+i]
+			pt.Devices += c.devices
+			pt.BoundaryK += float64(c.b.k)
+			pt.SatMillis += c.b.satMs
+			pt.UnsatMillis += c.b.unsatMs
+			pt.SatConflicts += float64(c.b.satConf)
+			pt.UnsatConflicts += float64(c.b.unsatConf)
+		}
+		n := float64(opt.Inputs)
 		pt.Devices /= opt.Inputs
-		pt.BoundaryK /= float64(opt.Inputs)
-		pt.SatMillis /= float64(opt.Inputs)
-		pt.UnsatMillis /= float64(opt.Inputs)
+		pt.BoundaryK /= n
+		pt.SatMillis /= n
+		pt.UnsatMillis /= n
+		pt.SatConflicts /= n
+		pt.UnsatConflicts /= n
 		out = append(out, pt)
 	}
 	return out, nil
@@ -172,49 +238,79 @@ func Fig6(busName string, prop core.Property, opt Options) ([]ScalePoint, error)
 	if err != nil {
 		return nil, err
 	}
+	budgets := []int{0, 1, 2, 4}
+
+	type probe struct {
+		status    sat.Status
+		millis    float64
+		conflicts uint64
+	}
+	type cell struct {
+		devices int
+		probes  [4]probe
+	}
+	cells := make([]cell, opt.MaxHierarchy*opt.Inputs)
+	err = runGrid(opt, opt.MaxHierarchy, func(p, i int) error {
+		h := p + 1
+		cfg, err := synth.Generate(synth.Params{
+			Bus:            sys,
+			Seed:           int64(100*h + i),
+			Hierarchy:      h,
+			SecureFraction: 0.9,
+		})
+		if err != nil {
+			return err
+		}
+		a, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return err
+		}
+		c := cell{devices: deviceCount(cfg)}
+		for j, k := range budgets {
+			d, status, st, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: k}, opt.Runs)
+			if err != nil {
+				return err
+			}
+			c.probes[j] = probe{status: status, millis: ms(d), conflicts: st.Conflicts}
+		}
+		cells[p*opt.Inputs+i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []ScalePoint
-	for h := 1; h <= opt.MaxHierarchy; h++ {
-		pt := ScalePoint{Label: fmt.Sprintf("h=%d", h), Buses: sys.NBuses}
+	for p := 0; p < opt.MaxHierarchy; p++ {
+		pt := ScalePoint{Label: fmt.Sprintf("h=%d", p+1), Buses: sys.NBuses}
 		satN, unsatN := 0, 0
 		var kSum float64
 		for i := 0; i < opt.Inputs; i++ {
-			cfg, err := synth.Generate(synth.Params{
-				Bus:            sys,
-				Seed:           int64(100*h + i),
-				Hierarchy:      h,
-				SecureFraction: 0.9,
-			})
-			if err != nil {
-				return nil, err
-			}
-			a, err := core.NewAnalyzer(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pt.Devices += deviceCount(cfg)
-			for _, k := range []int{0, 1, 2, 4} {
-				d, status, err := timedVerify(a, core.Query{Property: prop, Combined: true, K: k}, opt.Runs)
-				if err != nil {
-					return nil, err
-				}
-				kSum += float64(k)
-				switch status {
+			c := cells[p*opt.Inputs+i]
+			pt.Devices += c.devices
+			for j, pr := range c.probes {
+				kSum += float64(budgets[j])
+				switch pr.status {
 				case sat.Sat:
-					pt.SatMillis += ms(d)
+					pt.SatMillis += pr.millis
+					pt.SatConflicts += float64(pr.conflicts)
 					satN++
 				case sat.Unsat:
-					pt.UnsatMillis += ms(d)
+					pt.UnsatMillis += pr.millis
+					pt.UnsatConflicts += float64(pr.conflicts)
 					unsatN++
 				}
 			}
 		}
 		pt.Devices /= opt.Inputs
-		pt.BoundaryK = kSum / float64(4*opt.Inputs)
+		pt.BoundaryK = kSum / float64(len(budgets)*opt.Inputs)
 		if satN > 0 {
 			pt.SatMillis /= float64(satN)
+			pt.SatConflicts /= float64(satN)
 		}
 		if unsatN > 0 {
 			pt.UnsatMillis /= float64(unsatN)
+			pt.UnsatConflicts /= float64(unsatN)
 		}
 		out = append(out, pt)
 	}
@@ -234,34 +330,47 @@ type ResiliencyPoint struct {
 func Fig7a(opt Options) ([]ResiliencyPoint, error) {
 	opt = opt.withDefaults()
 	sys := powergrid.IEEE14()
+
+	type cell struct{ mi, mr int }
+	cells := make([]cell, len(opt.Percents)*opt.Inputs)
+	err := runGrid(opt, len(opt.Percents), func(p, i int) error {
+		pct := opt.Percents[p]
+		cfg, err := synth.Generate(synth.Params{
+			Bus:                sys,
+			Seed:               int64(10*pct) + int64(i),
+			Hierarchy:          1,
+			MeasurementPercent: pct,
+			SecureFraction:     1,
+		})
+		if err != nil {
+			return err
+		}
+		a, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return err
+		}
+		mi, err := a.MaxResiliency(core.Observability, 0, true, false)
+		if err != nil {
+			return err
+		}
+		mr, err := a.MaxResiliency(core.Observability, 0, false, true)
+		if err != nil {
+			return err
+		}
+		cells[p*opt.Inputs+i] = cell{mi: mi, mr: mr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []ResiliencyPoint
-	for _, pct := range opt.Percents {
+	for p, pct := range opt.Percents {
 		pt := ResiliencyPoint{Percent: pct}
 		for i := 0; i < opt.Inputs; i++ {
-			cfg, err := synth.Generate(synth.Params{
-				Bus:                sys,
-				Seed:               int64(10*pct) + int64(i),
-				Hierarchy:          1,
-				MeasurementPercent: pct,
-				SecureFraction:     1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			a, err := core.NewAnalyzer(cfg)
-			if err != nil {
-				return nil, err
-			}
-			mi, err := a.MaxResiliency(core.Observability, 0, true, false)
-			if err != nil {
-				return nil, err
-			}
-			mr, err := a.MaxResiliency(core.Observability, 0, false, true)
-			if err != nil {
-				return nil, err
-			}
-			pt.MaxIED += float64(mi)
-			pt.MaxRTU += float64(mr)
+			c := cells[p*opt.Inputs+i]
+			pt.MaxIED += float64(c.mi)
+			pt.MaxRTU += float64(c.mr)
 		}
 		pt.MaxIED /= float64(opt.Inputs)
 		pt.MaxRTU /= float64(opt.Inputs)
@@ -295,29 +404,42 @@ func Fig7b(opt Options) ([]ThreatSpacePoint, error) {
 		{"(2,1)", 2, 1},
 		{"(2,2)", 2, 2},
 	}
+
+	cells := make([][3]int, opt.MaxHierarchy*opt.Inputs)
+	err := runGrid(opt, opt.MaxHierarchy, func(p, i int) error {
+		h := p + 1
+		cfg, err := synth.Generate(synth.Params{
+			Bus:            sys,
+			Seed:           int64(7000 + 10*h + i),
+			Hierarchy:      h,
+			SecureFraction: 1,
+		})
+		if err != nil {
+			return err
+		}
+		a, err := core.NewAnalyzer(cfg)
+		if err != nil {
+			return err
+		}
+		for j, s := range specs {
+			n, err := a.CountThreats(core.Query{Property: core.Observability, K1: s.k1, K2: s.k2}, ThreatEnumerationCap)
+			if err != nil {
+				return err
+			}
+			cells[p*opt.Inputs+i][j] = n
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []ThreatSpacePoint
-	for h := 1; h <= opt.MaxHierarchy; h++ {
-		pt := ThreatSpacePoint{Hierarchy: h, Vectors: map[string]float64{}}
+	for p := 0; p < opt.MaxHierarchy; p++ {
+		pt := ThreatSpacePoint{Hierarchy: p + 1, Vectors: map[string]float64{}}
 		for i := 0; i < opt.Inputs; i++ {
-			cfg, err := synth.Generate(synth.Params{
-				Bus:            sys,
-				Seed:           int64(7000 + 10*h + i),
-				Hierarchy:      h,
-				SecureFraction: 1,
-			})
-			if err != nil {
-				return nil, err
-			}
-			a, err := core.NewAnalyzer(cfg)
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range specs {
-				n, err := a.CountThreats(core.Query{Property: core.Observability, K1: s.k1, K2: s.k2}, ThreatEnumerationCap)
-				if err != nil {
-					return nil, err
-				}
-				pt.Vectors[s.label] += float64(n)
+			for j, s := range specs {
+				pt.Vectors[s.label] += float64(cells[p*opt.Inputs+i][j])
 			}
 		}
 		for k := range pt.Vectors {
@@ -328,13 +450,98 @@ func Fig7b(opt Options) ([]ThreatSpacePoint, error) {
 	return out, nil
 }
 
+// SweepResult is the outcome of the parallel k-sweep campaign: one
+// result, with per-solve solver statistics, for every query of a budget
+// sweep over one synthetic topology, plus the campaign wall time. The
+// campaign is the repository's reference workload for measuring the
+// worker-pool speedup (EXPERIMENTS.md).
+type SweepResult struct {
+	System  string
+	Workers int
+	Queries []core.Query
+	Results []*core.Result
+	Elapsed time.Duration
+}
+
+// SweepQueries builds the k-sweep campaign: every property of the
+// paper under a combined failure budget k = 0..maxK (bad-data
+// detectability with r = 1), plus a split-budget observability series.
+func SweepQueries(maxK int) []core.Query {
+	var qs []core.Query
+	for k := 0; k <= maxK; k++ {
+		qs = append(qs,
+			core.Query{Property: core.Observability, Combined: true, K: k},
+			core.Query{Property: core.SecuredObservability, Combined: true, K: k},
+			core.Query{Property: core.BadDataDetectability, Combined: true, K: k, R: 1},
+			core.Query{Property: core.Observability, K1: k, K2: 1},
+		)
+	}
+	return qs
+}
+
+// KSweep runs the k-sweep campaign (k = 0..maxK) over a synthetic SCADA
+// configuration of the named bus system on a pool of `workers`
+// verification goroutines (<= 0 selects GOMAXPROCS). Verdicts and
+// vectors are identical for every pool size; only Elapsed changes.
+func KSweep(busName string, maxK, workers int) (*SweepResult, error) {
+	sys, err := powergrid.ByName(busName)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := synth.Generate(synth.Params{
+		Bus:            sys,
+		Seed:           int64(1000*sys.NBuses + 7),
+		Hierarchy:      2,
+		SecureFraction: 0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := core.NewRunner(workers)
+	queries := SweepQueries(maxK)
+	start := time.Now()
+	results, err := r.VerifyAll(context.Background(), cfg, queries)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepResult{
+		System:  busName,
+		Workers: r.Workers(),
+		Queries: queries,
+		Results: results,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// PrintSweep renders the per-query instrumentation rows of a k-sweep
+// campaign and its total wall time.
+func PrintSweep(w io.Writer, sr *SweepResult) {
+	fmt.Fprintf(w, "# k-sweep campaign: %s, %d queries, %d workers\n",
+		sr.System, len(sr.Queries), sr.Workers)
+	fmt.Fprintf(w, "%-42s %-6s %10s %10s %10s %12s %10s\n",
+		"query", "status", "time(ms)", "decisions", "conflicts", "propagations", "learned")
+	for i, res := range sr.Results {
+		if res == nil {
+			fmt.Fprintf(w, "%-42s %-6s\n", sr.Queries[i], "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-42s %-6v %10.2f %10d %10d %12d %10d\n",
+			res.Query, res.Status, ms(res.Duration),
+			res.Stats.Decisions, res.Stats.Conflicts,
+			res.Stats.Propagations, res.Stats.Learned)
+	}
+	fmt.Fprintf(w, "campaign wall time: %.2f ms\n", ms(sr.Elapsed))
+}
+
 // PrintScale renders a Fig. 5/6 series as the paper's table rows.
 func PrintScale(w io.Writer, title string, pts []ScalePoint) {
 	fmt.Fprintf(w, "# %s\n", title)
-	fmt.Fprintf(w, "%-10s %6s %8s %10s %12s %12s\n", "point", "buses", "devices", "boundary-k", "sat(ms)", "unsat(ms)")
+	fmt.Fprintf(w, "%-10s %6s %8s %10s %12s %12s %10s %10s\n",
+		"point", "buses", "devices", "boundary-k", "sat(ms)", "unsat(ms)", "sat-conf", "unsat-conf")
 	for _, p := range pts {
-		fmt.Fprintf(w, "%-10s %6d %8d %10.1f %12.2f %12.2f\n",
-			p.Label, p.Buses, p.Devices, p.BoundaryK, p.SatMillis, p.UnsatMillis)
+		fmt.Fprintf(w, "%-10s %6d %8d %10.1f %12.2f %12.2f %10.1f %10.1f\n",
+			p.Label, p.Buses, p.Devices, p.BoundaryK, p.SatMillis, p.UnsatMillis,
+			p.SatConflicts, p.UnsatConflicts)
 	}
 }
 
@@ -358,7 +565,8 @@ func PrintThreatSpace(w io.Writer, pts []ThreatSpacePoint) {
 }
 
 // CaseStudy runs the Section IV scenarios end to end and prints the
-// paper-comparable outcomes.
+// paper-comparable outcomes. It is deliberately serial: the scenarios
+// are few, cheap, and their narrative output order matters.
 func CaseStudy(w io.Writer) error {
 	for _, fig4 := range []bool{false, true} {
 		topo := "Fig. 3"

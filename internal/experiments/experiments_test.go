@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -119,6 +120,65 @@ func TestFig7b(t *testing.T) {
 	PrintThreatSpace(&sb, pts)
 	if !strings.Contains(sb.String(), "hierarchy") {
 		t.Fatal("PrintThreatSpace output missing header")
+	}
+}
+
+// TestKSweepDeterministicAcrossWorkers pins the campaign contract: the
+// verdicts and threat vectors of a k-sweep are identical whatever the
+// pool size.
+func TestKSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := KSweep("ieee14", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := KSweep("ieee14", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Results) != len(parallel.Results) || len(serial.Results) == 0 {
+		t.Fatalf("result counts: serial %d, parallel %d", len(serial.Results), len(parallel.Results))
+	}
+	for i := range serial.Results {
+		s, p := serial.Results[i], parallel.Results[i]
+		if s == nil || p == nil {
+			t.Fatalf("query %d: nil result (serial=%v parallel=%v)", i, s, p)
+		}
+		if s.Status != p.Status {
+			t.Fatalf("query %v: serial %v, parallel %v", serial.Queries[i], s.Status, p.Status)
+		}
+		if fmt.Sprint(s.Vector) != fmt.Sprint(p.Vector) {
+			t.Fatalf("query %v: vectors differ: %v vs %v", serial.Queries[i], s.Vector, p.Vector)
+		}
+		if p.Stats.Solves == 0 || p.Stats.SolveTime <= 0 {
+			t.Fatalf("query %v: per-solve stats missing: %+v", serial.Queries[i], p.Stats)
+		}
+	}
+	var sb strings.Builder
+	PrintSweep(&sb, parallel)
+	out := sb.String()
+	for _, want := range []string{"k-sweep campaign", "conflicts", "campaign wall time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("PrintSweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigWorkersInvariant checks a parallel figure campaign agrees with
+// the serial one on everything but timings.
+func TestFigWorkersInvariant(t *testing.T) {
+	opt := fastOpt
+	opt.Workers = 1
+	serial, err := Fig7a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	parallel, err := Fig7a(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Fatalf("Fig7a differs across pool sizes:\nserial:   %v\nparallel: %v", serial, parallel)
 	}
 }
 

@@ -1,8 +1,3 @@
-// Package powergrid models the power-system side of the verifier: bus
-// systems (buses and transmission lines with susceptances), the DC
-// measurement model (line power flows and bus injections), and the
-// measurement Jacobian whose sparsity pattern drives the observability
-// analysis (StateSet_Z and UMsrSet_E in the paper's notation).
 package powergrid
 
 import (

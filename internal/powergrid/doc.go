@@ -1,0 +1,20 @@
+// Package powergrid models the power-system side of the verifier: bus
+// systems (buses and transmission lines with susceptances), the DC
+// measurement model (line power flows and bus injections), and the
+// measurement Jacobian whose sparsity pattern drives the observability
+// analysis (StateSet_Z and UMsrSet_E in the paper's notation).
+//
+// The Observability property of the paper reduces to a cover question
+// over this model: state estimation is solvable when the delivered
+// measurements jointly touch every state variable, i.e. when the union
+// of StateSet_Z over delivered measurements z is the full state set.
+// MeasurementSet.StateSets exposes exactly that sparsity structure to
+// package core, which encodes it propositionally; r-BadDataDetectability
+// strengthens the cover so it survives the removal of any r
+// measurements (the redundancy needed to detect r corrupted values,
+// Section III-F).
+//
+// The embedded IEEE 14/30/57/118-bus test systems (ByName) and the
+// 5-bus case-study system reproduce the evaluation inputs; numeric
+// state estimation over the same Jacobian lives in package stateest.
+package powergrid

@@ -13,5 +13,28 @@
 // sums, so a SAT back-end (fed by package logic's Tseitin and
 // sequential-counter encodings) decides exactly the same fragment.
 //
+// # Instrumentation and control
+//
+// Stats exposes per-solver counters — decisions, conflicts,
+// propagations, learned clauses, restarts, plus the number of Solve
+// calls and their cumulative wall time. Counters accumulate across
+// incremental Solve calls; Stats.Sub produces the per-solve delta, which
+// is how the verifier attributes effort to individual queries on a
+// reused solver. Two hooks bound a solve: SetConflictBudget limits a
+// single Solve call to a number of conflicts, and SetInterrupt installs
+// a cooperative cancellation callback polled every few hundred search
+// steps — both make the solver return Unsolved rather than block
+// indefinitely, which is what makes campaign cancellation (core.Runner)
+// responsive.
+//
+// # Concurrency
+//
+// A Solver is single-goroutine: it owns mutable trail, watch and
+// activity state and performs no internal locking. Concurrent
+// verification therefore gives every goroutine its own solver (the
+// ownership rule enforced throughout package core); only SetInterrupt's
+// callback is invoked on the solving goroutine but may read state
+// written by others, which is how cancellation crosses the boundary.
+//
 // The zero value of Solver is not usable; construct with New.
 package sat

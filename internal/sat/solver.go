@@ -3,6 +3,7 @@ package sat
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Solver is an incremental CDCL SAT solver. Construct with New, create
@@ -49,6 +50,9 @@ type Solver struct {
 	// Budget: 0 = unlimited.
 	conflictBudget uint64
 
+	// Cooperative cancellation: polled periodically during search.
+	interrupt func() bool
+
 	rootUnsat bool
 	stats     Stats
 }
@@ -87,8 +91,17 @@ func (s *Solver) NewVar() Var {
 func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // SetConflictBudget bounds the number of conflicts a single Solve may
-// spend; 0 means unlimited. An exhausted budget yields Unsolved.
+// spend; 0 means unlimited. An exhausted budget yields Unsolved. The
+// budget applies to each Solve call individually — it is not consumed
+// across calls on an incrementally reused solver.
 func (s *Solver) SetConflictBudget(n uint64) { s.conflictBudget = n }
+
+// SetInterrupt installs a cancellation hook polled periodically during
+// search (roughly every few hundred decisions/conflicts). When it
+// returns true the current Solve unwinds to the root level and returns
+// Unsolved. A nil hook disables polling. The solver remains usable for
+// further Solve calls afterwards.
+func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
 
 // Stats returns a snapshot of the solver counters.
 func (s *Solver) Stats() Stats {
@@ -499,10 +512,22 @@ func luby(i int) int {
 	}
 }
 
+// interruptPollInterval is how many search-loop iterations pass between
+// polls of the interrupt hook: frequent enough for sub-millisecond
+// cancellation latency, rare enough that the indirect call never shows
+// up in profiles.
+const interruptPollInterval = 256
+
 // Solve searches for a satisfying assignment consistent with the given
 // assumption literals. It returns Sat, Unsat, or Unsolved if the conflict
-// budget was exhausted.
+// budget was exhausted or the interrupt hook fired. Per-call wall time
+// and the call count accumulate into Stats.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	start := time.Now()
+	defer func() {
+		s.stats.Solves++
+		s.stats.SolveTime += time.Since(start)
+	}()
 	if s.rootUnsat {
 		return Unsat
 	}
@@ -515,8 +540,19 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	var conflicts uint64
 	restartLimit := s.restartBase * luby(s.lubyIdx+1)
 	conflictsAtRestart := 0
+	sinceInterruptPoll := 0
 
 	for {
+		if s.interrupt != nil {
+			sinceInterruptPoll++
+			if sinceInterruptPoll >= interruptPollInterval {
+				sinceInterruptPoll = 0
+				if s.interrupt() {
+					s.cancelUntil(0)
+					return Unsolved
+				}
+			}
+		}
 		conflict := s.propagate()
 		if conflict != nil {
 			s.stats.Conflicts++

@@ -1,0 +1,117 @@
+package sat
+
+import (
+	"testing"
+)
+
+// php adds the pigeonhole principle PHP(pigeons, holes) to s: every
+// pigeon sits in some hole, no two pigeons share a hole. Unsatisfiable
+// (and hard for CDCL) whenever pigeons > holes.
+func php(t *testing.T, s *Solver, pigeons, holes int) {
+	t.Helper()
+	vars := make([][]Var, pigeons)
+	for i := range vars {
+		vars[i] = newVars(s, holes)
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = PosLit(vars[i][j])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				mustAdd(t, s, NegLit(vars[i][j]), NegLit(vars[k][j]))
+			}
+		}
+	}
+}
+
+func TestStatsSolvesAndSolveTime(t *testing.T) {
+	s := New()
+	vs := newVars(s, 3)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[1]), PosLit(vs[2]))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	if s.Solve(NegLit(vs[0])) != Sat {
+		t.Fatal("want sat under assumption")
+	}
+	st := s.Stats()
+	if st.Solves != 2 {
+		t.Fatalf("Solves = %d, want 2", st.Solves)
+	}
+	if st.SolveTime < 0 {
+		t.Fatalf("SolveTime = %v", st.SolveTime)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	s := New()
+	php(t, s, 4, 3)
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat")
+	}
+	mid := s.Stats()
+	if mid.Conflicts == 0 {
+		t.Fatal("PHP(4,3) should conflict at least once")
+	}
+	// A solver that is already root-unsat answers again without search.
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat again")
+	}
+	delta := s.Stats().Sub(mid)
+	if delta.Conflicts != 0 || delta.Decisions != 0 {
+		t.Fatalf("re-answering an unsat root did extra work: %+v", delta)
+	}
+	if delta.Solves != 1 {
+		t.Fatalf("Solves delta = %d, want 1", delta.Solves)
+	}
+	if delta.MaxVars != mid.MaxVars {
+		t.Fatalf("Sub must keep absolute MaxVars, got %d want %d", delta.MaxVars, mid.MaxVars)
+	}
+}
+
+func TestSetInterrupt(t *testing.T) {
+	s := New()
+	php(t, s, 8, 7)
+	polls := 0
+	s.SetInterrupt(func() bool {
+		polls++
+		return true
+	})
+	if got := s.Solve(); got != Unsolved {
+		t.Fatalf("interrupted solve = %v, want unsolved", got)
+	}
+	if polls == 0 {
+		t.Fatal("interrupt hook was never polled")
+	}
+	// The solver must stay usable: clear the hook and finish the proof.
+	s.SetInterrupt(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after interrupt: %v, want unsat", got)
+	}
+}
+
+func TestConflictBudgetIsPerSolve(t *testing.T) {
+	s := New()
+	php(t, s, 7, 6)
+	s.SetConflictBudget(50)
+	first := s.Solve()
+	if first != Unsolved {
+		t.Fatalf("tiny budget should exhaust on PHP(7,6), got %v", first)
+	}
+	// Each Solve call gets the full budget again: repeated bounded calls
+	// make progress via learned clauses instead of dying immediately.
+	before := s.Stats().Conflicts
+	if s.Solve() == Sat {
+		t.Fatal("PHP must never be sat")
+	}
+	spent := s.Stats().Conflicts - before
+	if spent == 0 {
+		t.Fatal("second bounded solve did no work: budget was consumed across calls")
+	}
+}

@@ -3,6 +3,7 @@ package sat
 import (
 	"fmt"
 	"strconv"
+	"time"
 )
 
 // Var identifies a propositional variable. Valid variables are created by
@@ -157,6 +158,9 @@ type watcher struct {
 }
 
 // Stats aggregates solver counters, exposed for the evaluation harness.
+// Counters are cumulative over the solver's lifetime; use Sub to obtain
+// the per-solve delta between two snapshots when a solver is reused
+// incrementally (k-sweeps, threat enumeration).
 type Stats struct {
 	Conflicts    uint64
 	Decisions    uint64
@@ -164,13 +168,34 @@ type Stats struct {
 	Restarts     uint64
 	Learned      uint64
 	Removed      uint64
+	Solves       uint64        // completed Solve calls
+	SolveTime    time.Duration // wall time spent inside Solve
 	MaxVars      int
 	Clauses      int
+}
+
+// Sub returns the counter difference st - prev: the work performed
+// between the two snapshots. The absolute instance-size fields (MaxVars,
+// Clauses) keep their current values rather than being subtracted.
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Conflicts:    st.Conflicts - prev.Conflicts,
+		Decisions:    st.Decisions - prev.Decisions,
+		Propagations: st.Propagations - prev.Propagations,
+		Restarts:     st.Restarts - prev.Restarts,
+		Learned:      st.Learned - prev.Learned,
+		Removed:      st.Removed - prev.Removed,
+		Solves:       st.Solves - prev.Solves,
+		SolveTime:    st.SolveTime - prev.SolveTime,
+		MaxVars:      st.MaxVars,
+		Clauses:      st.Clauses,
+	}
 }
 
 // String implements fmt.Stringer.
 func (st Stats) String() string {
 	return fmt.Sprintf(
-		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d",
-		st.MaxVars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned, st.Removed)
+		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d solves=%d solve_ms=%.2f",
+		st.MaxVars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned, st.Removed,
+		st.Solves, float64(st.SolveTime.Microseconds())/1000)
 }

@@ -1,7 +1,3 @@
-// Package scadanet models the SCADA communication network the paper
-// verifies: field devices (IEDs, RTUs), the MTU (control server),
-// routers, communication links with protocol and security profiles, the
-// IED→measurement assignment, and path enumeration from IEDs to the MTU.
 package scadanet
 
 import (

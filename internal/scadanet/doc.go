@@ -1,0 +1,27 @@
+// Package scadanet models the SCADA communication network the paper
+// verifies: field devices (IEDs, RTUs), the MTU (control server),
+// routers, communication links with protocol and security profiles, the
+// IED→measurement assignment, and path enumeration from IEDs to the MTU.
+//
+// In the paper's notation (Section III), a Network provides the sets
+// and predicates the AssuredDelivery_I judgement is built from: the
+// device universe with its Up/Down status variables, Link_{i,j} with a
+// per-link protocol and cryptographic profile, and the acyclic
+// communication paths Path_{i→MTU} that package core turns into the
+// delivery disjunction. HopPairing captures the hop conditions of
+// AssuredDelivery — both endpoints speak a common protocol and their
+// security profiles are compatible — while the security judgement
+// itself (Authenticated, IntegrityProtected) lives in package
+// secpolicy.
+//
+// A Config bundles the network with the powergrid measurement model and
+// the resiliency specification (K1, K2, R) into one verifier input; the
+// .scada text format (ParseConfig / WriteConfig) serializes it.
+// CaseStudyConfig rebuilds the paper's Section IV 5-bus case study,
+// including the Fig. 4 rewired-topology variant.
+//
+// Nothing in the analysis mutates a built Network or Config (Clone
+// exists for callers that need modified copies, e.g. hardening), so one
+// Config may be shared read-only by any number of concurrent analyzers
+// — the property core.Runner relies on.
+package scadanet

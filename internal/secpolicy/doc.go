@@ -1,0 +1,18 @@
+// Package secpolicy judges cryptographic configurations: which
+// (algorithm, key-length) profiles provide authentication, integrity
+// protection, or encryption, and which algorithms are considered broken.
+// It implements the paper's Authenticated_{i,j} and
+// IntegrityProtected_{i,j} predicates (Section III-D), where e.g.
+// hmac with a ≥128-bit key authenticates, sha256 with ≥128-bit keys
+// integrity-protects, and DES never counts because of its known
+// vulnerabilities.
+//
+// These predicates separate the paper's two delivery notions: a hop
+// that merely pairs protocols contributes to AssuredDelivery_I, while
+// SecuredDelivery_I — and with it the SecuredObservability property —
+// additionally requires every hop on the path to satisfy both
+// predicates under the active Policy. Default returns the paper's
+// Section III-D policy; analyses accept an alternative one via
+// core.WithPolicy, so "what if this cipher were considered broken"
+// questions are a policy swap, not a model change.
+package secpolicy

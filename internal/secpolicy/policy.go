@@ -1,11 +1,3 @@
-// Package secpolicy judges cryptographic configurations: which
-// (algorithm, key-length) profiles provide authentication, integrity
-// protection, or encryption, and which algorithms are considered broken.
-// It implements the paper's Authenticated_{i,j} and
-// IntegrityProtected_{i,j} predicates (Section III-D), where e.g.
-// hmac with a ≥128-bit key authenticates, sha256 with ≥128-bit keys
-// integrity-protects, and DES never counts because of its known
-// vulnerabilities.
 package secpolicy
 
 import (

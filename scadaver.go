@@ -35,6 +35,7 @@ import (
 	"scadaver/internal/hardening"
 	"scadaver/internal/lint"
 	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/secpolicy"
 	"scadaver/internal/synth"
@@ -54,6 +55,15 @@ type (
 	Property = core.Property
 	// Option configures an Analyzer.
 	Option = core.Option
+	// Runner fans independent verifications across a worker pool; each
+	// worker owns a private solver, results come back in input order.
+	Runner = core.Runner
+	// Sweep reuses one structural encoding across a failure-budget
+	// sweep, rebuilding only the cardinality constraint per budget.
+	Sweep = core.Sweep
+	// SolverStats are per-solve SAT statistics (decisions, conflicts,
+	// propagations, learned clauses, solve time).
+	SolverStats = sat.Stats
 )
 
 // The verified properties.
@@ -98,8 +108,21 @@ func NewAnalyzer(cfg *Config, opts ...Option) (*Analyzer, error) {
 	return core.NewAnalyzer(cfg, opts...)
 }
 
+// NewRunner returns a parallel verification pool of the given size;
+// workers <= 0 selects runtime.GOMAXPROCS(0). The options are applied
+// to every analyzer the runner builds.
+func NewRunner(workers int, opts ...Option) *Runner { return core.NewRunner(workers, opts...) }
+
 // WithPolicy overrides the default security policy.
 func WithPolicy(p *SecurityPolicy) Option { return core.WithPolicy(p) }
+
+// WithConflictBudget bounds every individual solve to n conflicts;
+// exceeding it yields an Unsolved result for that query.
+func WithConflictBudget(n uint64) Option { return core.WithConflictBudget(n) }
+
+// WithInterrupt installs a cooperative cancellation hook, polled
+// periodically during SAT search; returning true abandons the solve.
+func WithInterrupt(f func() bool) Option { return core.WithInterrupt(f) }
 
 // DefaultPolicy returns the paper's Section III-D security policy.
 func DefaultPolicy() *SecurityPolicy { return secpolicy.Default() }
