@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint bench verify
+.PHONY: all build vet test race lint bench bench-record verify
 
 all: build
 
@@ -26,6 +26,15 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Record the reference benchmark campaign (resiliency boundary plus
+# parallel k-sweep over IEEE 14/30/57) as machine-readable JSON, so
+# successive commits can be compared number-by-number.
+bench-record:
+	$(GO) run ./cmd/scada-bench -record BENCH_pr2.json -inputs 1 -runs 2 -maxk 4
+
 # The pre-merge gate: static checks, full build, race-enabled tests,
-# and the config lint.
+# and the config lint. The observability layer gets an explicit vet +
+# race pass (its tests hammer the tracer and registry concurrently).
 verify: vet build race lint
+	$(GO) vet ./internal/obs
+	$(GO) test -race -count=1 ./internal/obs ./internal/sat

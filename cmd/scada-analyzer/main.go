@@ -14,7 +14,15 @@
 // sweep, rebuilding only the cardinality constraint per budget, while
 // -workers N > 1 fans the budgets out over a pool of independent
 // solvers. -stats prints per-solve SAT statistics (decisions,
-// conflicts, propagations, learned clauses, solve time).
+// conflicts, propagations, learned clauses, solve time) and the
+// per-phase time breakdown (build/encode/solve/decode).
+//
+// Observability (see internal/obs and the README's Observability
+// section): -trace FILE writes a JSONL span trace of every
+// verification, -metrics FILE exports counters and phase histograms
+// (Prometheus text, or JSON for .json files), -pprof ADDR serves
+// net/http/pprof while the run lasts, and -progress N adds solver
+// progress events to the trace every N conflicts.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"scadaver/internal/core"
 	"scadaver/internal/hardening"
 	"scadaver/internal/lint"
+	"scadaver/internal/obs"
 	"scadaver/internal/scadanet"
 )
 
@@ -39,7 +48,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("scada-analyzer", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "path to a .scada configuration (required; '-' for stdin)")
@@ -57,6 +66,10 @@ func run(args []string, out io.Writer) error {
 		hardenOut  = fs.String("harden-out", "", "write the hardened configuration to this file")
 		lintOnly   = fs.Bool("lint", false, "run the misconfiguration linter and exit")
 		jsonOut    = fs.Bool("json", false, "emit the verification result as JSON")
+		traceFile  = fs.String("trace", "", "write a JSONL phase trace of every verification to this file")
+		metricsOut = fs.String("metrics", "", "write verification metrics to this file (.json extension = JSON, otherwise Prometheus text)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		progress   = fs.Uint64("progress", 0, "emit a solver progress trace event every N conflicts (0 = off; requires -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,7 +129,27 @@ func run(args []string, out io.Writer) error {
 		q.K = *k
 	}
 
-	analyzer, err := core.NewAnalyzer(cfg)
+	root, reg, closeObs, err := obs.Setup("scada-analyzer", *traceFile, *metricsOut, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	var opts []core.Option
+	if root != nil {
+		opts = append(opts, core.WithTrace(root))
+	}
+	if reg != nil {
+		opts = append(opts, core.WithMetrics(reg))
+	}
+	if *progress > 0 {
+		opts = append(opts, core.WithProgressEvery(*progress))
+	}
+
+	analyzer, err := core.NewAnalyzer(cfg, opts...)
 	if err != nil {
 		return err
 	}
@@ -130,7 +163,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *sweepK >= 0 {
-		return runSweep(out, cfg, analyzer, prop, q.R, *sweepK, *workers, *stats, *jsonOut)
+		return runSweep(out, cfg, analyzer, prop, q.R, *sweepK, *workers, *stats, *jsonOut, opts)
 	}
 
 	res, err := analyzer.Verify(q)
@@ -157,6 +190,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, res)
 	if *stats {
 		fmt.Fprintln(out, "solver:", res.Stats)
+		fmt.Fprintln(out, "phases:", res.Phases)
 	}
 	if vectors != nil {
 		fmt.Fprintf(out, "threat vectors (%d):\n", len(vectors))
@@ -202,7 +236,7 @@ func run(args []string, out io.Writer) error {
 // With one worker a single solver is reused incrementally across budgets
 // (core.Sweep); with more, the budgets fan out over a core.Runner pool of
 // independent solvers. Both paths report identical verdicts.
-func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop core.Property, r, maxK, workers int, stats, jsonOut bool) error {
+func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop core.Property, r, maxK, workers int, stats, jsonOut bool, opts []core.Option) error {
 	queries := make([]core.Query, 0, maxK+1)
 	for k := 0; k <= maxK; k++ {
 		queries = append(queries, core.Query{Property: prop, Combined: true, K: k, R: r})
@@ -223,7 +257,7 @@ func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop
 		}
 	} else {
 		var err error
-		results, err = core.NewRunner(workers).VerifyAll(context.Background(), cfg, queries)
+		results, err = core.NewRunner(workers, opts...).VerifyAll(context.Background(), cfg, queries)
 		if err != nil {
 			return err
 		}
@@ -238,6 +272,7 @@ func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop
 		fmt.Fprintln(out, res)
 		if stats {
 			fmt.Fprintln(out, "  solver:", res.Stats)
+			fmt.Fprintln(out, "  phases:", res.Phases)
 		}
 	}
 	return nil

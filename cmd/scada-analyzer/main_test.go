@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -163,5 +165,96 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-config", configPath, "-property", "bogus"}, &sb); err == nil {
 		t.Fatal("unknown property must error")
+	}
+}
+
+// TestRunObservabilityOutputs drives the -trace/-metrics/-progress
+// flags end to end: the trace file is valid JSONL with balanced spans,
+// and the metrics file contains the query counter.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var sb strings.Builder
+	err := run([]string{
+		"-config", configPath, "-property", "secured",
+		"-trace", tracePath, "-metrics", metricsPath,
+		"-progress", "1", "-stats",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "phases:") {
+		t.Fatalf("-stats output missing phase breakdown: %s", sb.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		switch rec["ev"] {
+		case "begin":
+			begins++
+		case "end":
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("trace spans unbalanced: %d begins, %d ends", begins, ends)
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scadaver_queries_total", "scadaver_phase_seconds_bucket"} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics file missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestRunMetricsJSONAndSweepPhases covers the .json metrics branch and
+// the per-phase lines of a -stats sweep.
+func TestRunMetricsJSONAndSweepPhases(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-config", configPath, "-sweep", "2", "-stats", "-metrics", metricsPath,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "phases:"); n != 3 {
+		t.Fatalf("want 3 phase lines for -sweep 2, got %d:\n%s", n, sb.String())
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	var queries float64
+	for _, c := range snap.Counters {
+		if c.Name == "scadaver_queries_total" {
+			queries += c.Value
+		}
+	}
+	if queries != 3 {
+		t.Fatalf("metrics recorded %v queries, want 3", queries)
 	}
 }

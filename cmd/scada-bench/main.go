@@ -8,6 +8,12 @@
 //	scada-bench -fig 5a [-inputs 3] [-runs 5] [-workers N]
 //	scada-bench -fig all
 //	scada-bench -fig sweep [-bus ieee57] [-maxk 8] [-workers N]
+//	scada-bench -record BENCH_pr2.json [-maxk 4]
+//
+// -record FILE runs the recorded benchmark campaign (boundary + k-sweep
+// over IEEE 14/30/57) and writes the machine-readable per-figure wall
+// time, solve time and solver conflicts to FILE. -trace, -metrics and
+// -pprof mirror scada-analyzer's observability flags.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"scadaver/internal/core"
 	"scadaver/internal/experiments"
+	"scadaver/internal/obs"
 )
 
 func main() {
@@ -27,20 +34,56 @@ func main() {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("scada-bench", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all | sweep")
-		inputs  = fs.Int("inputs", 3, "random inputs per point")
-		runs    = fs.Int("runs", 5, "timed runs per input")
-		workers = fs.Int("workers", 0, "verification worker-pool size (0 = GOMAXPROCS)")
-		bus     = fs.String("bus", "ieee57", "bus system for -fig sweep")
-		maxK    = fs.Int("maxk", 8, "largest failure budget for -fig sweep")
+		fig        = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all | sweep")
+		inputs     = fs.Int("inputs", 3, "random inputs per point")
+		runs       = fs.Int("runs", 5, "timed runs per input")
+		workers    = fs.Int("workers", 0, "verification worker-pool size (0 = GOMAXPROCS)")
+		bus        = fs.String("bus", "ieee57", "bus system for -fig sweep")
+		maxK       = fs.Int("maxk", 8, "largest failure budget for -fig sweep and -record")
+		record     = fs.String("record", "", "run the recorded benchmark campaign and write BENCH JSON to this file")
+		traceFile  = fs.String("trace", "", "write a JSONL phase trace of every verification to this file")
+		metricsOut = fs.String("metrics", "", "write campaign metrics to this file (.json extension = JSON, otherwise Prometheus text)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Inputs: *inputs, Runs: *runs, Workers: *workers}
+
+	root, reg, closeObs, err := obs.Setup("scada-bench", *traceFile, *metricsOut, *pprofAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	opt := experiments.Options{
+		Inputs: *inputs, Runs: *runs, Workers: *workers,
+		Trace: root, Metrics: reg,
+	}
+
+	if *record != "" {
+		opt.MaxK = *maxK
+		run, err := experiments.BenchRecord(opt)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteBenchRun(f, run); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchmark record (%d figures, %.2f ms total) written to %s\n",
+			len(run.Figures), run.TotalWallMs, *record)
+		return nil
+	}
 
 	want := func(name string) bool { return *fig == name || *fig == "all" }
 	ran := false
@@ -48,7 +91,7 @@ func run(args []string, w io.Writer) error {
 	// The sweep is a performance campaign, not a paper figure, so "all"
 	// does not include it.
 	if *fig == "sweep" {
-		sr, err := experiments.KSweep(*bus, *maxK, *workers)
+		sr, err := experiments.KSweep(*bus, *maxK, *workers, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}

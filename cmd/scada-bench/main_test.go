@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"scadaver/internal/experiments"
 )
 
 func TestRunCase(t *testing.T) {
@@ -45,5 +50,67 @@ func TestRunUnknownFigure(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-fig", "9z"}, &sb); err == nil {
 		t.Fatal("unknown figure must error")
+	}
+}
+
+// TestRunRecord drives -record end to end on the smallest system and
+// checks the BENCH JSON artifact.
+func TestRunRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	err := run([]string{"-record", path, "-inputs", "1", "-runs", "1", "-maxk", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "benchmark record") {
+		t.Fatalf("output: %s", sb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run2 experiments.BenchRun
+	if err := json.Unmarshal(raw, &run2); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if run2.Schema != experiments.BenchSchema || len(run2.Figures) != 6 {
+		t.Fatalf("record = %+v, want schema %s with 6 figures", run2, experiments.BenchSchema)
+	}
+	for _, f := range run2.Figures {
+		if f.WallMs <= 0 || f.SolveMs <= 0 || f.Queries <= 0 {
+			t.Fatalf("empty figure in record: %+v", f)
+		}
+	}
+}
+
+// TestRunSweepTraced checks -trace on the sweep campaign writes a
+// non-empty JSONL file whose every line parses.
+func TestRunSweepTraced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-fig", "sweep", "-bus", "ieee14", "-maxk", "1", "-trace", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d lines", len(lines))
+	}
+	queries := 0
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		if rec["ev"] == "begin" && rec["name"] == "query" {
+			queries++
+		}
+	}
+	if queries == 0 {
+		t.Fatal("no query spans in sweep trace")
 	}
 }

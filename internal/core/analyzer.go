@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"scadaver/internal/logic"
+	"scadaver/internal/obs"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/secpolicy"
@@ -138,12 +139,38 @@ func (v ThreatVector) String() string {
 // key returns a canonical identity for deduplication.
 func (v ThreatVector) key() string { return v.String() }
 
+// PhaseTimes splits one verification into its pipeline phases: building
+// the logical model (structure formulas), encoding the query-specific
+// constraints to CNF, the SAT solve, and decoding/minimizing the threat
+// vector out of a sat model. Phases that did not run (e.g. decode on an
+// unsat query) are zero. The paper's evaluation is entirely about where
+// this time goes; Result keeps the lump total for compatibility and
+// adds this breakdown.
+type PhaseTimes struct {
+	Build  time.Duration `json:"buildNanos"`
+	Encode time.Duration `json:"encodeNanos"`
+	Solve  time.Duration `json:"solveNanos"`
+	Decode time.Duration `json:"decodeNanos"`
+}
+
+// Sum returns the total time attributed to phases; the gap to
+// Result.Duration is per-query bookkeeping overhead.
+func (p PhaseTimes) Sum() time.Duration { return p.Build + p.Encode + p.Solve + p.Decode }
+
+// String implements fmt.Stringer.
+func (p PhaseTimes) String() string {
+	msf := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return fmt.Sprintf("build=%.2fms encode=%.2fms solve=%.2fms decode=%.2fms",
+		msf(p.Build), msf(p.Encode), msf(p.Solve), msf(p.Decode))
+}
+
 // Result is the outcome of one verification.
 type Result struct {
 	Query    Query         `json:"query"`
 	Status   sat.Status    `json:"status"` // Sat: threat found; Unsat: resiliency certified
 	Vector   *ThreatVector `json:"vector,omitempty"`
-	Duration time.Duration `json:"durationNanos"`
+	Duration time.Duration `json:"durationNanos"` // total wall time (kept for JSON compatibility)
+	Phases   PhaseTimes    `json:"phases"`        // per-phase breakdown of Duration
 	Stats    sat.Stats     `json:"stats"`
 }
 
@@ -190,6 +217,36 @@ func WithInterrupt(f func() bool) Option {
 	return func(a *Analyzer) { a.interrupt = f }
 }
 
+// WithTrace nests every verification of this analyzer under the given
+// parent span: one "query" span per Verify / Sweep solve, with "build",
+// "encode", "solve" and "decode" phase children, and periodic solver
+// "progress" events on the solve span. A nil parent (the default)
+// disables tracing at the cost of one nil-check per phase.
+func WithTrace(parent *obs.Span) Option {
+	return func(a *Analyzer) { a.trace = parent }
+}
+
+// WithMetrics records per-query counters and phase-duration histograms
+// into the registry (see the scadaver_* metric families in README
+// "Observability"). The registry is concurrency-safe, so one registry
+// may aggregate across all Runner workers and Sweep iterations of a
+// campaign. A nil registry (the default) disables metrics.
+func WithMetrics(m *obs.Registry) Option {
+	return func(a *Analyzer) { a.metrics = m }
+}
+
+// DefaultProgressEvery is the solver progress-probe interval (in
+// conflicts) used by traced verifications when none is configured.
+const DefaultProgressEvery = 4096
+
+// WithProgressEvery sets how many solver conflicts pass between
+// "progress" trace events during a solve (0 keeps
+// DefaultProgressEvery). Progress events only fire when tracing is
+// enabled via WithTrace.
+func WithProgressEvery(n uint64) Option {
+	return func(a *Analyzer) { a.progressEvery = n }
+}
+
 // Analyzer verifies resiliency specifications of one SCADA
 // configuration. It is not safe for concurrent use; create one analyzer
 // per goroutine (see Runner, which enforces exactly that ownership
@@ -201,6 +258,11 @@ type Analyzer struct {
 	maxPaths       int
 	conflictBudget uint64
 	interrupt      func() bool
+
+	// Observability (all optional; nil = disabled).
+	trace         *obs.Span
+	metrics       *obs.Registry
+	progressEvery uint64
 
 	// Derived, computed once.
 	fieldIEDs []*scadanet.Device
@@ -276,26 +338,152 @@ func validateQuery(q Query) error {
 // budget that violates the property. Sat means the specification is
 // violated and Result.Vector holds a minimized threat vector; Unsat
 // certifies the specification.
+//
+// The verification is split into four observed phases — build (the
+// structural model: configuration constraints and delivery
+// definitions), encode (the query-specific budget and negated-property
+// constraints), solve, and decode (threat-vector extraction and
+// minimization) — reported in Result.Phases and, when tracing is on,
+// as child spans of the query span. A cancelled solve (interrupt hook)
+// still closes every span on the normal return path.
 func (a *Analyzer) Verify(q Query) (*Result, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	enc := a.encode(q)
+	qspan := a.startQuerySpan(q)
+	defer qspan.End()
+
+	var ph PhaseTimes
+	sp := qspan.Start("build")
+	t0 := time.Now()
+	enc, delivered := a.encodeStructure(q)
+	ph.Build = time.Since(t0)
+	sp.End()
+
+	sp = qspan.Start("encode")
+	t0 = time.Now()
+	enc.Assert(a.budgetFormula(q))
+	enc.Assert(a.violationFormula(q, delivered))
+	ph.Encode = time.Since(t0)
+	sp.End()
+
 	a.arm(enc)
+	sp = qspan.Start("solve")
+	a.armProgress(enc, sp)
+	t0 = time.Now()
 	status := enc.Solve()
+	ph.Solve = time.Since(t0)
+	enc.Solver().SetProgress(0, nil)
+	stats := enc.Solver().Stats()
+	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts))
+	sp.End()
+
 	res := &Result{
-		Query:    q,
-		Status:   status,
-		Duration: time.Since(start),
-		Stats:    enc.Solver().Stats(),
+		Query:  q,
+		Status: status,
+		Stats:  stats,
 	}
 	if status == sat.Sat {
+		sp = qspan.Start("decode")
+		t0 = time.Now()
 		v := a.extractVector(q, enc)
 		v = a.minimizeVector(q, v)
+		ph.Decode = time.Since(t0)
+		sp.End()
 		res.Vector = &v
 	}
+	res.Phases = ph
+	res.Duration = time.Since(start)
+	qspan.Annotate(obs.A("status", status.String()))
+	a.recordMetrics(res)
 	return res, nil
+}
+
+// budgetLabel renders the failure budget for span attributes and metric
+// labels: "k=2" for combined budgets, "k1=1,k2=1" for split ones, with
+// the link and corrupted-measurement budgets appended when set.
+func budgetLabel(q Query) string {
+	var s string
+	if q.Combined {
+		s = fmt.Sprintf("k=%d", q.K)
+	} else {
+		s = fmt.Sprintf("k1=%d,k2=%d", q.K1, q.K2)
+	}
+	if q.KL > 0 {
+		s += fmt.Sprintf(",kl=%d", q.KL)
+	}
+	if q.Property == BadDataDetectability {
+		s += fmt.Sprintf(",r=%d", q.R)
+	}
+	return s
+}
+
+// startQuerySpan opens the per-verification span (nil when tracing is
+// disabled; all span operations then no-op).
+func (a *Analyzer) startQuerySpan(q Query) *obs.Span {
+	if a.trace == nil {
+		return nil
+	}
+	return a.trace.Start("query",
+		obs.A("property", q.Property.String()),
+		obs.A("budget", budgetLabel(q)))
+}
+
+// armProgress wires the solver's progress probe to "progress" events on
+// the given solve span, so long searches report conflicts/decisions/
+// propagations/restarts and the learnt-DB size while they run. Callers
+// must clear the probe (SetProgress(0, nil)) after the solve so a probe
+// never outlives its span on a reused solver.
+func (a *Analyzer) armProgress(enc *logic.Encoder, solveSpan *obs.Span) {
+	if solveSpan == nil {
+		return
+	}
+	every := a.progressEvery
+	if every == 0 {
+		every = DefaultProgressEvery
+	}
+	enc.Solver().SetProgress(every, func(p sat.Progress) {
+		solveSpan.Event("progress",
+			obs.A("conflicts", p.Conflicts),
+			obs.A("decisions", p.Decisions),
+			obs.A("propagations", p.Propagations),
+			obs.A("restarts", p.Restarts),
+			obs.A("learntDB", p.LearntDB))
+	})
+}
+
+// recordMetrics aggregates one finished verification into the metrics
+// registry. Result.Stats is per-solve for both the fresh-encoder path
+// (Verify) and the incremental path (Sweep, which stores deltas), so
+// the solver counters stay attributable to individual queries.
+func (a *Analyzer) recordMetrics(res *Result) {
+	m := a.metrics
+	if m == nil {
+		return
+	}
+	prop := res.Query.Property.String()
+	m.Inc("scadaver_queries_total", map[string]string{
+		"property": prop,
+		"k":        budgetLabel(res.Query),
+		"status":   res.Status.String(),
+	})
+	for _, phase := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"build", res.Phases.Build},
+		{"encode", res.Phases.Encode},
+		{"solve", res.Phases.Solve},
+		{"decode", res.Phases.Decode},
+	} {
+		m.ObserveDuration("scadaver_phase_seconds",
+			map[string]string{"phase": phase.name, "property": prop}, phase.d)
+	}
+	pl := map[string]string{"property": prop}
+	m.Add("scadaver_solver_conflicts_total", pl, float64(res.Stats.Conflicts))
+	m.Add("scadaver_solver_decisions_total", pl, float64(res.Stats.Decisions))
+	m.Add("scadaver_solver_propagations_total", pl, float64(res.Stats.Propagations))
 }
 
 // nodeVar names the availability term of a field device.

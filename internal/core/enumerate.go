@@ -4,9 +4,22 @@ import (
 	"fmt"
 	"time"
 
+	"scadaver/internal/obs"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
 )
+
+// startEnumerateSpan opens the span wrapping a whole threat-space
+// enumeration (nil when tracing is disabled). Its end record carries
+// the number of distinct vectors found.
+func (a *Analyzer) startEnumerateSpan(q Query) *obs.Span {
+	if a.trace == nil {
+		return nil
+	}
+	return a.trace.Start("enumerate",
+		obs.A("property", q.Property.String()),
+		obs.A("budget", budgetLabel(q)))
+}
 
 // EnumerateThreats lists distinct minimal threat vectors for the query,
 // up to max (0 = no cap beyond termination). After each satisfying
@@ -18,10 +31,13 @@ func (a *Analyzer) EnumerateThreats(q Query, max int) ([]ThreatVector, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
+	span := a.startEnumerateSpan(q)
+	defer span.End()
 	enc := a.encode(q)
 	a.arm(enc)
 	var out []ThreatVector
 	seen := map[string]bool{}
+	defer func() { span.Annotate(obs.A("vectors", len(out))) }()
 	for max <= 0 || len(out) < max {
 		// Re-arm before every solve so each enumerated vector gets the
 		// full conflict budget rather than sharing one budget across the

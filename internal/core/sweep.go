@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"scadaver/internal/logic"
+	"scadaver/internal/obs"
 	"scadaver/internal/sat"
 )
 
@@ -61,22 +62,52 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	qspan := s.a.startQuerySpan(q)
+	defer qspan.End()
 	s.a.arm(s.enc)
 	before := s.enc.Solver().Stats()
+
+	// The structure was built once in NewSweep, so a sweep query has no
+	// build phase; the encode phase covers constructing the budget
+	// formula (its CNF counter is encoded lazily inside Solve and is
+	// therefore attributed to the solve phase).
+	var ph PhaseTimes
+	sp := qspan.Start("encode")
+	t0 := time.Now()
+	budget := s.a.budgetFormula(q)
+	ph.Encode = time.Since(t0)
+	sp.End()
+
 	// The budget is passed as an assumption, not asserted: only its
 	// sequential counter is added to the instance, and the next budget
 	// does not have to be compatible with this one.
-	status := s.enc.Solve(s.a.budgetFormula(q))
+	sp = qspan.Start("solve")
+	s.a.armProgress(s.enc, sp)
+	t0 = time.Now()
+	status := s.enc.Solve(budget)
+	ph.Solve = time.Since(t0)
+	s.enc.Solver().SetProgress(0, nil)
+	stats := s.enc.Solver().Stats().Sub(before)
+	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts))
+	sp.End()
+
 	res := &Result{
-		Query:    q,
-		Status:   status,
-		Duration: time.Since(start),
-		Stats:    s.enc.Solver().Stats().Sub(before),
+		Query:  q,
+		Status: status,
+		Stats:  stats,
 	}
 	if status == sat.Sat {
+		sp = qspan.Start("decode")
+		t0 = time.Now()
 		v := s.a.extractVector(q, s.enc)
 		v = s.a.minimizeVector(q, v)
+		ph.Decode = time.Since(t0)
+		sp.End()
 		res.Vector = &v
 	}
+	res.Phases = ph
+	res.Duration = time.Since(start)
+	qspan.Annotate(obs.A("status", status.String()))
+	s.a.recordMetrics(res)
 	return res, nil
 }

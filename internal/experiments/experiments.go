@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"scadaver/internal/core"
+	"scadaver/internal/obs"
 	"scadaver/internal/powergrid"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
@@ -48,6 +49,28 @@ type Options struct {
 	MaxHierarchy int
 	// Percents restricts the Fig7a density sweep (default 50..100 by 10).
 	Percents []float64
+	// MaxK bounds the BenchRecord k-sweep campaigns (default 4).
+	MaxK int
+
+	// Trace, when set, is the parent span under which every campaign
+	// verification records its query/phase spans (see internal/obs).
+	Trace *obs.Span
+	// Metrics, when set, aggregates counters and phase histograms from
+	// every analyzer the campaign fans out, across all workers.
+	Metrics *obs.Registry
+}
+
+// CoreOptions translates the observability knobs into analyzer options
+// to thread into every analyzer a campaign creates.
+func (o Options) CoreOptions() []core.Option {
+	var opts []core.Option
+	if o.Trace != nil {
+		opts = append(opts, core.WithTrace(o.Trace))
+	}
+	if o.Metrics != nil {
+		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	return opts
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Percents) == 0 {
 		o.Percents = []float64{50, 60, 70, 80, 90, 100}
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 4
 	}
 	return o
 }
@@ -125,8 +151,8 @@ type boundary struct {
 // boundaryTimes finds the instance's resiliency boundary k* for the
 // property (combined budget) and times the unsat query at k* and the sat
 // query at k*+1 — the paper's sat/unsat series at a meaningful spec.
-func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int) (boundary, error) {
-	a, err := core.NewAnalyzer(cfg)
+func boundaryTimes(cfg *scadanet.Config, prop core.Property, runs int, opts ...core.Option) (boundary, error) {
+	a, err := core.NewAnalyzer(cfg, opts...)
 	if err != nil {
 		return boundary{}, err
 	}
@@ -192,7 +218,7 @@ func Fig5(prop core.Property, opt Options) ([]ScalePoint, error) {
 		if err != nil {
 			return err
 		}
-		b, err := boundaryTimes(cfg, prop, opt.Runs)
+		b, err := boundaryTimes(cfg, prop, opt.Runs, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}
@@ -261,7 +287,7 @@ func Fig6(busName string, prop core.Property, opt Options) ([]ScalePoint, error)
 		if err != nil {
 			return err
 		}
-		a, err := core.NewAnalyzer(cfg)
+		a, err := core.NewAnalyzer(cfg, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}
@@ -345,7 +371,7 @@ func Fig7a(opt Options) ([]ResiliencyPoint, error) {
 		if err != nil {
 			return err
 		}
-		a, err := core.NewAnalyzer(cfg)
+		a, err := core.NewAnalyzer(cfg, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}
@@ -417,7 +443,7 @@ func Fig7b(opt Options) ([]ThreatSpacePoint, error) {
 		if err != nil {
 			return err
 		}
-		a, err := core.NewAnalyzer(cfg)
+		a, err := core.NewAnalyzer(cfg, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}
@@ -483,7 +509,9 @@ func SweepQueries(maxK int) []core.Query {
 // configuration of the named bus system on a pool of `workers`
 // verification goroutines (<= 0 selects GOMAXPROCS). Verdicts and
 // vectors are identical for every pool size; only Elapsed changes.
-func KSweep(busName string, maxK, workers int) (*SweepResult, error) {
+// Extra analyzer options (core.WithTrace, core.WithMetrics, ...) are
+// threaded into every worker.
+func KSweep(busName string, maxK, workers int, opts ...core.Option) (*SweepResult, error) {
 	sys, err := powergrid.ByName(busName)
 	if err != nil {
 		return nil, err
@@ -497,7 +525,7 @@ func KSweep(busName string, maxK, workers int) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := core.NewRunner(workers)
+	r := core.NewRunner(workers, opts...)
 	queries := SweepQueries(maxK)
 	start := time.Now()
 	results, err := r.VerifyAll(context.Background(), cfg, queries)

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
 
 	"scadaver/internal/core"
+	"scadaver/internal/obs"
 )
 
 var fastOpt = Options{
@@ -198,5 +201,76 @@ func TestCaseStudyOutput(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("case study output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBenchRecord runs the recorded benchmark campaign on the smallest
+// system and checks the written JSON is complete and self-consistent.
+func TestBenchRecord(t *testing.T) {
+	run, err := BenchRecord(Options{
+		Inputs:  1,
+		Runs:    1,
+		Systems: []string{"ieee14"},
+		MaxK:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Schema != BenchSchema {
+		t.Fatalf("schema = %q", run.Schema)
+	}
+	if len(run.Figures) != 2 {
+		t.Fatalf("figures = %+v, want boundary + ksweep", run.Figures)
+	}
+	for _, f := range run.Figures {
+		if f.System != "ieee14" {
+			t.Fatalf("figure system = %q", f.System)
+		}
+		if f.Queries <= 0 || f.WallMs <= 0 || f.SolveMs <= 0 {
+			t.Fatalf("figure %s has empty numbers: %+v", f.Figure, f)
+		}
+		if f.SolveMs > f.WallMs {
+			t.Fatalf("figure %s: solve time %v ms exceeds wall %v ms", f.Figure, f.SolveMs, f.WallMs)
+		}
+	}
+	if run.TotalWallMs <= 0 {
+		t.Fatal("no total wall time")
+	}
+
+	var sb strings.Builder
+	if err := WriteBenchRun(&sb, run); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchRun
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("BENCH record is not valid JSON: %v", err)
+	}
+	if fmt.Sprint(back) != fmt.Sprint(*run) {
+		t.Fatalf("JSON round trip changed the record:\n%v\n%v", back, *run)
+	}
+}
+
+// TestFigTraceAndMetricsThreaded checks Options.Trace / Options.Metrics
+// reach the campaign analyzers: a traced Fig5 run produces balanced
+// query spans and a non-empty registry.
+func TestFigTraceAndMetricsThreaded(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	root := tracer.Start("fig5")
+	reg := obs.NewRegistry()
+	opt := Options{Inputs: 1, Runs: 1, Systems: []string{"ieee14"}, Trace: root, Metrics: reg}
+	if _, err := Fig5(core.Observability, opt); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name":"query"`)) {
+		t.Fatal("trace has no query spans")
+	}
+	queries, conflicts, solveSec := registryTotals(reg)
+	if queries <= 0 || solveSec <= 0 {
+		t.Fatalf("registry empty after traced campaign: q=%v conf=%v solve=%v", queries, conflicts, solveSec)
 	}
 }

@@ -1,0 +1,21 @@
+// Package obs is the repository's dependency-free observability core:
+// hierarchical span tracing with a JSON-lines sink, and a concurrency-
+// safe metrics registry (counters and duration histograms) with
+// Prometheus-text and JSON export.
+//
+// The package is built around two rules. First, disabled observability
+// must cost (almost) nothing: every Span and Registry method is safe on
+// a nil receiver and returns immediately, so instrumented code carries
+// exactly one nil-check per call site and no allocation when tracing or
+// metrics are off. Second, producers never buffer: the tracer emits one
+// JSONL record at span begin, span end, and each point event, so a
+// cancelled or crashed run leaves a readable prefix whose open spans
+// identify the in-flight work.
+//
+// The span model mirrors the verification pipeline: a root span per
+// process or campaign, one "query" span per verification, and child
+// phase spans ("build", "encode", "solve", "decode"). The solver's
+// progress probe (sat.Solver.SetProgress) surfaces as "progress" events
+// on the solve span. See DESIGN.md §8 for the record schema and the
+// measured overhead.
+package obs

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning sub-millisecond encodes to multi-second unsat proofs. An
+// implicit +Inf bucket always follows.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Registry is a concurrency-safe metrics store: monotonic counters and
+// duration histograms, each keyed by a metric name plus a small label
+// set (property, budget, phase, ...). One registry aggregates across
+// all Runner workers and Sweep iterations of a campaign; export it once
+// at the end with WritePrometheus or WriteJSON.
+//
+// The nil *Registry is a valid disabled registry: Add and Observe
+// return immediately.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*counterSeries
+	hists    map[string]*histSeries
+}
+
+type counterSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type histSeries struct {
+	name    string
+	labels  map[string]string
+	count   uint64
+	sum     float64
+	buckets []uint64 // len(DefBuckets)+1; last is +Inf
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*counterSeries),
+		hists:    make(map[string]*histSeries),
+	}
+}
+
+// seriesKey canonicalizes a (name, labels) pair.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// Add increments the counter series by delta (which must be >= 0).
+func (r *Registry) Add(name string, labels map[string]string, delta float64) {
+	if r == nil {
+		return
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &counterSeries{name: name, labels: copyLabels(labels)}
+		r.counters[key] = c
+	}
+	c.value += delta
+	r.mu.Unlock()
+}
+
+// Inc increments the counter series by one.
+func (r *Registry) Inc(name string, labels map[string]string) { r.Add(name, labels, 1) }
+
+// Observe records one value (in seconds) into the histogram series.
+func (r *Registry) Observe(name string, labels map[string]string, v float64) {
+	if r == nil {
+		return
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &histSeries{
+			name:    name,
+			labels:  copyLabels(labels),
+			buckets: make([]uint64, len(DefBuckets)+1),
+		}
+		r.hists[key] = h
+	}
+	h.count++
+	h.sum += v
+	h.buckets[sort.SearchFloat64s(DefBuckets, v)]++
+	r.mu.Unlock()
+}
+
+// ObserveDuration records a duration into the histogram series.
+func (r *Registry) ObserveDuration(name string, labels map[string]string, d time.Duration) {
+	r.Observe(name, labels, d.Seconds())
+}
+
+// CounterSnapshot is one exported counter series.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramBucket is one cumulative histogram bucket with a finite
+// upper bound in seconds; the +Inf count equals the series Count.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"cumulativeCount"`
+}
+
+// HistogramSnapshot is one exported histogram series.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sumSeconds"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of the whole registry, sorted by
+// metric name then label set so exports are deterministic.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	ckeys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for _, k := range ckeys {
+		c := r.counters[k]
+		snap.Counters = append(snap.Counters, CounterSnapshot{
+			Name: c.name, Labels: copyLabels(c.labels), Value: c.value,
+		})
+	}
+
+	hkeys := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := r.hists[k]
+		hs := HistogramSnapshot{
+			Name: h.name, Labels: copyLabels(h.labels),
+			Count: h.count, Sum: h.sum,
+		}
+		var cum uint64
+		for i, le := range DefBuckets {
+			cum += h.buckets[i]
+			hs.Buckets = append(hs.Buckets, HistogramBucket{LE: le, Count: cum})
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	return snap
+}
+
+// Counter returns the current value of one counter series (0 when the
+// series does not exist). Intended for tests and CLI summaries.
+func (r *Registry) Counter(name string, labels map[string]string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[seriesKey(name, labels)]; ok {
+		return c.value
+	}
+	return 0
+}
+
+// WriteJSON exports the registry as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (counters and histograms, with a # TYPE line per metric).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	lastType := "" // metric name of the last emitted # TYPE line
+	typeLine := func(name, kind string) {
+		if name != lastType {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+			lastType = name
+		}
+	}
+	for _, c := range snap.Counters {
+		typeLine(c.Name, "counter")
+		fmt.Fprintf(&b, "%s%s %s\n", c.Name, promLabels(c.Labels, "", 0), promFloat(c.Value))
+	}
+	for _, h := range snap.Histograms {
+		typeLine(h.Name, "histogram")
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", bk.LE), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, promLabelsInf(h.Labels), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, promLabels(h.Labels, "", 0), promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", 0), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders a sorted label set, optionally with a trailing
+// numeric "le" label (pass leKey = "" for none).
+func promLabels(labels map[string]string, leKey string, le float64) string {
+	return promLabelSet(labels, leKey, promFloat(le))
+}
+
+func promLabelsInf(labels map[string]string) string {
+	return promLabelSet(labels, "le", "+Inf")
+}
+
+func promLabelSet(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, promEscape(labels[k]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func assertFileContains(t *testing.T, path, want string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("%s missing %q:\n%s", path, want, data)
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	labels := map[string]string{"property": "observability", "status": "unsat"}
+	r.Inc("queries_total", labels)
+	r.Add("queries_total", labels, 2)
+	r.Inc("queries_total", map[string]string{"property": "observability", "status": "sat"})
+	if got := r.Counter("queries_total", labels); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	// Label order must not matter for series identity.
+	if got := r.Counter("queries_total", map[string]string{"status": "unsat", "property": "observability"}); got != 3 {
+		t.Fatalf("label-order-sensitive series: %v", got)
+	}
+	if got := r.Counter("missing", nil); got != 0 {
+		t.Fatalf("missing series = %v", got)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	labels := map[string]string{"phase": "solve"}
+	r.ObserveDuration("phase_seconds", labels, 2*time.Millisecond)  // le=0.0025
+	r.ObserveDuration("phase_seconds", labels, 40*time.Millisecond) // le=0.05
+	r.Observe("phase_seconds", labels, 100)                         // +Inf
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	h := snap.Histograms[0]
+	if h.Count != 3 {
+		t.Fatalf("count = %d, want 3", h.Count)
+	}
+	if want := 0.002 + 0.04 + 100; h.Sum < want-1e-9 || h.Sum > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum, want)
+	}
+	// Buckets are cumulative and cover only finite bounds.
+	if len(h.Buckets) != len(DefBuckets) {
+		t.Fatalf("buckets = %d, want %d", len(h.Buckets), len(DefBuckets))
+	}
+	cum := map[float64]uint64{}
+	for _, b := range h.Buckets {
+		cum[b.LE] = b.Count
+	}
+	if cum[0.001] != 0 || cum[0.0025] != 1 || cum[0.05] != 2 || cum[10] != 2 {
+		t.Fatalf("cumulative buckets wrong: %+v", h.Buckets)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Add("scadaver_queries_total", map[string]string{"property": "observability", "k": "2"}, 4)
+	r.Observe("scadaver_phase_seconds", map[string]string{"phase": "solve"}, 0.002)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE scadaver_queries_total counter",
+		`scadaver_queries_total{k="2",property="observability"} 4`,
+		"# TYPE scadaver_phase_seconds histogram",
+		`scadaver_phase_seconds_bucket{phase="solve",le="0.0025"} 1`,
+		`scadaver_phase_seconds_bucket{phase="solve",le="+Inf"} 1`,
+		`scadaver_phase_seconds_sum{phase="solve"} 0.002`,
+		`scadaver_phase_seconds_count{phase="solve"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a_total", map[string]string{"x": "1"})
+	r.Observe("b_seconds", nil, 0.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; the
+// final counts must equal the serial sum (run under -race in CI).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Inc("hits_total", map[string]string{"shard": "s"})
+				r.Observe("lat_seconds", nil, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", map[string]string{"shard": "s"}); got != goroutines*per {
+		t.Fatalf("counter = %v, want %d", got, goroutines*per)
+	}
+	snap := r.Snapshot()
+	if snap.Histograms[0].Count != goroutines*per {
+		t.Fatalf("histogram count = %d, want %d", snap.Histograms[0].Count, goroutines*per)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Inc("x", nil)
+	r.Add("x", nil, 2)
+	r.Observe("y", nil, 1)
+	r.ObserveDuration("y", nil, time.Second)
+	if got := r.Counter("x", nil); got != 0 {
+		t.Fatal("nil registry returned data")
+	}
+	if snap := r.Snapshot(); len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestSetupEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "trace.jsonl")
+	metricsFile := filepath.Join(dir, "metrics.json")
+	root, reg, closeObs, err := Setup("test-run", traceFile, metricsFile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nil || reg == nil {
+		t.Fatal("enabled endpoints returned nil")
+	}
+	sp := root.Start("op")
+	reg.Inc("ops_total", nil)
+	sp.End()
+	if err := closeObs(); err != nil {
+		t.Fatal(err)
+	}
+
+	assertFileContains(t, traceFile, `"name":"test-run"`)
+	assertFileContains(t, metricsFile, `"ops_total"`)
+
+	// All endpoints disabled: everything nil, close is a no-op.
+	root, reg, closeObs, err = Setup("x", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != nil || reg != nil {
+		t.Fatal("disabled endpoints must be nil")
+	}
+	if err := closeObs(); err != nil {
+		t.Fatal(err)
+	}
+}

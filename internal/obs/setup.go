@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+)
+
+// Setup wires the standard CLI observability endpoints shared by
+// scada-analyzer and scada-bench:
+//
+//   - traceFile != "": a JSONL span trace is written there; the
+//     returned root span (named rootName) is the parent for all query
+//     spans of the run.
+//   - metricsFile != "": a Registry is created and exported to the file
+//     on close — Prometheus text format, or JSON when the path ends in
+//     ".json".
+//   - pprofAddr != "": a net/http/pprof debug server is served on that
+//     address for live CPU/heap/goroutine profiling of long campaigns.
+//
+// Disabled endpoints yield nil values, which downstream instrumentation
+// treats as no-ops. The returned close function ends the root span,
+// flushes and closes the files, stops the pprof listener, and returns
+// the first error; call it exactly once after the traced work finishes.
+func Setup(rootName, traceFile, metricsFile, pprofAddr string) (*Span, *Registry, func() error, error) {
+	var closers []func() error
+	closeAll := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		closers = nil
+		return first
+	}
+
+	var root *Span
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("obs: create trace file: %w", err)
+		}
+		tracer := NewTracer(f)
+		root = tracer.Start(rootName)
+		closers = append(closers, func() error {
+			root.End()
+			err := tracer.Err()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+
+	var reg *Registry
+	if metricsFile != "" {
+		reg = NewRegistry()
+		closers = append(closers, func() error {
+			f, err := os.Create(metricsFile)
+			if err != nil {
+				return fmt.Errorf("obs: create metrics file: %w", err)
+			}
+			if strings.HasSuffix(metricsFile, ".json") {
+				err = reg.WriteJSON(f)
+			} else {
+				err = reg.WritePrometheus(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // reported via Close below
+		closers = append(closers, func() error {
+			// Close (not Shutdown): profile scrapes should not delay
+			// process exit once the campaign is done.
+			return srv.Close()
+		})
+	}
+
+	return root, reg, closeAll, nil
+}

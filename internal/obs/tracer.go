@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation attached to a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr; it keeps instrumentation call sites short.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// TraceSchema names the JSONL record schema emitted by Tracer. It is
+// written into the header record so consumers can detect incompatible
+// changes.
+const TraceSchema = "scadaver-trace/1"
+
+// Tracer writes a hierarchical span trace as JSON lines. Each record is
+// one object:
+//
+//	{"ev":"trace","name":"scadaver-trace/1","tNanos":0,"attrs":{"startUnixNano":...}}
+//	{"ev":"begin","id":1,"name":"query","tNanos":120,"attrs":{...}}
+//	{"ev":"event","span":1,"name":"progress","tNanos":950,"attrs":{...}}
+//	{"ev":"end","id":1,"name":"query","tNanos":2100,"durNanos":1980,"attrs":{...}}
+//
+// Timestamps are nanoseconds relative to the header record; span ids
+// are unique within the trace and child spans carry their parent's id.
+// A Tracer is safe for concurrent use: spans started from worker
+// goroutines interleave record-atomically in the output.
+//
+// The nil *Tracer is a valid disabled tracer: Start returns a nil
+// *Span, on which every method is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	next  uint64
+	start time.Time
+	now   func() time.Time // test seam; time.Now outside tests
+	err   error
+}
+
+// NewTracer returns a tracer emitting JSONL records to w and writes the
+// header record. The caller owns w (the tracer never closes it).
+func NewTracer(w io.Writer) *Tracer {
+	return newTracer(w, time.Now)
+}
+
+func newTracer(w io.Writer, now func() time.Time) *Tracer {
+	t := &Tracer{w: w, now: now}
+	t.start = now()
+	t.mu.Lock()
+	t.writeLocked(record{
+		Ev:    "trace",
+		Name:  TraceSchema,
+		Attrs: map[string]any{"startUnixNano": t.start.UnixNano()},
+	})
+	t.mu.Unlock()
+	return t
+}
+
+// Err returns the first write error, if any. Tracing degrades to a
+// no-op after a write error rather than failing the traced work.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Start opens a root span (no parent). End must be called to emit the
+// closing record; defer it right after Start.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(0, name, attrs)
+}
+
+// record is the wire form of one JSONL line.
+type record struct {
+	Ev     string         `json:"ev"`
+	ID     uint64         `json:"id,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	Span   uint64         `json:"span,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	T      int64          `json:"tNanos"`
+	Dur    *int64         `json:"durNanos,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// writeLocked marshals and writes one record; t.mu must be held.
+func (t *Tracer) writeLocked(r record) {
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.err = fmt.Errorf("obs: marshal trace record: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.w.Write(data); err != nil {
+		t.err = fmt.Errorf("obs: write trace record: %w", err)
+	}
+}
+
+func (t *Tracer) startSpan(parent uint64, name string, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	now := t.now()
+	t.writeLocked(record{
+		Ev:     "begin",
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		T:      now.Sub(t.start).Nanoseconds(),
+		Attrs:  attrMap(attrs),
+	})
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name, start: now}
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Span is one traced operation. Spans form a tree via Start; a span's
+// begin and end records bracket all of its children in the output.
+// A single span must be ended by one goroutine, but different spans of
+// one tracer may live on different goroutines (Runner workers). All
+// methods are no-ops on a nil *Span, which is how disabled tracing
+// propagates through instrumented code.
+type Span struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	extra map[string]any
+	ended bool
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.startSpan(s.id, name, attrs)
+}
+
+// Event emits a point-in-time record inside the span (e.g. a solver
+// progress report). Events carry the enclosing span's id but no id of
+// their own.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	t.writeLocked(record{
+		Ev:    "event",
+		Span:  s.id,
+		Name:  name,
+		T:     t.now().Sub(t.start).Nanoseconds(),
+		Attrs: attrMap(attrs),
+	})
+	t.mu.Unlock()
+}
+
+// Annotate attaches attributes to the span's end record — outcomes that
+// are only known once the operation finishes (status, conflict counts).
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.extra == nil {
+		s.extra = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.extra[a.Key] = a.Value
+	}
+	s.mu.Unlock()
+}
+
+// End emits the span's closing record with its duration and any
+// annotations. End is idempotent; only the first call writes.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	extra := s.extra
+	s.mu.Unlock()
+
+	t := s.t
+	t.mu.Lock()
+	now := t.now()
+	dur := now.Sub(s.start).Nanoseconds()
+	t.writeLocked(record{
+		Ev:    "end",
+		ID:    s.id,
+		Name:  s.name,
+		T:     now.Sub(t.start).Nanoseconds(),
+		Dur:   &dur,
+		Attrs: extra,
+	})
+	t.mu.Unlock()
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every reading, making trace
+// timestamps (and therefore whole JSONL records) deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(1000, 0)
+	n := -1
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+// TestTracerGoldenJSONL pins the exact JSONL output of a nested trace:
+// the header, begin/end bracketing, parent ids, events, and end-record
+// annotations. The fake clock ticks 1ms per reading.
+func TestTracerGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := newTracer(&buf, fakeClock(time.Millisecond))
+
+	root := tr.Start("campaign", A("system", "ieee57"))
+	q := root.Start("query", A("k", 2))
+	s := q.Start("solve")
+	s.Event("progress", A("conflicts", 100))
+	s.Annotate(A("status", "unsat"))
+	s.End()
+	q.End()
+	root.End()
+
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"ev":"trace","name":"scadaver-trace/1","tNanos":0,"attrs":{"startUnixNano":1000000000000}}`,
+		`{"ev":"begin","id":1,"name":"campaign","tNanos":1000000,"attrs":{"system":"ieee57"}}`,
+		`{"ev":"begin","id":2,"parent":1,"name":"query","tNanos":2000000,"attrs":{"k":2}}`,
+		`{"ev":"begin","id":3,"parent":2,"name":"solve","tNanos":3000000}`,
+		`{"ev":"event","span":3,"name":"progress","tNanos":4000000,"attrs":{"conflicts":100}}`,
+		`{"ev":"end","id":3,"name":"solve","tNanos":5000000,"durNanos":2000000,"attrs":{"status":"unsat"}}`,
+		`{"ev":"end","id":2,"name":"query","tNanos":6000000,"durNanos":4000000}`,
+		`{"ev":"end","id":1,"name":"campaign","tNanos":7000000,"durNanos":6000000}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestTracerEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.Start("op")
+	sp.End()
+	sp.End()
+	var ends int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if r["ev"] == "end" {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("double End wrote %d end records, want 1", ends)
+	}
+}
+
+// TestTracerNilIsNoOp exercises the disabled path: a nil tracer yields
+// nil spans, and every method on them must be safe.
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.Start("root", A("x", 1))
+	if sp != nil {
+		t.Fatal("nil tracer must produce nil spans")
+	}
+	child := sp.Start("child")
+	child.Event("ev")
+	child.Annotate(A("y", 2))
+	child.End()
+	sp.End()
+}
+
+// TestTracerConcurrentSpans hammers one tracer from many goroutines and
+// checks that the output is record-atomic: every line parses, every
+// begin has a matching end, and ids are unique.
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := root.Start("work")
+				sp.Event("tick")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	begun := map[uint64]bool{}
+	ended := map[uint64]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r struct {
+			Ev string `json:"ev"`
+			ID uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("corrupt JSONL line %q: %v", sc.Text(), err)
+		}
+		switch r.Ev {
+		case "begin":
+			if begun[r.ID] {
+				t.Fatalf("duplicate span id %d", r.ID)
+			}
+			begun[r.ID] = true
+		case "end":
+			ended[r.ID] = true
+		}
+	}
+	if len(begun) != 8*50+1 {
+		t.Fatalf("begun %d spans, want %d", len(begun), 8*50+1)
+	}
+	for id := range begun {
+		if !ended[id] {
+			t.Fatalf("span %d never ended", id)
+		}
+	}
+}
+
+func TestTracerWriteErrorLatches(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	sp := tr.Start("op")
+	sp.End()
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }

@@ -53,6 +53,12 @@ type Solver struct {
 	// Cooperative cancellation: polled periodically during search.
 	interrupt func() bool
 
+	// Progress probe: fired every progressEvery conflicts (see
+	// SetProgress). progressNext is the conflict count of the next report.
+	progress      func(Progress)
+	progressEvery uint64
+	progressNext  uint64
+
 	rootUnsat bool
 	stats     Stats
 }
@@ -102,6 +108,36 @@ func (s *Solver) SetConflictBudget(n uint64) { s.conflictBudget = n }
 // Unsolved. A nil hook disables polling. The solver remains usable for
 // further Solve calls afterwards.
 func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
+
+// SetProgress installs a progress probe fired from inside Solve every
+// `every` conflicts, so long searches (multi-second unsat proofs in
+// particular) are observable while they run. The callback receives a
+// Progress snapshot of the cumulative counters; it runs on the solving
+// goroutine and must be fast and must not call back into the solver.
+// A nil callback or every == 0 disables the probe. The disabled cost is
+// one nil-check per conflict.
+func (s *Solver) SetProgress(every uint64, f func(Progress)) {
+	if f == nil || every == 0 {
+		s.progress, s.progressEvery, s.progressNext = nil, 0, 0
+		return
+	}
+	s.progress = f
+	s.progressEvery = every
+	s.progressNext = s.stats.Conflicts + every
+}
+
+// progressSnapshot builds the probe's view of the search.
+func (s *Solver) progressSnapshot() Progress {
+	return Progress{
+		Conflicts:    s.stats.Conflicts,
+		Decisions:    s.stats.Decisions,
+		Propagations: s.stats.Propagations,
+		Restarts:     s.stats.Restarts,
+		Reduces:      s.stats.Reduces,
+		LearntDB:     len(s.learned),
+		Level:        s.decisionLevel(),
+	}
+}
 
 // Stats returns a snapshot of the solver counters.
 func (s *Solver) Stats() Stats {
@@ -457,6 +493,7 @@ func (s *Solver) record(lits []Lit) {
 // reduceDB discards roughly half the learned clauses, preferring high-LBD
 // low-activity ones. Clauses currently acting as reasons are kept.
 func (s *Solver) reduceDB() {
+	s.stats.Reduces++
 	sort.Slice(s.learned, func(i, j int) bool {
 		a, b := s.learned[i], s.learned[j]
 		if a.lbd != b.lbd {
@@ -558,6 +595,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.stats.Conflicts++
 			conflicts++
 			conflictsAtRestart++
+			if s.progress != nil && s.stats.Conflicts >= s.progressNext {
+				s.progressNext = s.stats.Conflicts + s.progressEvery
+				s.progress(s.progressSnapshot())
+			}
 			if s.decisionLevel() == 0 {
 				s.rootUnsat = true
 				return Unsat

@@ -1,7 +1,11 @@
 package sat
 
 import (
+	"fmt"
+	"reflect"
+	"strings"
 	"testing"
+	"time"
 )
 
 // php adds the pigeonhole principle PHP(pigeons, holes) to s: every
@@ -72,6 +76,137 @@ func TestStatsSub(t *testing.T) {
 	}
 	if delta.MaxVars != mid.MaxVars {
 		t.Fatalf("Sub must keep absolute MaxVars, got %d want %d", delta.MaxVars, mid.MaxVars)
+	}
+}
+
+// TestStatsCountersComplete is the round-trip guard for Stats: every
+// field — including ones added later — must survive Sub (as a delta for
+// cumulative counters, as the current value for the absolute instance-
+// size fields) and must be rendered by String. It works by reflection
+// so a newly added counter that is forgotten in Sub or String fails
+// here instead of silently producing incomplete per-solve deltas.
+func TestStatsCountersComplete(t *testing.T) {
+	var big, small Stats
+	bv := reflect.ValueOf(&big).Elem()
+	sv := reflect.ValueOf(&small).Elem()
+	tp := reflect.TypeOf(big)
+	for i := 0; i < bv.NumField(); i++ {
+		switch bv.Field(i).Kind() {
+		case reflect.Uint64:
+			bv.Field(i).SetUint(uint64(1000 + 111*i))
+			sv.Field(i).SetUint(uint64(100 + i))
+		case reflect.Int64: // time.Duration
+			bv.Field(i).SetInt(int64(time.Duration(1000+111*i) * time.Millisecond))
+			sv.Field(i).SetInt(int64(time.Duration(100+i) * time.Millisecond))
+		case reflect.Int: // absolute instance-size fields
+			bv.Field(i).SetInt(int64(1000 + 111*i))
+			sv.Field(i).SetInt(int64(100 + i))
+		default:
+			t.Fatalf("Stats field %s has unhandled kind %v — extend this test",
+				tp.Field(i).Name, bv.Field(i).Kind())
+		}
+	}
+
+	delta := big.Sub(small)
+	dv := reflect.ValueOf(delta)
+	for i := 0; i < dv.NumField(); i++ {
+		name := tp.Field(i).Name
+		switch dv.Field(i).Kind() {
+		case reflect.Uint64:
+			want := bv.Field(i).Uint() - sv.Field(i).Uint()
+			if got := dv.Field(i).Uint(); got != want {
+				t.Errorf("Sub dropped or miscomputed %s: got %d, want %d", name, got, want)
+			}
+		case reflect.Int64:
+			want := bv.Field(i).Int() - sv.Field(i).Int()
+			if got := dv.Field(i).Int(); got != want {
+				t.Errorf("Sub dropped or miscomputed %s: got %d, want %d", name, got, want)
+			}
+		case reflect.Int:
+			// Absolute fields keep the current (big) value.
+			if got := dv.Field(i).Int(); got != bv.Field(i).Int() {
+				t.Errorf("Sub must keep absolute %s: got %d, want %d", name, got, bv.Field(i).Int())
+			}
+		}
+	}
+
+	s := big.String()
+	for i := 0; i < bv.NumField(); i++ {
+		name := tp.Field(i).Name
+		var want string
+		if name == "SolveTime" {
+			want = fmt.Sprintf("%.2f", float64(big.SolveTime.Microseconds())/1000)
+		} else {
+			switch bv.Field(i).Kind() {
+			case reflect.Uint64:
+				want = fmt.Sprintf("%d", bv.Field(i).Uint())
+			default:
+				want = fmt.Sprintf("%d", bv.Field(i).Int())
+			}
+		}
+		if !strings.Contains(s, want) {
+			t.Errorf("String() does not render %s (looked for %q): %s", name, want, s)
+		}
+	}
+}
+
+// TestSetProgress checks the solver progress probe: reports fire at the
+// configured conflict interval, carry monotonically increasing counters
+// consistent with the final Stats, and the probe can be disabled.
+func TestSetProgress(t *testing.T) {
+	s := New()
+	php(t, s, 8, 7)
+	const every = 10
+	var reports []Progress
+	s.SetProgress(every, func(p Progress) { reports = append(reports, p) })
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want unsat", got)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports on a multi-hundred-conflict proof")
+	}
+	var last uint64
+	for i, p := range reports {
+		if p.Conflicts < last+every {
+			t.Fatalf("report %d at %d conflicts, previous at %d: interval violated", i, p.Conflicts, last)
+		}
+		last = p.Conflicts
+		if p.Decisions == 0 || p.Propagations == 0 {
+			t.Fatalf("report %d has empty counters: %+v", i, p)
+		}
+	}
+	final := s.Stats()
+	if last > final.Conflicts {
+		t.Fatalf("last report (%d conflicts) exceeds final stats (%d)", last, final.Conflicts)
+	}
+	if uint64(len(reports)) > final.Conflicts/every {
+		t.Fatalf("%d reports for %d conflicts at interval %d", len(reports), final.Conflicts, every)
+	}
+}
+
+func TestSetProgressDisabled(t *testing.T) {
+	fired := false
+	probe := func(Progress) { fired = true }
+
+	s := New()
+	php(t, s, 6, 5)
+	s.SetProgress(0, probe) // every == 0 disables
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat")
+	}
+	if fired {
+		t.Fatal("probe fired with interval 0")
+	}
+
+	s2 := New()
+	php(t, s2, 6, 5)
+	s2.SetProgress(10, probe)
+	s2.SetProgress(10, nil) // nil callback disables
+	if s2.Solve() != Unsat {
+		t.Fatal("want unsat")
+	}
+	if fired {
+		t.Fatal("probe fired after being cleared")
 	}
 }
 

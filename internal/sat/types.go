@@ -167,16 +167,34 @@ type Stats struct {
 	Propagations uint64
 	Restarts     uint64
 	Learned      uint64
-	Removed      uint64
+	Removed      uint64        // learned clauses deleted by DB reduction
+	Reduces      uint64        // learned-DB reduction sweeps (reduceDB calls)
 	Solves       uint64        // completed Solve calls
 	SolveTime    time.Duration // wall time spent inside Solve
 	MaxVars      int
 	Clauses      int
 }
 
+// Progress is the point-in-time search snapshot delivered to the
+// progress probe (Solver.SetProgress) every N conflicts. The cumulative
+// counters mirror Stats; LearntDB and Level describe the current state
+// of the search rather than totals.
+type Progress struct {
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+	Reduces      uint64
+	LearntDB     int // current learned-clause database size
+	Level        int // current decision level
+}
+
 // Sub returns the counter difference st - prev: the work performed
 // between the two snapshots. The absolute instance-size fields (MaxVars,
 // Clauses) keep their current values rather than being subtracted.
+// Every cumulative counter added to Stats MUST be subtracted here and
+// rendered by String — TestStatsCountersComplete enforces this by
+// reflection, so per-solve deltas never silently lose a counter.
 func (st Stats) Sub(prev Stats) Stats {
 	return Stats{
 		Conflicts:    st.Conflicts - prev.Conflicts,
@@ -185,6 +203,7 @@ func (st Stats) Sub(prev Stats) Stats {
 		Restarts:     st.Restarts - prev.Restarts,
 		Learned:      st.Learned - prev.Learned,
 		Removed:      st.Removed - prev.Removed,
+		Reduces:      st.Reduces - prev.Reduces,
 		Solves:       st.Solves - prev.Solves,
 		SolveTime:    st.SolveTime - prev.SolveTime,
 		MaxVars:      st.MaxVars,
@@ -195,7 +214,7 @@ func (st Stats) Sub(prev Stats) Stats {
 // String implements fmt.Stringer.
 func (st Stats) String() string {
 	return fmt.Sprintf(
-		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d solves=%d solve_ms=%.2f",
+		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d reduces=%d solves=%d solve_ms=%.2f",
 		st.MaxVars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned, st.Removed,
-		st.Solves, float64(st.SolveTime.Microseconds())/1000)
+		st.Reduces, st.Solves, float64(st.SolveTime.Microseconds())/1000)
 }

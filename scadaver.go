@@ -34,6 +34,7 @@ import (
 	"scadaver/internal/core"
 	"scadaver/internal/hardening"
 	"scadaver/internal/lint"
+	"scadaver/internal/obs"
 	"scadaver/internal/powergrid"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
@@ -64,7 +65,46 @@ type (
 	// SolverStats are per-solve SAT statistics (decisions, conflicts,
 	// propagations, learned clauses, solve time).
 	SolverStats = sat.Stats
+	// SolverProgress is one solver progress report (see WithProgressEvery).
+	SolverProgress = sat.Progress
+	// PhaseTimes is the per-phase time breakdown of one verification
+	// (build / encode / solve / decode).
+	PhaseTimes = core.PhaseTimes
 )
+
+// Observability: phase tracing and metrics (see internal/obs).
+type (
+	// Tracer writes hierarchical spans as JSONL records.
+	Tracer = obs.Tracer
+	// TraceSpan is one span of a trace; nil spans no-op safely.
+	TraceSpan = obs.Span
+	// TraceAttr is one key/value annotation on a span or event.
+	TraceAttr = obs.Attr
+	// MetricsRegistry aggregates counters and duration histograms and
+	// exports them as Prometheus text or JSON.
+	MetricsRegistry = obs.Registry
+)
+
+// NewTracer starts a trace writing JSONL records to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// TraceA builds a span attribute.
+func TraceA(key string, value any) TraceAttr { return obs.A(key, value) }
+
+// WithTrace records every verification as a span tree (query →
+// build/encode/solve/decode) under the given parent span.
+func WithTrace(parent *TraceSpan) Option { return core.WithTrace(parent) }
+
+// WithMetrics records per-query counters and phase-duration histograms
+// into the registry; safe to share across Runner workers.
+func WithMetrics(m *MetricsRegistry) Option { return core.WithMetrics(m) }
+
+// WithProgressEvery sets the solver progress-probe interval in
+// conflicts for traced solves (0 restores the default).
+func WithProgressEvery(n uint64) Option { return core.WithProgressEvery(n) }
 
 // The verified properties.
 const (

@@ -126,3 +126,42 @@ func TestFacadeBuildNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeObservability(t *testing.T) {
+	cfg, err := scadaver.CaseStudyConfig(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := scadaver.NewTracer(&buf)
+	root := tracer.Start("facade", scadaver.TraceA("suite", "test"))
+	reg := scadaver.NewMetricsRegistry()
+	analyzer, err := scadaver.NewAnalyzer(cfg,
+		scadaver.WithTrace(root),
+		scadaver.WithMetrics(reg),
+		scadaver.WithProgressEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyzer.Verify(scadaver.Query{Property: scadaver.SecuredObservability, K1: 1, K2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases.Solve <= 0 || res.Phases.Sum() > res.Duration {
+		t.Fatalf("phase breakdown inconsistent: %v vs %v", res.Phases, res.Duration)
+	}
+	root.End()
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"solve"`) {
+		t.Fatal("trace missing solve span")
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "scadaver_queries_total") {
+		t.Fatalf("metrics export missing query counter:\n%s", prom.String())
+	}
+}
