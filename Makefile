@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-record verify
+.PHONY: all build vet test race lint bench bench-record chaos verify
 
 all: build
 
@@ -32,9 +32,19 @@ bench:
 bench-record:
 	$(GO) run ./cmd/scada-bench -record BENCH_pr2.json -inputs 1 -runs 2 -maxk 4
 
+# The chaos pass: the fault-tolerance suite (deterministic fault
+# injection, budget degradation, checkpoint/resume, panic isolation)
+# under the race detector, uncached so injected faults re-fire every
+# run (see DESIGN.md §9).
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
+	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume' ./internal/core
+	$(GO) test -race -count=1 -run 'TestSetup|TestTracer' ./internal/obs
+
 # The pre-merge gate: static checks, full build, race-enabled tests,
-# and the config lint. The observability layer gets an explicit vet +
-# race pass (its tests hammer the tracer and registry concurrently).
-verify: vet build race lint
+# the config lint, and the chaos pass. The observability layer gets an
+# explicit vet + race pass (its tests hammer the tracer and registry
+# concurrently).
+verify: vet build race lint chaos
 	$(GO) vet ./internal/obs
 	$(GO) test -race -count=1 ./internal/obs ./internal/sat

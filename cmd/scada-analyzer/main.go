@@ -70,6 +70,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		metricsOut = fs.String("metrics", "", "write verification metrics to this file (.json extension = JSON, otherwise Prometheus text)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		progress   = fs.Uint64("progress", 0, "emit a solver progress trace event every N conflicts (0 = off; requires -trace)")
+		deadline   = fs.Duration("deadline", 0, "per-query wall-clock deadline; exhausted queries degrade to UNSOLVED (0 = none)")
+		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
+		checkpoint = fs.String("checkpoint", "", "resumable checkpoint file for -sweep campaigns and threat enumeration")
+		keepGoing  = fs.Bool("keep-going", true, "for parallel -sweep: isolate per-query failures instead of aborting the campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +152,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *progress > 0 {
 		opts = append(opts, core.WithProgressEvery(*progress))
 	}
+	budget := core.QueryBudget{Deadline: *deadline, Retries: *retries}
+	if budget.Enabled() {
+		opts = append(opts, core.WithBudget(budget))
+	}
 
 	analyzer, err := core.NewAnalyzer(cfg, opts...)
 	if err != nil {
@@ -163,7 +171,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	if *sweepK >= 0 {
-		return runSweep(out, cfg, analyzer, prop, q.R, *sweepK, *workers, *stats, *jsonOut, opts)
+		return runSweep(out, cfg, analyzer, prop, q.R, *sweepK, *workers, *stats, *jsonOut, *checkpoint, *keepGoing, opts)
 	}
 
 	res, err := analyzer.Verify(q)
@@ -172,7 +180,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	var vectors []core.ThreatVector
 	if !res.Resilient() && *enumerate > 0 {
-		if vectors, err = analyzer.EnumerateThreats(q, *enumerate); err != nil {
+		ck, err := openEnumerateCheckpoint(*checkpoint, cfg, q)
+		if err != nil {
+			return err
+		}
+		if vectors, err = analyzer.EnumerateThreatsResumable(q, *enumerate, ck); err != nil {
 			return err
 		}
 	}
@@ -232,28 +244,64 @@ func run(args []string, out io.Writer) (retErr error) {
 	return nil
 }
 
+// openEnumerateCheckpoint opens (or disables, for an empty path) the
+// threat-enumeration checkpoint, fingerprinted over the configuration
+// and the query so a checkpoint from a different campaign is rejected.
+func openEnumerateCheckpoint(path string, cfg *scadanet.Config, q core.Query) (*core.Checkpoint, error) {
+	if path == "" {
+		return nil, nil
+	}
+	fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindEnumerate, q)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenCheckpoint(path, core.CheckpointKindEnumerate, fp)
+}
+
 // runSweep verifies the property under every combined budget k = 0..maxK.
 // With one worker a single solver is reused incrementally across budgets
 // (core.Sweep); with more, the budgets fan out over a core.Runner pool of
-// independent solvers. Both paths report identical verdicts.
-func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop core.Property, r, maxK, workers int, stats, jsonOut bool, opts []core.Option) error {
+// independent solvers. Both paths report identical verdicts, share the
+// same checkpoint format (entries keyed by k), and a checkpoint written
+// under one worker count resumes under any other. In parallel keep-going
+// mode (the default) per-query failures are isolated and reported at the
+// end instead of aborting the campaign.
+func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop core.Property, r, maxK, workers int, stats, jsonOut bool, checkpointPath string, keepGoing bool, opts []core.Option) error {
 	queries := make([]core.Query, 0, maxK+1)
 	for k := 0; k <= maxK; k++ {
 		queries = append(queries, core.Query{Property: prop, Combined: true, K: k, R: r})
 	}
 
+	var ck *core.Checkpoint
+	if checkpointPath != "" {
+		fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindCampaign, queries)
+		if err != nil {
+			return err
+		}
+		if ck, err = core.OpenCheckpoint(checkpointPath, core.CheckpointKindCampaign, fp); err != nil {
+			return err
+		}
+	}
+
 	var results []*core.Result
+	var errs []error
 	if workers == 1 {
 		sw, err := analyzer.NewSweep(prop, r, 0)
 		if err != nil {
 			return err
 		}
-		for k := 0; k <= maxK; k++ {
-			res, err := sw.VerifyK(k)
-			if err != nil {
-				return err
-			}
-			results = append(results, res)
+		if results, err = sw.VerifyRange(maxK, ck); err != nil {
+			return err
+		}
+	} else if keepGoing || ck != nil {
+		outcomes, err := core.NewRunner(workers, opts...).VerifyAllResumable(context.Background(), cfg, queries, ck)
+		if err != nil {
+			return err
+		}
+		results = make([]*core.Result, len(outcomes))
+		errs = make([]error, len(outcomes))
+		for i, o := range outcomes {
+			results[i], errs[i] = o.Result, o.Err
 		}
 	} else {
 		var err error
@@ -268,12 +316,25 @@ func runSweep(out io.Writer, cfg *scadanet.Config, analyzer *core.Analyzer, prop
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)
 	}
-	for _, res := range results {
+	failed := 0
+	for i, res := range results {
+		if res == nil {
+			failed++
+			if len(errs) > i && errs[i] != nil {
+				fmt.Fprintf(out, "%v: ERROR — %v\n", queries[i], errs[i])
+			} else {
+				fmt.Fprintf(out, "%v: no result\n", queries[i])
+			}
+			continue
+		}
 		fmt.Fprintln(out, res)
 		if stats {
 			fmt.Fprintln(out, "  solver:", res.Stats)
 			fmt.Fprintln(out, "  phases:", res.Phases)
 		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d sweep queries failed (results above are partial)", failed, len(queries))
 	}
 	return nil
 }

@@ -258,3 +258,89 @@ func TestRunMetricsJSONAndSweepPhases(t *testing.T) {
 		t.Fatalf("metrics recorded %v queries, want 3", queries)
 	}
 }
+
+// TestRunEnumerateCheckpoint drives the -checkpoint flag on threat
+// enumeration end to end: the first run writes a resumable JSONL file,
+// a second run resumes from it and reports the same vectors, and a
+// checkpoint from a different campaign is rejected loudly.
+func TestRunEnumerateCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	args := []string{"-config", configPath, "-property", "secured",
+		"-enumerate", "10", "-checkpoint", path, "-deadline", "1h", "-retries", "1"}
+
+	var first strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "threat vectors") {
+		t.Fatalf("output: %s", first.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], `"kind":"enumerate"`) {
+		t.Fatalf("checkpoint file:\n%s", raw)
+	}
+
+	var resumed strings.Builder
+	if err := run(args, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	// Identical up to the per-run wall-time annotation on the verdict line.
+	stripTimes := func(out string) string {
+		var lines []string
+		for _, line := range strings.Split(out, "\n") {
+			if i := strings.LastIndex(line, " ("); i >= 0 && strings.HasSuffix(line, "ms)") {
+				line = line[:i]
+			}
+			lines = append(lines, line)
+		}
+		return strings.Join(lines, "\n")
+	}
+	if stripTimes(first.String()) != stripTimes(resumed.String()) {
+		t.Fatalf("resumed output differs:\nfirst:\n%s\nresumed:\n%s", first.String(), resumed.String())
+	}
+
+	// A header from a different campaign must be rejected before any work.
+	bogus := `{"schema":"scadaver-checkpoint/1","kind":"enumerate","fingerprint":"deadbeef"}` + "\n"
+	if err := os.WriteFile(path, []byte(bogus), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &resumed); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("foreign checkpoint accepted: err = %v", err)
+	}
+}
+
+// TestRunSweepCheckpoint checks that a sweep checkpoint written by the
+// serial path resumes under a parallel pool with identical verdicts.
+func TestRunSweepCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	var serial strings.Builder
+	if err := run([]string{"-config", configPath, "-property", "obs",
+		"-sweep", "3", "-checkpoint", path}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run([]string{"-config", configPath, "-property", "obs",
+		"-sweep", "3", "-workers", "4", "-checkpoint", path}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(out string) []string {
+		var vs []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "-resilient") {
+				if i := strings.LastIndex(line, " ("); i >= 0 {
+					line = line[:i]
+				}
+				vs = append(vs, line)
+			}
+		}
+		return vs
+	}
+	s, r := strip(serial.String()), strip(resumed.String())
+	if len(s) != 4 || strings.Join(s, "|") != strings.Join(r, "|") {
+		t.Fatalf("verdicts differ across resume:\nserial:  %v\nresumed: %v", s, r)
+	}
+}

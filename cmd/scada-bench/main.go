@@ -12,16 +12,25 @@
 //
 // -record FILE runs the recorded benchmark campaign (boundary + k-sweep
 // over IEEE 14/30/57) and writes the machine-readable per-figure wall
-// time, solve time and solver conflicts to FILE. -trace, -metrics and
-// -pprof mirror scada-analyzer's observability flags.
+// time, solve time and solver conflicts to FILE, atomically (the file
+// is replaced only once the campaign finished writing it). -trace,
+// -metrics and -pprof mirror scada-analyzer's observability flags.
+//
+// Fault tolerance (see DESIGN.md §9): -deadline and -retries bound each
+// individual verification, degrading exhausted queries to UNSOLVED rows
+// instead of failing the campaign; -keep-going (default) isolates
+// per-query errors in the sweep campaign; -checkpoint FILE makes -fig
+// sweep resumable across interruptions.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"scadaver/internal/atomicio"
 	"scadaver/internal/core"
 	"scadaver/internal/experiments"
 	"scadaver/internal/obs"
@@ -47,6 +56,10 @@ func run(args []string, w io.Writer) (retErr error) {
 		traceFile  = fs.String("trace", "", "write a JSONL phase trace of every verification to this file")
 		metricsOut = fs.String("metrics", "", "write campaign metrics to this file (.json extension = JSON, otherwise Prometheus text)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address while running")
+		deadline   = fs.Duration("deadline", 0, "per-query wall-clock deadline; exhausted queries degrade to UNSOLVED (0 = none)")
+		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
+		checkpoint = fs.String("checkpoint", "", "for -fig sweep: stream finished queries to this resumable checkpoint file")
+		keepGoing  = fs.Bool("keep-going", true, "for -fig sweep: isolate per-query failures instead of aborting the campaign")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +77,7 @@ func run(args []string, w io.Writer) (retErr error) {
 	opt := experiments.Options{
 		Inputs: *inputs, Runs: *runs, Workers: *workers,
 		Trace: root, Metrics: reg,
+		Budget: core.QueryBudget{Deadline: *deadline, Retries: *retries},
 	}
 
 	if *record != "" {
@@ -72,12 +86,9 @@ func run(args []string, w io.Writer) (retErr error) {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*record)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := experiments.WriteBenchRun(f, run); err != nil {
+		if err := atomicio.WriteFile(*record, func(bw *bufio.Writer) error {
+			return experiments.WriteBenchRun(bw, run)
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "benchmark record (%d figures, %.2f ms total) written to %s\n",
@@ -91,11 +102,14 @@ func run(args []string, w io.Writer) (retErr error) {
 	// The sweep is a performance campaign, not a paper figure, so "all"
 	// does not include it.
 	if *fig == "sweep" {
-		sr, err := experiments.KSweep(*bus, *maxK, *workers, opt.CoreOptions()...)
+		sr, err := experiments.KSweepCampaign(*bus, *maxK, *workers, *checkpoint, *keepGoing, opt.CoreOptions()...)
 		if err != nil {
 			return err
 		}
 		experiments.PrintSweep(w, sr)
+		if n := sr.Failed(); n > 0 {
+			return fmt.Errorf("%d of %d queries failed (results above are partial)", n, len(sr.Queries))
+		}
 		return nil
 	}
 

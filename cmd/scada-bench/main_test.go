@@ -114,3 +114,31 @@ func TestRunSweepTraced(t *testing.T) {
 		t.Fatal("no query spans in sweep trace")
 	}
 }
+
+// TestRunSweepCheckpoint drives -fig sweep with a checkpoint file and
+// checks the campaign resumes from it without re-verifying.
+func TestRunSweepCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	var sb strings.Builder
+	args := []string{"-fig", "sweep", "-bus", "ieee14", "-maxk", "1",
+		"-checkpoint", path, "-deadline", "1h", "-retries", "1"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], `"kind":"campaign"`) {
+		t.Fatalf("checkpoint file:\n%s", raw)
+	}
+
+	sb.Reset()
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "k-sweep campaign: ieee14") {
+		t.Fatalf("resumed output: %s", sb.String())
+	}
+}

@@ -1,0 +1,51 @@
+// Package atomicio writes files atomically via the temp-file + rename
+// idiom, so an interrupted writer — a killed benchmark run, a crashed
+// checkpointing campaign — can never leave a truncated or half-written
+// file behind: readers observe either the previous complete content or
+// the new complete content, never a prefix.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile renders content through fn into a temporary file in path's
+// directory, syncs it, and renames it onto path. If fn (or any I/O
+// step) fails, the temporary file is removed and path is left exactly
+// as it was — in particular, an existing previous version survives.
+func WriteFile(path string, fn func(w *bufio.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = fn(bw); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicio: flush %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: rename onto %s: %w", path, err)
+	}
+	return nil
+}

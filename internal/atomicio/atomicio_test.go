@@ -1,0 +1,86 @@
+package atomicio
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scadaver/internal/faultinject"
+)
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, func(w *bufio.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+// TestWriteFilePreservesPrevious pins the core guarantee: a failing
+// write leaves the previous complete version untouched and litters no
+// temp files.
+func TestWriteFilePreservesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w *bufio.Writer) error {
+		io.WriteString(w, "partial new content")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "previous" {
+		t.Fatalf("previous content clobbered: %q", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file littered: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileInjectedFault drives the writer through a faultinject
+// plan the way the checkpoint writer does: the injected transient error
+// aborts the rename, the target never appears.
+func TestWriteFileInjectedFault(t *testing.T) {
+	faults := faultinject.New(7).FailWrites(0)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	err := WriteFile(path, func(w *bufio.Writer) error {
+		fw := faults.WrapWriter(w)
+		_, err := io.WriteString(fw, "entry\n")
+		return err
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target file exists after failed write (stat err = %v)", serr)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"scadaver/internal/faultinject"
 	"scadaver/internal/logic"
 	"scadaver/internal/obs"
 	"scadaver/internal/sat"
@@ -172,6 +173,14 @@ type Result struct {
 	Duration time.Duration `json:"durationNanos"` // total wall time (kept for JSON compatibility)
 	Phases   PhaseTimes    `json:"phases"`        // per-phase breakdown of Duration
 	Stats    sat.Stats     `json:"stats"`
+
+	// Attempts is the number of solve attempts the query consumed
+	// (> 1 when a QueryBudget retried with escalated budgets).
+	Attempts int `json:"attempts,omitempty"`
+	// FailureReason explains an Unsolved status (ReasonDeadline,
+	// ReasonConflicts, ReasonInterrupted, ...); empty for decided
+	// queries.
+	FailureReason string `json:"failureReason,omitempty"`
 }
 
 // Resilient reports whether the system satisfies the queried resiliency
@@ -180,12 +189,20 @@ func (r *Result) Resilient() bool { return r.Status == sat.Unsat }
 
 // String summarizes the result.
 func (r *Result) String() string {
-	if r.Status == sat.Sat {
+	switch r.Status {
+	case sat.Sat:
 		return fmt.Sprintf("%v: VIOLATED — threat vector %v (%.2fms)",
 			r.Query, r.Vector, float64(r.Duration.Microseconds())/1000)
+	case sat.Unsat:
+		return fmt.Sprintf("%v: HOLDS (%v, %.2fms)",
+			r.Query, r.Status, float64(r.Duration.Microseconds())/1000)
 	}
-	return fmt.Sprintf("%v: HOLDS (%v, %.2fms)",
-		r.Query, r.Status, float64(r.Duration.Microseconds())/1000)
+	reason := r.FailureReason
+	if reason == "" {
+		reason = "budget exhausted"
+	}
+	return fmt.Sprintf("%v: UNSOLVED — %s after %d attempt(s) (%.2fms)",
+		r.Query, reason, max(r.Attempts, 1), float64(r.Duration.Microseconds())/1000)
 }
 
 // Option configures an Analyzer.
@@ -207,6 +224,16 @@ func WithMaxPaths(n int) Option {
 // enumeration — gets the full budget.
 func WithConflictBudget(n uint64) Option {
 	return func(a *Analyzer) { a.conflictBudget = n }
+}
+
+// WithFaults threads a deterministic fault-injection plan (see
+// internal/faultinject) into every solver and campaign hook of this
+// analyzer: solver stalls, solve delays, and — when the same options
+// reach a Runner — worker panics. A nil plan (the default) injects
+// nothing; the option exists so chaos tests exercise the exact
+// production code paths, with no build tags.
+func WithFaults(f *faultinject.Faults) Option {
+	return func(a *Analyzer) { a.faults = f }
 }
 
 // WithInterrupt installs a cancellation hook polled by every solver this
@@ -258,6 +285,8 @@ type Analyzer struct {
 	maxPaths       int
 	conflictBudget uint64
 	interrupt      func() bool
+	budget         QueryBudget
+	faults         *faultinject.Faults
 
 	// Observability (all optional; nil = disabled).
 	trace         *obs.Span
@@ -368,21 +397,24 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	ph.Encode = time.Since(t0)
 	sp.End()
 
-	a.arm(enc)
 	sp = qspan.Start("solve")
 	a.armProgress(enc, sp)
 	t0 = time.Now()
-	status := enc.Solve()
+	out := a.solveBudgeted(q, enc, sp)
+	status := out.status
 	ph.Solve = time.Since(t0)
 	enc.Solver().SetProgress(0, nil)
 	stats := enc.Solver().Stats()
-	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts))
+	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts),
+		obs.A("attempts", out.attempts))
 	sp.End()
 
 	res := &Result{
-		Query:  q,
-		Status: status,
-		Stats:  stats,
+		Query:         q,
+		Status:        status,
+		Stats:         stats,
+		Attempts:      out.attempts,
+		FailureReason: out.reason,
 	}
 	if status == sat.Sat {
 		sp = qspan.Start("decode")
@@ -498,17 +530,6 @@ func pairVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Pair_%d", id)
 // secVar names the Authenticated ∧ IntegrityProtected judgement of a
 // link (secured properties only).
 func secVar(id scadanet.LinkID) *logic.Formula { return logic.Vf("Sec_%d", id) }
-
-// arm applies the analyzer's per-solve solver settings (conflict budget,
-// cancellation hook) to a freshly built encoder.
-func (a *Analyzer) arm(enc *logic.Encoder) {
-	if a.conflictBudget > 0 {
-		enc.Solver().SetConflictBudget(a.conflictBudget)
-	}
-	if a.interrupt != nil {
-		enc.Solver().SetInterrupt(a.interrupt)
-	}
-}
 
 // encode builds the full SMT-style model of the query: configuration
 // constraints, the delivery/observability definitions, the failure

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"scadaver/internal/obs"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+)
+
+// counterTotal sums every series of one counter family, collapsing the
+// labels (property, reason) tests do not care about.
+func counterTotal(reg *obs.Registry, name string) float64 {
+	var total float64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// findConflictHeavyQuery finds a campaign query whose unbudgeted solve
+// spends at least minConflicts conflicts, so budget tests can rely on a
+// conflict cap actually biting. The pick is deterministic (serial
+// verification over a fixed synthetic topology).
+func findConflictHeavyQuery(t *testing.T, a *Analyzer, minConflicts uint64) (Query, *Result) {
+	t.Helper()
+	for _, q := range campaignQueries(3) {
+		res, err := a.Verify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Conflicts >= minConflicts {
+			return q, res
+		}
+	}
+	t.Skip("no campaign query reaches the conflict threshold on this topology")
+	return Query{}, nil
+}
+
+// TestBudgetConflictExhaustion pins graceful degradation: a conflict
+// budget far below what the query needs yields Status Unsolved with the
+// attempt count and failure reason recorded on the Result — never an
+// error — and the unsolved/retry counters record the campaign's pain.
+func TestBudgetConflictExhaustion(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	probe, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findConflictHeavyQuery(t, probe, 8)
+
+	reg := obs.NewRegistry()
+	a, err := NewAnalyzer(cfg,
+		WithMetrics(reg),
+		WithBudget(QueryBudget{Conflicts: 1, Retries: 2, Escalate: 1.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not error: %v", err)
+	}
+	if res.Status != sat.Unsolved {
+		t.Fatalf("status = %v, want Unsolved", res.Status)
+	}
+	if res.FailureReason != ReasonConflicts {
+		t.Fatalf("reason = %q, want %q", res.FailureReason, ReasonConflicts)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", res.Attempts)
+	}
+	if got := counterTotal(reg, "scadaver_queries_unsolved_total"); got != 1 {
+		t.Fatalf("scadaver_queries_unsolved_total = %v, want 1", got)
+	}
+	if got := counterTotal(reg, "scadaver_retries_total"); got != 2 {
+		t.Fatalf("scadaver_retries_total = %v, want 2", got)
+	}
+}
+
+// TestBudgetEscalationRecovers pins the retry contract: a query that
+// starts with a hopeless conflict budget but enough retries escalates
+// its way to a decision, and the decision matches the unbudgeted one.
+func TestBudgetEscalationRecovers(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	probe, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, want := findConflictHeavyQuery(t, probe, 8)
+
+	a, err := NewAnalyzer(cfg,
+		WithBudget(QueryBudget{Conflicts: 1, Retries: 30})) // 1 → 2 → 4 → ... covers any instance
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != want.Status {
+		t.Fatalf("escalated status = %v, want %v (unbudgeted)", res.Status, want.Status)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (the first 1-conflict attempt cannot succeed)", res.Attempts)
+	}
+	if res.FailureReason != "" {
+		t.Fatalf("decided query has FailureReason = %q, want empty", res.FailureReason)
+	}
+}
+
+// TestBudgetDeadline drives the wall-clock bound: a deadline of one
+// nanosecond has expired by the solver's first interrupt poll, so the
+// query degrades with ReasonDeadline.
+func TestBudgetDeadline(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE57(), 41, 2)
+	a, err := NewAnalyzer(cfg, WithBudget(QueryBudget{Deadline: time.Nanosecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: SecuredObservability, Combined: true, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsolved {
+		t.Skipf("instance decided before the first interrupt poll (%v)", res.Status)
+	}
+	if res.FailureReason != ReasonDeadline {
+		t.Fatalf("reason = %q, want %q", res.FailureReason, ReasonDeadline)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retries granted)", res.Attempts)
+	}
+}
+
+// TestBudgetInterruptNotRetried pins the cancellation/budget boundary:
+// an externally interrupted solve reports ReasonInterrupted and is NOT
+// retried, no matter how many retries the budget grants — the campaign
+// is shutting down.
+func TestBudgetInterruptNotRetried(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	a, err := NewAnalyzer(cfg,
+		WithInterrupt(func() bool { return true }),
+		WithBudget(QueryBudget{Conflicts: 1, Retries: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(Query{Property: Observability, Combined: true, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsolved {
+		t.Fatalf("status = %v, want Unsolved", res.Status)
+	}
+	if res.FailureReason != ReasonInterrupted {
+		t.Fatalf("reason = %q, want %q", res.FailureReason, ReasonInterrupted)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (interrupted solves must not retry)", res.Attempts)
+	}
+}
+
+// TestBudgetSweepIsolation ensures a budget armed on a sweep's shared
+// solver does not leak across queries: after an exhausted query the
+// next budget still gets fresh attempts, and an unbudgeted follow-up
+// query on the same analyzer is unconstrained.
+func TestBudgetSweepIsolation(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	a, err := NewAnalyzer(cfg, WithBudget(QueryBudget{Conflicts: 1, Retries: 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := a.NewSweep(Observability, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 3; k++ {
+		res, err := sw.VerifyK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := plain.Verify(Query{Property: Observability, Combined: true, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != want.Status {
+			t.Fatalf("k=%d: sweep-with-budget %v != unbudgeted %v", k, res.Status, want.Status)
+		}
+	}
+}

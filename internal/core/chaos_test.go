@@ -1,0 +1,422 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scadaver/internal/faultinject"
+	"scadaver/internal/obs"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+)
+
+// outcomeKey flattens one outcome for equality checks across worker
+// counts: status, failure reason and threat vector (errors compare by
+// message).
+func outcomeKey(o Outcome) string {
+	if o.Err != nil {
+		return "err:" + o.Err.Error()
+	}
+	if o.Result == nil {
+		return "missing"
+	}
+	return o.Result.Status.String() + "/" + o.Result.FailureReason + "/" + fmt.Sprint(o.Result.Vector)
+}
+
+// TestChaosSolverStallParallelEqualsSerial runs a whole campaign with
+// the solver-stall fault armed — every solve gives up after one
+// conflict — and asserts the degraded campaign is still deterministic:
+// a full outcome at every index, and parallel outcomes identical to
+// serial ones.
+func TestChaosSolverStallParallelEqualsSerial(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+
+	run := func(workers int) []Outcome {
+		faults := faultinject.New(1).StallSolverAfter(1).DelaySolves(100 * time.Microsecond)
+		out, err := NewRunner(workers, WithFaults(faults)).
+			VerifyAllCollect(context.Background(), cfg, queries)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial, parallel := run(1), run(8)
+
+	sawStall := false
+	for i := range queries {
+		if serial[i].Result == nil || parallel[i].Result == nil {
+			t.Fatalf("query %d: collect mode dropped an outcome (serial=%+v parallel=%+v)", i, serial[i], parallel[i])
+		}
+		if got, want := outcomeKey(parallel[i]), outcomeKey(serial[i]); got != want {
+			t.Fatalf("query %d: parallel %q != serial %q", i, got, want)
+		}
+		if serial[i].Result.Status == sat.Unsolved {
+			sawStall = true
+			if serial[i].Result.FailureReason != ReasonInjectedStall {
+				t.Fatalf("query %d: reason %q, want %q", i, serial[i].Result.FailureReason, ReasonInjectedStall)
+			}
+		}
+	}
+	if !sawStall {
+		t.Fatal("stall fault never bit: campaign has no conflict-requiring query")
+	}
+}
+
+// TestChaosWorkerPanicIsolated pins panic isolation in collect mode:
+// exactly the victim query carries a *PanicError, every other query
+// completes, and the panic is counted in the metrics registry.
+func TestChaosWorkerPanicIsolated(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+
+	faults := faultinject.New(3)
+	victim := faults.Pick(len(queries))
+	faults.PanicOnTask(victim)
+	reg := obs.NewRegistry()
+
+	out, err := NewRunner(4, WithFaults(faults), WithMetrics(reg)).
+		VerifyAllCollect(context.Background(), cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if i == victim {
+			var pe *PanicError
+			if !errors.As(out[i].Err, &pe) {
+				t.Fatalf("victim %d: err = %v, want *PanicError", i, out[i].Err)
+			}
+			if pe.Index != victim {
+				t.Fatalf("PanicError.Index = %d, want %d", pe.Index, victim)
+			}
+			if !errors.Is(out[i].Err, faultinject.ErrInjected) {
+				t.Fatalf("panic value not unwrapped: %v", out[i].Err)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("PanicError.Stack empty")
+			}
+			continue
+		}
+		if out[i].Err != nil || out[i].Result == nil {
+			t.Fatalf("query %d: not isolated from victim %d: %+v", i, victim, out[i])
+		}
+	}
+	if got := counterTotal(reg, "scadaver_worker_panics_total"); got != 1 {
+		t.Fatalf("scadaver_worker_panics_total = %v, want 1", got)
+	}
+	if faults.Counts().Panics != 1 {
+		t.Fatalf("plan fired %d panics, want 1", faults.Counts().Panics)
+	}
+}
+
+// TestChaosWorkerPanicStrictMode pins the strict campaign under the
+// same fault: VerifyAll fails fast with an error naming the panicking
+// task instead of crashing the process.
+func TestChaosWorkerPanicStrictMode(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(1)
+
+	faults := faultinject.New(3).PanicOnTask(0)
+	_, err := NewRunner(2, WithFaults(faults)).
+		VerifyAll(context.Background(), cfg, queries)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("strict campaign err = %v, want *PanicError", err)
+	}
+	if pe.Index != 0 {
+		t.Fatalf("PanicError.Index = %d, want 0", pe.Index)
+	}
+	if !strings.Contains(err.Error(), "task 0 panicked") {
+		t.Fatalf("error does not name the failing task: %v", err)
+	}
+}
+
+// TestChaosCheckpointWriteFaults runs an enumeration whose checkpoint
+// writer suffers repeated transient I/O faults and asserts the
+// fault-tolerance contract: the campaign completes with the full threat
+// set, and the file on disk is a valid checkpoint whose entries are a
+// subset of that set.
+func TestChaosCheckpointWriteFaults(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	q := Query{Property: Observability, Combined: true, K: 2}
+
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Skip("query enumerates no vectors on this topology")
+	}
+
+	faults := faultinject.New(11).FailWrites(0, 2, 4, 6)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.UseFaults(faults)
+
+	a2, err := NewAnalyzer(cfg, WithFaults(faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a2.EnumerateThreatsResumable(q, 0, ck)
+	if err != nil {
+		t.Fatalf("campaign must survive checkpoint write faults: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("faulted enumeration found %d vectors, want %d", len(got), len(want))
+	}
+	if faults.Counts().WriteFaults == 0 {
+		t.Fatal("write faults never fired")
+	}
+
+	wantKeys := map[string]bool{}
+	for _, v := range want {
+		wantKeys[v.key()] = true
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-chaos")
+	if err != nil {
+		t.Fatalf("on-disk checkpoint invalid after write faults: %v", err)
+	}
+	for _, raw := range ck2.Entries() {
+		var v ThreatVector
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		if !wantKeys[v.key()] {
+			t.Fatalf("checkpoint holds vector %v not in the enumerated set", v)
+		}
+	}
+}
+
+// TestChaosEnumerationResume is the acceptance scenario: an enumeration
+// interrupted partway (here: capped) and resumed from its checkpoint
+// yields exactly the set of the uninterrupted run — minimal vectors
+// form an antichain, so blocking the checkpointed ones cannot lose any.
+func TestChaosEnumerationResume(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	q := Query{Property: SecuredObservability, Combined: true, K: 2}
+
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 2 {
+		t.Skipf("need >= 2 vectors to interrupt meaningfully, got %d", len(want))
+	}
+
+	fp, err := CampaignFingerprint(cfg, CheckpointKindEnumerate, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := a.EnumerateThreatsResumable(q, len(want)/2, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) != len(want)/2 {
+		t.Fatalf("interrupted run found %d vectors, want %d", len(partial), len(want)/2)
+	}
+
+	// Resume on a fresh analyzer (fresh process in real life).
+	a2, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck2.Entries()) != len(partial) {
+		t.Fatalf("checkpoint recovered %d vectors, want %d", len(ck2.Entries()), len(partial))
+	}
+	got, err := a2.EnumerateThreatsResumable(q, 0, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantKeys := map[string]bool{}
+	for _, v := range want {
+		wantKeys[v.key()] = true
+	}
+	gotKeys := map[string]bool{}
+	for _, v := range got {
+		gotKeys[v.key()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed enumeration found %d vectors, uninterrupted found %d", len(got), len(want))
+	}
+	for k := range wantKeys {
+		if !gotKeys[k] {
+			t.Fatalf("resumed enumeration lost vector %s", k)
+		}
+	}
+
+	// A checkpoint from a different campaign must be rejected loudly.
+	otherFP, err := CampaignFingerprint(cfg, CheckpointKindEnumerate, Query{Property: Observability, Combined: true, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, CheckpointKindEnumerate, otherFP); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("cross-campaign resume: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestIEEE57EnumerationResume is the paper-scale acceptance scenario
+// (EXPERIMENTS.md "interrupted and resumed"): a threat-space
+// enumeration on the IEEE 57-bus system is interrupted partway, its
+// checkpoint carried to a fresh analyzer, and the resumed run must
+// reproduce the uninterrupted run's threat set exactly — same size,
+// same vectors.
+func TestIEEE57EnumerationResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IEEE 57-bus enumeration is seconds-long; skipped in -short")
+	}
+	cfg := synthConfig(t, powergrid.IEEE57(), 41, 2)
+	q := Query{Property: BadDataDetectability, Combined: true, K: 2, R: 1}
+
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 4 {
+		t.Fatalf("expected a rich threat space on IEEE 57, got %d vectors", len(want))
+	}
+
+	fp, err := CampaignFingerprint(cfg, CheckpointKindEnumerate, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ieee57.ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EnumerateThreatsResumable(q, len(want)/3, ck); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a2.EnumerateThreatsResumable(q, 0, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed run found %d vectors, uninterrupted found %d", len(got), len(want))
+	}
+	wantKeys := map[string]bool{}
+	for _, v := range want {
+		wantKeys[v.key()] = true
+	}
+	for _, v := range got {
+		if !wantKeys[v.key()] {
+			t.Fatalf("resumed run found vector %v absent from the uninterrupted run", v)
+		}
+	}
+}
+
+// TestChaosCampaignResumeAcrossWorkerCounts interrupts a parallel
+// campaign via context cancellation, then resumes its checkpoint under
+// a different worker count and checks the merged outcomes equal an
+// uninterrupted serial campaign, index by index.
+func TestChaosCampaignResumeAcrossWorkerCounts(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+
+	uninterrupted, err := NewRunner(1).VerifyAll(context.Background(), cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp, err := CampaignFingerprint(cfg, CheckpointKindCampaign, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindCampaign, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt the first pass once a few results have reached the
+	// on-disk checkpoint (polled by reopening the file, exactly as a
+	// resuming process would see it). Artificial solve latency keeps
+	// the campaign running long enough to interrupt on fast machines.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = NewRunner(4, WithFaults(faultinject.New(5).DelaySolves(2*time.Millisecond))).
+			VerifyAllResumable(ctx, cfg, queries, ck)
+	}()
+poll:
+	for {
+		select {
+		case <-done:
+			break poll
+		case <-time.After(2 * time.Millisecond):
+		}
+		if ckPoll, err := OpenCheckpoint(path, CheckpointKindCampaign, fp); err == nil && len(ckPoll.Entries()) >= 3 {
+			cancel()
+			break
+		}
+	}
+	cancel()
+	<-done
+
+	// Resume under a different worker count from the on-disk checkpoint.
+	ckResume, err := OpenCheckpoint(path, CheckpointKindCampaign, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckResume.Entries()) == 0 {
+		t.Skip("interrupted pass checkpointed nothing (machine too fast/slow); nothing to resume")
+	}
+	out, err := NewRunner(2).VerifyAllResumable(context.Background(), cfg, queries, ckResume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if out[i].Err != nil || out[i].Result == nil {
+			t.Fatalf("query %d: resumed campaign incomplete: %+v", i, out[i])
+		}
+		if out[i].Result.Status != uninterrupted[i].Status {
+			t.Fatalf("query %d: resumed status %v != uninterrupted %v", i, out[i].Result.Status, uninterrupted[i].Status)
+		}
+		got, want := fmt.Sprint(out[i].Result.Vector), fmt.Sprint(uninterrupted[i].Vector)
+		if got != want {
+			t.Fatalf("query %d: resumed vector %s != uninterrupted %s", i, got, want)
+		}
+	}
+}

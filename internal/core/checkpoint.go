@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"scadaver/internal/atomicio"
+	"scadaver/internal/faultinject"
+	"scadaver/internal/scadanet"
+)
+
+// CheckpointSchema versions the checkpoint file layout. Bump it when
+// the header or entry shapes change incompatibly; resume then rejects
+// stale files loudly instead of misreading them.
+const CheckpointSchema = "scadaver-checkpoint/1"
+
+// Checkpoint kinds: campaigns only resume from checkpoints of their
+// own kind (enforced by OpenCheckpoint alongside the fingerprint).
+const (
+	// CheckpointKindCampaign marks indexed verification campaigns
+	// (Runner.VerifyAllResumable, Sweep.VerifyRange); entries pair an
+	// input index with its finished Result.
+	CheckpointKindCampaign = "campaign"
+	// CheckpointKindEnumerate marks threat-space enumerations
+	// (EnumerateThreatsResumable); entries are ThreatVectors.
+	CheckpointKindEnumerate = "enumerate"
+)
+
+// campaignEntry is the checkpoint entry of indexed campaigns: the input
+// index (query position, or the budget k for sweeps) and its result.
+type campaignEntry struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result"`
+}
+
+// ErrCheckpointMismatch reports that an existing checkpoint file was
+// written by a different campaign (different configuration, queries, or
+// campaign kind) and must not seed this one. Resuming against the wrong
+// campaign would silently skip work that was never done — the mismatch
+// is an error, never a warning.
+var ErrCheckpointMismatch = errors.New("checkpoint does not match this campaign")
+
+// CampaignFingerprint derives a stable identity for a campaign from its
+// full input: the canonical text rendering of the configuration plus
+// the canonical JSON of every extra input that shapes the campaign (the
+// query, the query list, the sweep range). Two campaigns share a
+// fingerprint exactly when a checkpoint of one validly resumes the
+// other — notably, the worker count is excluded on purpose: results are
+// keyed by input index, so a checkpoint taken with 8 workers resumes
+// fine with 1, and vice versa.
+func CampaignFingerprint(cfg *scadanet.Config, kind string, extra ...any) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", CheckpointSchema, kind)
+	if err := scadanet.WriteConfig(h, cfg); err != nil {
+		return "", fmt.Errorf("fingerprint config: %w", err)
+	}
+	for _, e := range extra {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return "", fmt.Errorf("fingerprint input: %w", err)
+		}
+		h.Write(b)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// checkpointHeader is the first JSONL line of a checkpoint file; every
+// following line is one campaign-specific entry.
+type checkpointHeader struct {
+	Schema      string `json:"schema"`
+	Kind        string `json:"kind"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Checkpoint persists a campaign's completed work units as a JSONL
+// file — one header line binding the file to a campaign fingerprint,
+// then one line per completed unit — so an interrupted campaign resumes
+// without redoing them. Every flush rewrites the file atomically
+// (tmp + rename in the same directory), so a crash or an injected I/O
+// fault mid-write leaves the previous complete checkpoint intact: the
+// file on disk is always a valid, if slightly stale, checkpoint.
+//
+// A nil *Checkpoint is valid and disables checkpointing: every method
+// no-ops. Methods are safe for concurrent use by campaign workers.
+type Checkpoint struct {
+	path        string
+	kind        string
+	fingerprint string
+
+	mu      sync.Mutex
+	loaded  []json.RawMessage
+	entries []json.RawMessage
+	faults  *faultinject.Faults
+}
+
+// OpenCheckpoint opens (or initializes) the checkpoint at path for the
+// campaign identified by (kind, fingerprint). A missing file yields an
+// empty checkpoint; an existing file must carry the same schema, kind
+// and fingerprint or OpenCheckpoint fails with ErrCheckpointMismatch.
+// Recovered entries are available through Entries.
+func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, kind: kind, fingerprint: fingerprint}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("read checkpoint %s: %w", path, err)
+		}
+		return c, nil // empty file: treat as a fresh checkpoint
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: malformed header: %w", path, err)
+	}
+	if hdr.Schema != CheckpointSchema || hdr.Kind != kind || hdr.Fingerprint != fingerprint {
+		return nil, fmt.Errorf(
+			"%w: %s has schema=%q kind=%q fingerprint=%.12s…, campaign wants schema=%q kind=%q fingerprint=%.12s…",
+			ErrCheckpointMismatch, path,
+			hdr.Schema, hdr.Kind, hdr.Fingerprint,
+			CheckpointSchema, kind, fingerprint)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		entry := make(json.RawMessage, len(line))
+		copy(entry, line)
+		if !json.Valid(entry) {
+			// A torn trailing line can only come from a non-atomic
+			// writer or disk corruption; refuse to guess.
+			return nil, fmt.Errorf("checkpoint %s: malformed entry %d", path, len(c.loaded)+1)
+		}
+		c.loaded = append(c.loaded, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read checkpoint %s: %w", path, err)
+	}
+	c.entries = append(c.entries, c.loaded...)
+	return c, nil
+}
+
+// UseFaults threads a fault-injection plan into the checkpoint writer
+// (transient I/O errors on flush). Nil plans — and nil checkpoints —
+// are no-ops.
+func (c *Checkpoint) UseFaults(f *faultinject.Faults) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.faults = f
+	c.mu.Unlock()
+}
+
+// Entries returns the work units recovered from disk when the
+// checkpoint was opened (nil for a fresh or nil checkpoint).
+func (c *Checkpoint) Entries() []json.RawMessage {
+	if c == nil {
+		return nil
+	}
+	return c.loaded
+}
+
+// Add records one completed work unit and flushes the checkpoint file.
+// A flush failure (disk full, transient I/O fault) is returned but must
+// be survivable for the caller: the entry stays queued in memory and
+// the next Add retries the whole file, while the previous on-disk
+// checkpoint remains valid throughout.
+func (c *Checkpoint) Add(v any) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint entry: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = append(c.entries, json.RawMessage(b))
+	return c.flushLocked()
+}
+
+// Flush rewrites the checkpoint file from the in-memory entry list.
+func (c *Checkpoint) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Checkpoint) flushLocked() error {
+	hdr, err := json.Marshal(checkpointHeader{
+		Schema: CheckpointSchema, Kind: c.kind, Fingerprint: c.fingerprint,
+	})
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(c.path, func(w *bufio.Writer) error {
+		out := c.faults.WrapWriter(w)
+		if _, err := out.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+		for _, e := range c.entries {
+			if _, err := out.Write(append([]byte(e), '\n')); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scadaver/internal/faultinject"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+)
+
+func TestCampaignFingerprint(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+
+	fp1, err := CampaignFingerprint(cfg, CheckpointKindCampaign, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := CampaignFingerprint(cfg, CheckpointKindCampaign, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not stable: %s != %s", fp1, fp2)
+	}
+
+	otherQueries, err := CampaignFingerprint(cfg, CheckpointKindCampaign, campaignQueries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherQueries == fp1 {
+		t.Fatal("different query lists share a fingerprint")
+	}
+	otherKind, err := CampaignFingerprint(cfg, CheckpointKindEnumerate, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherKind == fp1 {
+		t.Fatal("different kinds share a fingerprint")
+	}
+	otherCfg, err := CampaignFingerprint(synthConfig(t, powergrid.IEEE14(), 99, 2), CheckpointKindCampaign, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherCfg == fp1 {
+		t.Fatal("different configurations share a fingerprint")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Entries()) != 0 {
+		t.Fatalf("fresh checkpoint has %d entries", len(ck.Entries()))
+	}
+	vectors := []ThreatVector{
+		{IEDs: []scadanet.DeviceID{1, 2}},
+		{RTUs: []scadanet.DeviceID{7}},
+	}
+	for _, v := range vectors {
+		if err := ck.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ck2.Entries()
+	if len(got) != len(vectors) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(vectors))
+	}
+	for i, raw := range got {
+		var v ThreatVector
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.key() != vectors[i].key() {
+			t.Fatalf("entry %d = %v, want %v", i, v, vectors[i])
+		}
+	}
+}
+
+func TestCheckpointMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindCampaign, "fp-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Add(campaignEntry{Index: 0, Result: &Result{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenCheckpoint(path, CheckpointKindCampaign, "fp-b"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("fingerprint mismatch: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-a"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("kind mismatch: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestCheckpointTransientWriteFault pins the fault-tolerance grace of
+// the writer: an injected transient I/O failure makes Add report the
+// error but leaves the previous on-disk checkpoint intact, and the next
+// Add rewrites the file with everything, including the entry whose
+// flush failed.
+func TestCheckpointTransientWriteFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Add(ThreatVector{IEDs: []scadanet.DeviceID{1}}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the second flush at its first write (the header; the flush
+	// aborts there, consuming one global write index), then let the
+	// third flush through.
+	ck.UseFaults(faultinject.New(7).FailWrites(0))
+	if err := ck.Add(ThreatVector{IEDs: []scadanet.DeviceID{2}}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Add under injected fault: err = %v, want ErrInjected", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed flush corrupted the on-disk checkpoint")
+	}
+
+	if err := ck.Add(ThreatVector{IEDs: []scadanet.DeviceID{3}}); err != nil {
+		t.Fatalf("Add after transient fault: %v", err)
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck2.Entries()) != 3 {
+		t.Fatalf("recovered %d entries, want 3 (failed entry must be retried by the next flush)", len(ck2.Entries()))
+	}
+}
+
+func TestSweepVerifyRangeResume(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	const maxK = 3
+
+	a1, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw1, err := a1.NewSweep(Observability, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sw1.VerifyRange(maxK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed a checkpoint with k=0 and k=2 decided, marked so a re-run
+	// would be detectable.
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindCampaign, "fp-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2} {
+		marked := *want[k]
+		marked.Attempts = 99
+		if err := ck.Add(campaignEntry{Index: k, Result: &marked}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a2, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2, err := a2.NewSweep(Observability, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindCampaign, "fp-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sw2.VerifyRange(maxK, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= maxK; k++ {
+		if got[k] == nil {
+			t.Fatalf("k=%d: missing result", k)
+		}
+		if got[k].Status != want[k].Status {
+			t.Fatalf("k=%d: resumed status %v != uninterrupted %v", k, got[k].Status, want[k].Status)
+		}
+	}
+	if got[0].Attempts != 99 || got[2].Attempts != 99 {
+		t.Fatal("checkpointed budgets were re-verified instead of skipped")
+	}
+
+	// The finished checkpoint covers the whole range.
+	ck3, err := OpenCheckpoint(path, CheckpointKindCampaign, "fp-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck3.Entries()) != maxK+1 {
+		t.Fatalf("final checkpoint has %d entries, want %d", len(ck3.Entries()), maxK+1)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
+	"scadaver/internal/logic"
 	"scadaver/internal/obs"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
@@ -28,44 +30,93 @@ func (a *Analyzer) startEnumerateSpan(q Query) *obs.Span {
 // simultaneously; enumeration therefore yields an antichain of minimal
 // vectors and terminates.
 func (a *Analyzer) EnumerateThreats(q Query, max int) ([]ThreatVector, error) {
+	return a.EnumerateThreatsResumable(q, max, nil)
+}
+
+// blockVector adds the blocking clause for one minimal vector and
+// reports whether the vector had anything to block — an empty vector
+// means the property is violated with zero failures, so enumeration is
+// complete.
+func blockVector(enc *logic.Encoder, v ThreatVector) bool {
+	block := make(map[string]bool, v.Size())
+	for _, id := range v.Devices() {
+		block[fmt.Sprintf("Node_%d", id)] = false
+	}
+	for _, id := range v.Links {
+		block[fmt.Sprintf("Link_%d", id)] = false
+	}
+	if len(block) == 0 {
+		return false
+	}
+	enc.Block(block)
+	return true
+}
+
+// EnumerateThreatsResumable is EnumerateThreats with checkpointing:
+// each discovered vector is appended to ck, and vectors recovered from
+// a prior interrupted run seed the result set and are re-blocked before
+// the search resumes, so completed work is never repeated.
+//
+// Resuming is sound because minimal vectors form an antichain: blocking
+// one minimal vector excludes only its supersets, never a different
+// minimal vector, so enumeration to exhaustion reaches the same final
+// set regardless of the order — or the number of interruptions — in
+// which vectors were found. A nil ck disables checkpointing.
+func (a *Analyzer) EnumerateThreatsResumable(q Query, max int, ck *Checkpoint) ([]ThreatVector, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
 	span := a.startEnumerateSpan(q)
 	defer span.End()
 	enc := a.encode(q)
-	a.arm(enc)
 	var out []ThreatVector
 	seen := map[string]bool{}
 	defer func() { span.Annotate(obs.A("vectors", len(out))) }()
+
+	for _, raw := range ck.Entries() {
+		var v ThreatVector
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("checkpoint entry %d: %w", len(out), err)
+		}
+		if seen[v.key()] {
+			continue
+		}
+		seen[v.key()] = true
+		out = append(out, v)
+		if !blockVector(enc, v) {
+			return out, nil
+		}
+	}
+	span.Annotate(obs.A("resumedVectors", len(out)))
+
 	for max <= 0 || len(out) < max {
-		// Re-arm before every solve so each enumerated vector gets the
-		// full conflict budget rather than sharing one budget across the
-		// whole enumeration (regression: TestEnumerateBudgetPerSolve).
-		a.arm(enc)
-		status := enc.Solve()
-		if status != sat.Sat {
+		// Each solve is budgeted independently so every enumerated vector
+		// gets the full conflict budget (and its own deadline/retries)
+		// rather than sharing one budget across the whole enumeration
+		// (regression: TestEnumerateBudgetPerSolve).
+		sv := a.solveBudgeted(q, enc, span)
+		if sv.status != sat.Sat {
+			if sv.status == sat.Unsolved {
+				span.Annotate(obs.A("unsolved", sv.reason))
+			}
 			break
 		}
 		v := a.minimizeVector(q, a.extractVector(q, enc))
 		if !seen[v.key()] {
 			seen[v.key()] = true
 			out = append(out, v)
+			if err := ck.Add(v); err != nil {
+				// Survivable: the previous on-disk checkpoint stays
+				// valid and the entry is retried on the next Add.
+				a.metrics.Inc("scadaver_checkpoint_errors_total", nil)
+				span.Event("checkpoint-error", obs.A("error", err.Error()))
+			}
 		}
-		// Block this vector (and all supersets).
-		block := make(map[string]bool, v.Size())
-		for _, id := range v.Devices() {
-			block[fmt.Sprintf("Node_%d", id)] = false
-		}
-		for _, id := range v.Links {
-			block[fmt.Sprintf("Link_%d", id)] = false
-		}
-		if len(block) == 0 {
+		if !blockVector(enc, v) {
 			// The property is violated with zero failures; nothing else
 			// to enumerate.
 			break
 		}
-		enc.Block(block)
 	}
 	return out, nil
 }

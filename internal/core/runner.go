@@ -2,9 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"scadaver/internal/faultinject"
 	"scadaver/internal/sat"
 	"scadaver/internal/scadanet"
 )
@@ -41,6 +46,50 @@ func NewRunner(workers int, opts ...Option) *Runner {
 // Workers returns the configured pool size.
 func (r *Runner) Workers() int { return r.workers }
 
+// probe materializes the runner's options onto a blank analyzer so the
+// runner itself can reach the cross-cutting hooks they carry — the
+// metrics registry and the fault-injection plan — without widening the
+// Option API. Options only set fields, so applying them to a zero
+// Analyzer is safe.
+func (r *Runner) probe() *Analyzer {
+	a := &Analyzer{}
+	for _, o := range r.opts {
+		o(a)
+	}
+	return a
+}
+
+// PanicError reports a worker panic that a campaign isolated to the
+// task (query index) that raised it, instead of letting it tear down
+// the whole process. Stack is the panicking goroutine's stack at
+// recovery time.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task %d panicked: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (as injected
+// faults are), so errors.Is/As see through the panic wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Outcome is the per-query verdict of a collect-mode campaign: exactly
+// one of Result and Err is set. Err is a *PanicError when the worker
+// panicked on this query.
+type Outcome struct {
+	Result *Result `json:"result,omitempty"`
+	Err    error   `json:"-"`
+}
+
 // analyzerOptions returns the runner's options plus an interrupt hook
 // polling ctx, for analyzers that must abandon solves on cancellation.
 func (r *Runner) analyzerOptions(ctx context.Context) []Option {
@@ -56,36 +105,103 @@ func (r *Runner) analyzerOptions(ctx context.Context) []Option {
 	return append(append([]Option(nil), r.opts...), hook)
 }
 
+// verifyTask builds one worker's verification task over a private
+// Analyzer. Task errors are annotated with the query index and the
+// query itself, so a campaign failure names the culprit.
+func (r *Runner) verifyTask(ctx context.Context, cfg *scadanet.Config, queries []Query, record func(i int, res *Result)) (func(i int) error, error) {
+	a, err := NewAnalyzer(cfg, r.analyzerOptions(ctx)...)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int) error {
+		res, err := a.Verify(queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d (%v): %w", i, queries[i], err)
+		}
+		if res.Status == sat.Unsolved && res.FailureReason == ReasonInterrupted && ctx.Err() != nil {
+			// The solve was interrupted by cancellation, not decided;
+			// leave the slot empty like every other unfinished query.
+			return nil
+		}
+		record(i, res)
+		return nil
+	}, nil
+}
+
 // VerifyAll verifies all queries against one shared configuration and
 // returns results indexed like the input. Each worker owns a private
 // Analyzer over cfg, which itself is only ever read.
 //
-// On context cancellation (or the first verification error) the
-// remaining queries are abandoned: the returned slice holds nil at every
-// unfinished index and the error is the context's (respectively the
-// verification error). A nil error guarantees every entry is non-nil.
+// This is the strict (fail-fast) campaign: on context cancellation or
+// the first verification error the remaining queries are abandoned —
+// the returned slice holds nil at every unfinished index and the error
+// (annotated with the failing query's index) is the context's,
+// respectively the verification's. A nil error guarantees every entry
+// is non-nil. Campaigns that should survive individual failures use
+// VerifyAllCollect.
 func (r *Runner) VerifyAll(ctx context.Context, cfg *scadanet.Config, queries []Query) ([]*Result, error) {
 	results := make([]*Result, len(queries))
 	err := r.RunEach(ctx, len(queries), func(ctx context.Context) (func(i int) error, error) {
-		a, err := NewAnalyzer(cfg, r.analyzerOptions(ctx)...)
+		return r.verifyTask(ctx, cfg, queries, func(i int, res *Result) { results[i] = res })
+	})
+	return results, err
+}
+
+// VerifyAllCollect is the partial-results variant of VerifyAll: every
+// query is attempted and the campaign never aborts on per-query
+// failures. Each index of the returned slice holds either the query's
+// Result (possibly Unsolved with a FailureReason, when budgets ran
+// out) or the isolated error — including recovered worker panics as
+// *PanicError — that prevented one. The returned error is reserved for
+// campaign-level failures: analyzer construction and context
+// cancellation (unfinished outcomes then have neither field set).
+func (r *Runner) VerifyAllCollect(ctx context.Context, cfg *scadanet.Config, queries []Query) ([]Outcome, error) {
+	return r.VerifyAllResumable(ctx, cfg, queries, nil)
+}
+
+// VerifyAllResumable is VerifyAllCollect with checkpointing: every
+// finished result is appended to ck (kind CheckpointKindCampaign,
+// entries keyed by query index), and results recovered from a prior
+// interrupted run are returned as-is with their queries skipped.
+// Entries are index-keyed, so a checkpoint resumes correctly under any
+// worker count. A nil ck disables checkpointing; checkpoint write
+// failures are survivable (counted in scadaver_checkpoint_errors_total,
+// previous on-disk checkpoint stays valid, retried on the next write).
+func (r *Runner) VerifyAllResumable(ctx context.Context, cfg *scadanet.Config, queries []Query, ck *Checkpoint) ([]Outcome, error) {
+	outcomes := make([]Outcome, len(queries))
+	done := make([]bool, len(queries))
+	for n, raw := range ck.Entries() {
+		var e campaignEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("checkpoint entry %d: %w", n, err)
+		}
+		if e.Index < 0 || e.Index >= len(queries) || e.Result == nil {
+			return nil, fmt.Errorf("checkpoint entry %d: index %d out of range [0,%d)", n, e.Index, len(queries))
+		}
+		outcomes[e.Index].Result = e.Result
+		done[e.Index] = true
+	}
+	metrics := r.probe().metrics
+	err := r.runEach(ctx, len(queries), func(ctx context.Context) (func(i int) error, error) {
+		task, err := r.verifyTask(ctx, cfg, queries, func(i int, res *Result) {
+			outcomes[i].Result = res
+			if cerr := ck.Add(campaignEntry{Index: i, Result: res}); cerr != nil {
+				metrics.Inc("scadaver_checkpoint_errors_total", nil)
+			}
+		})
 		if err != nil {
 			return nil, err
 		}
 		return func(i int) error {
-			res, err := a.Verify(queries[i])
-			if err != nil {
-				return err
-			}
-			if res.Status == sat.Unsolved && ctx.Err() != nil {
-				// The solve was interrupted by cancellation, not decided;
-				// leave the slot nil like every other unfinished query.
+			if done[i] {
 				return nil
 			}
-			results[i] = res
-			return nil
+			return task(i)
 		}, nil
+	}, func(i int, err error) {
+		outcomes[i].Err = err
 	})
-	return results, err
+	return outcomes, err
 }
 
 // Run executes task(0) … task(n-1) on the worker pool, at most Workers
@@ -106,6 +222,32 @@ func (r *Runner) Run(ctx context.Context, n int, task func(i int) error) error {
 // the caller's context is done — wire it into WithInterrupt (as
 // VerifyAll does) to make in-flight solves abandonable.
 func (r *Runner) RunEach(ctx context.Context, n int, newTask func(ctx context.Context) (func(i int) error, error)) error {
+	return r.runEach(ctx, n, newTask, nil)
+}
+
+// runTask executes task(i) with panic isolation: a panic raised by the
+// task — or injected before it by the fault plan — is recovered and
+// converted into a *PanicError naming the task index, so one bad query
+// (an encoder bug, a corrupted model) cannot tear down a campaign.
+func runTask(task func(i int) error, faults *faultinject.Faults, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	faults.CheckTask(i)
+	return task(i)
+}
+
+// runEach is the engine behind RunEach and the collect-mode campaigns.
+// With collect == nil it is strict: the first task error records as the
+// campaign error and cancels everything in flight. With a collect
+// callback, task errors (panics included) are handed to collect(i, err)
+// and the campaign keeps going; only worker construction failures and
+// context cancellation surface as the returned error. collect is called
+// from worker goroutines, one call per failed index — distinct indices,
+// so index-sliced writes need no locking.
+func (r *Runner) runEach(ctx context.Context, n int, newTask func(ctx context.Context) (func(i int) error, error), collect func(i int, err error)) error {
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -129,6 +271,9 @@ func (r *Runner) RunEach(ctx context.Context, n int, newTask func(ctx context.Co
 		cancel()
 	}
 
+	probe := r.probe()
+	faults, metrics := probe.faults, probe.metrics
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -141,9 +286,16 @@ func (r *Runner) RunEach(ctx context.Context, n int, newTask func(ctx context.Co
 				return
 			}
 			for i := range jobs {
-				if err := task(i); err != nil {
-					fail(err)
-					return
+				if err := runTask(task, faults, i); err != nil {
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						metrics.Inc("scadaver_worker_panics_total", nil)
+					}
+					if collect == nil {
+						fail(err)
+						return
+					}
+					collect(i, err)
 				}
 				if ctx.Err() != nil {
 					return

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"scadaver/internal/logic"
@@ -57,6 +59,41 @@ func (s *Sweep) VerifySplit(k1, k2 int) (*Result, error) {
 	return s.verify(Query{Property: s.prop, K1: k1, K2: k2, R: s.r, KL: s.kl})
 }
 
+// VerifyRange verifies the combined budgets k = 0..maxK serially on the
+// sweep's shared incremental solver, checkpointing each finished budget
+// to ck (kind CheckpointKindCampaign, entries keyed by k) and skipping
+// budgets a prior interrupted run already decided. Entries match the
+// Runner.VerifyAllResumable shape, so a sweep checkpoint taken serially
+// resumes on a parallel campaign over the same query list and vice
+// versa. A nil ck disables checkpointing.
+func (s *Sweep) VerifyRange(maxK int, ck *Checkpoint) ([]*Result, error) {
+	results := make([]*Result, maxK+1)
+	for n, raw := range ck.Entries() {
+		var e campaignEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("checkpoint entry %d: %w", n, err)
+		}
+		if e.Index < 0 || e.Index > maxK || e.Result == nil {
+			return nil, fmt.Errorf("checkpoint entry %d: budget %d out of range [0,%d]", n, e.Index, maxK)
+		}
+		results[e.Index] = e.Result
+	}
+	for k := 0; k <= maxK; k++ {
+		if results[k] != nil {
+			continue
+		}
+		res, err := s.VerifyK(k)
+		if err != nil {
+			return nil, err
+		}
+		results[k] = res
+		if cerr := ck.Add(campaignEntry{Index: k, Result: res}); cerr != nil {
+			s.a.metrics.Inc("scadaver_checkpoint_errors_total", nil)
+		}
+	}
+	return results, nil
+}
+
 func (s *Sweep) verify(q Query) (*Result, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
@@ -64,7 +101,6 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	start := time.Now()
 	qspan := s.a.startQuerySpan(q)
 	defer qspan.End()
-	s.a.arm(s.enc)
 	before := s.enc.Solver().Stats()
 
 	// The structure was built once in NewSweep, so a sweep query has no
@@ -84,17 +120,21 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	sp = qspan.Start("solve")
 	s.a.armProgress(s.enc, sp)
 	t0 = time.Now()
-	status := s.enc.Solve(budget)
+	out := s.a.solveBudgeted(q, s.enc, sp, budget)
+	status := out.status
 	ph.Solve = time.Since(t0)
 	s.enc.Solver().SetProgress(0, nil)
 	stats := s.enc.Solver().Stats().Sub(before)
-	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts))
+	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts),
+		obs.A("attempts", out.attempts))
 	sp.End()
 
 	res := &Result{
-		Query:  q,
-		Status: status,
-		Stats:  stats,
+		Query:         q,
+		Status:        status,
+		Stats:         stats,
+		Attempts:      out.attempts,
+		FailureReason: out.reason,
 	}
 	if status == sat.Sat {
 		sp = qspan.Start("decode")

@@ -58,10 +58,15 @@ type Options struct {
 	// Metrics, when set, aggregates counters and phase histograms from
 	// every analyzer the campaign fans out, across all workers.
 	Metrics *obs.Registry
+	// Budget bounds every individual verification (per-attempt deadline,
+	// conflict cap, retries with escalation); the zero value imposes no
+	// bounds. Exhausted queries degrade to Unsolved results instead of
+	// failing the campaign.
+	Budget core.QueryBudget
 }
 
-// CoreOptions translates the observability knobs into analyzer options
-// to thread into every analyzer a campaign creates.
+// CoreOptions translates the observability and robustness knobs into
+// analyzer options to thread into every analyzer a campaign creates.
 func (o Options) CoreOptions() []core.Option {
 	var opts []core.Option
 	if o.Trace != nil {
@@ -69,6 +74,9 @@ func (o Options) CoreOptions() []core.Option {
 	}
 	if o.Metrics != nil {
 		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	if o.Budget.Enabled() {
+		opts = append(opts, core.WithBudget(o.Budget))
 	}
 	return opts
 }
@@ -486,7 +494,23 @@ type SweepResult struct {
 	Workers int
 	Queries []core.Query
 	Results []*core.Result
+	// Errors holds, per query index, the isolated failure (worker
+	// panic, verification error) that prevented a result in a
+	// keep-going campaign; nil entries mean the query finished.
+	Errors  []error
 	Elapsed time.Duration
+}
+
+// Failed counts the queries that produced an isolated error instead of
+// a result.
+func (sr *SweepResult) Failed() int {
+	n := 0
+	for _, err := range sr.Errors {
+		if err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // SweepQueries builds the k-sweep campaign: every property of the
@@ -512,6 +536,19 @@ func SweepQueries(maxK int) []core.Query {
 // Extra analyzer options (core.WithTrace, core.WithMetrics, ...) are
 // threaded into every worker.
 func KSweep(busName string, maxK, workers int, opts ...core.Option) (*SweepResult, error) {
+	return KSweepCampaign(busName, maxK, workers, "", false, opts...)
+}
+
+// KSweepCampaign is KSweep with the fault-tolerance controls of a
+// long-running campaign. With keepGoing, per-query failures (worker
+// panics included) are isolated into SweepResult.Errors instead of
+// aborting the sweep. With a non-empty checkpointPath, finished results
+// stream to a resumable checkpoint bound to the campaign's fingerprint
+// (configuration + query list): re-running with the same arguments
+// skips completed queries, and a checkpoint from a different campaign
+// is rejected with core.ErrCheckpointMismatch. A checkpoint implies
+// keep-going: a campaign worth checkpointing is worth finishing.
+func KSweepCampaign(busName string, maxK, workers int, checkpointPath string, keepGoing bool, opts ...core.Option) (*SweepResult, error) {
 	sys, err := powergrid.ByName(busName)
 	if err != nil {
 		return nil, err
@@ -527,18 +564,42 @@ func KSweep(busName string, maxK, workers int, opts ...core.Option) (*SweepResul
 	}
 	r := core.NewRunner(workers, opts...)
 	queries := SweepQueries(maxK)
-	start := time.Now()
-	results, err := r.VerifyAll(context.Background(), cfg, queries)
-	if err != nil {
-		return nil, err
+
+	var ck *core.Checkpoint
+	if checkpointPath != "" {
+		fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindCampaign, queries)
+		if err != nil {
+			return nil, err
+		}
+		if ck, err = core.OpenCheckpoint(checkpointPath, core.CheckpointKindCampaign, fp); err != nil {
+			return nil, err
+		}
+		keepGoing = true
 	}
-	return &SweepResult{
+
+	start := time.Now()
+	sr := &SweepResult{
 		System:  busName,
 		Workers: r.Workers(),
 		Queries: queries,
-		Results: results,
-		Elapsed: time.Since(start),
-	}, nil
+	}
+	if keepGoing {
+		outcomes, err := r.VerifyAllResumable(context.Background(), cfg, queries, ck)
+		if err != nil {
+			return nil, err
+		}
+		sr.Results = make([]*core.Result, len(queries))
+		sr.Errors = make([]error, len(queries))
+		for i, o := range outcomes {
+			sr.Results[i], sr.Errors[i] = o.Result, o.Err
+		}
+	} else {
+		if sr.Results, err = r.VerifyAll(context.Background(), cfg, queries); err != nil {
+			return nil, err
+		}
+	}
+	sr.Elapsed = time.Since(start)
+	return sr, nil
 }
 
 // PrintSweep renders the per-query instrumentation rows of a k-sweep
@@ -550,7 +611,11 @@ func PrintSweep(w io.Writer, sr *SweepResult) {
 		"query", "status", "time(ms)", "decisions", "conflicts", "propagations", "learned")
 	for i, res := range sr.Results {
 		if res == nil {
-			fmt.Fprintf(w, "%-42s %-6s\n", sr.Queries[i], "-")
+			if len(sr.Errors) > i && sr.Errors[i] != nil {
+				fmt.Fprintf(w, "%-42s %-6s %v\n", sr.Queries[i], "ERROR", sr.Errors[i])
+			} else {
+				fmt.Fprintf(w, "%-42s %-6s\n", sr.Queries[i], "-")
+			}
 			continue
 		}
 		fmt.Fprintf(w, "%-42s %-6v %10.2f %10d %10d %12d %10d\n",

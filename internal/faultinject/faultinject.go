@@ -1,0 +1,212 @@
+// Package faultinject provides deterministic fault-injection hooks for
+// chaos-testing verification campaigns: a seeded plan of faults —
+// solver stalls after a fixed conflict count, a forced panic on a
+// chosen worker task, transient I/O errors on checkpoint and trace
+// writers, and artificial solve latency — that production code threads
+// through plain function hooks with no build tags.
+//
+// The central design rule is "nil is off": every hook method is safe on
+// a nil *Faults receiver and injects nothing, so internal/sat,
+// internal/core and the checkpoint writer carry a possibly-nil plan
+// without branching at call sites. Faults are counter-based, not
+// probabilistic, so a plan replays identically across runs and across
+// worker schedules: the i-th dispatched task panics, the i-th write
+// fails, every solve stalls at exactly N conflicts. The seed only feeds
+// Pick, a helper for tests that want to derive victim indices
+// reproducibly from one number.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel error returned by injected I/O faults.
+// Code under test must treat it like any other transient write error;
+// chaos tests use errors.Is to tell injected failures from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Faults is one deterministic fault-injection plan. Construct with New
+// and arm individual faults with the chainable setters; a plan with no
+// faults armed (and the nil *Faults) injects nothing.
+//
+// A single plan may be shared by many goroutines: hook state is either
+// immutable after arming or guarded by atomics, and the injection
+// counters are safe to read while a campaign runs.
+type Faults struct {
+	seed uint64
+
+	stallAfter  uint64 // solver stall: give up after N conflicts (0 = off)
+	panicTask   int64  // task index to panic on (< 0 = off)
+	panicEvery  bool   // panic on every matching task, not just once
+	solveDelay  time.Duration
+	failedWrite map[uint64]bool // global write indices that fail
+
+	rngMu sync.Mutex
+	rng   uint64
+
+	panicFired atomic.Bool
+	writeIdx   atomic.Uint64
+
+	stalls      atomic.Uint64
+	panics      atomic.Uint64
+	writeFaults atomic.Uint64
+}
+
+// New returns a plan with every fault disabled. The seed feeds Pick
+// only; the faults themselves are counter-based and deterministic.
+func New(seed int64) *Faults {
+	return &Faults{
+		seed:        uint64(seed),
+		rng:         uint64(seed)*2862933555777941757 + 3037000493,
+		panicTask:   -1,
+		failedWrite: map[uint64]bool{},
+	}
+}
+
+// StallSolverAfter arms the solver-stall fault: every SAT solve gives
+// up (sat.Unsolved) once it has spent n conflicts, as if the instance
+// were too hard for its budget. 0 disarms.
+func (f *Faults) StallSolverAfter(n uint64) *Faults {
+	f.stallAfter = n
+	return f
+}
+
+// PanicOnTask arms a one-shot worker panic: the worker executing the
+// task with this index panics with ErrInjected. A negative index
+// disarms.
+func (f *Faults) PanicOnTask(i int) *Faults {
+	f.panicTask = int64(i)
+	f.panicFired.Store(false)
+	return f
+}
+
+// DelaySolves arms artificial solve latency: every solve sleeps d
+// before starting, modeling a slow or contended solver.
+func (f *Faults) DelaySolves(d time.Duration) *Faults {
+	f.solveDelay = d
+	return f
+}
+
+// FailWrites arms transient I/O errors: across all writers wrapped by
+// WrapWriter, the writes with the given global 0-based indices fail
+// with ErrInjected. Later writes succeed again, which is what makes the
+// fault transient rather than latched.
+func (f *Faults) FailWrites(indices ...uint64) *Faults {
+	for _, i := range indices {
+		f.failedWrite[i] = true
+	}
+	return f
+}
+
+// Seed returns the plan's seed.
+func (f *Faults) Seed() int64 {
+	if f == nil {
+		return 0
+	}
+	return int64(f.seed)
+}
+
+// Pick returns a deterministic pseudo-random index in [0, n), advancing
+// the plan's seeded generator. Tests use it to choose victim tasks or
+// write indices reproducibly from the plan's seed.
+func (f *Faults) Pick(n int) int {
+	if f == nil || n <= 0 {
+		return 0
+	}
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	// xorshift64* keeps the dependency surface at zero.
+	f.rng ^= f.rng >> 12
+	f.rng ^= f.rng << 25
+	f.rng ^= f.rng >> 27
+	return int((f.rng * 2685821657736338717) % uint64(n))
+}
+
+// SolverHook returns the solver's conflict hook for this plan, or nil
+// when the solver-stall fault is disarmed (the solver treats a nil hook
+// as absent). The hook reports true — abort the solve — once the
+// current call has spent the armed number of conflicts.
+func (f *Faults) SolverHook() func(conflicts uint64) bool {
+	if f == nil || f.stallAfter == 0 {
+		return nil
+	}
+	limit := f.stallAfter
+	return func(conflicts uint64) bool {
+		if conflicts < limit {
+			return false
+		}
+		f.stalls.Add(1)
+		return true
+	}
+}
+
+// BeforeSolve blocks for the armed solve delay (a no-op otherwise).
+func (f *Faults) BeforeSolve() {
+	if f == nil || f.solveDelay <= 0 {
+		return
+	}
+	time.Sleep(f.solveDelay)
+}
+
+// CheckTask panics with ErrInjected when the worker-panic fault is
+// armed for task index i and has not fired yet. Campaign runners call
+// it right before executing a task; the panic travels the same path as
+// a genuine bug in verification code.
+func (f *Faults) CheckTask(i int) {
+	if f == nil || f.panicTask < 0 || int64(i) != f.panicTask {
+		return
+	}
+	if f.panicFired.Swap(true) {
+		return
+	}
+	f.panics.Add(1)
+	panic(ErrInjected)
+}
+
+// WrapWriter interposes the plan's transient write faults in front of
+// w. With no write faults armed (or a nil plan) it returns w unchanged,
+// so the production path pays nothing.
+func (f *Faults) WrapWriter(w io.Writer) io.Writer {
+	if f == nil || len(f.failedWrite) == 0 {
+		return w
+	}
+	return &faultyWriter{f: f, w: w}
+}
+
+type faultyWriter struct {
+	f *Faults
+	w io.Writer
+}
+
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	idx := fw.f.writeIdx.Add(1) - 1
+	if fw.f.failedWrite[idx] {
+		fw.f.writeFaults.Add(1)
+		return 0, ErrInjected
+	}
+	return fw.w.Write(p)
+}
+
+// Counts reports how many times each fault actually fired, for chaos
+// tests to assert the plan was exercised.
+type Counts struct {
+	SolverStalls uint64
+	Panics       uint64
+	WriteFaults  uint64
+}
+
+// Counts returns the current injection counters.
+func (f *Faults) Counts() Counts {
+	if f == nil {
+		return Counts{}
+	}
+	return Counts{
+		SolverStalls: f.stalls.Load(),
+		Panics:       f.panics.Load(),
+		WriteFaults:  f.writeFaults.Load(),
+	}
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestNilPlanIsOff pins the "nil is off" contract production code
+// relies on: every hook is callable on a nil *Faults and injects
+// nothing.
+func TestNilPlanIsOff(t *testing.T) {
+	var f *Faults
+	if h := f.SolverHook(); h != nil {
+		t.Fatal("nil plan returned a solver hook")
+	}
+	f.BeforeSolve()
+	f.CheckTask(0) // must not panic
+	var buf bytes.Buffer
+	w := f.WrapWriter(&buf)
+	if w != io.Writer(&buf) {
+		t.Fatal("nil plan wrapped the writer")
+	}
+	if got := f.Counts(); got != (Counts{}) {
+		t.Fatalf("nil plan counts = %+v", got)
+	}
+	if f.Pick(10) != 0 {
+		t.Fatal("nil plan Pick != 0")
+	}
+}
+
+func TestSolverHook(t *testing.T) {
+	f := New(1).StallSolverAfter(5)
+	h := f.SolverHook()
+	if h == nil {
+		t.Fatal("armed plan returned nil hook")
+	}
+	for c := uint64(0); c < 5; c++ {
+		if h(c) {
+			t.Fatalf("hook fired at %d conflicts, limit 5", c)
+		}
+	}
+	if !h(5) || !h(6) {
+		t.Fatal("hook did not fire at the limit")
+	}
+	if got := f.Counts().SolverStalls; got != 2 {
+		t.Fatalf("stalls = %d, want 2", got)
+	}
+}
+
+func TestPanicOnTaskFiresOnce(t *testing.T) {
+	f := New(2).PanicOnTask(3)
+	f.CheckTask(2) // not the victim
+	fired := func() (p any) {
+		defer func() { p = recover() }()
+		f.CheckTask(3)
+		return nil
+	}()
+	if !errors.Is(fired.(error), ErrInjected) {
+		t.Fatalf("panic value = %v, want ErrInjected", fired)
+	}
+	f.CheckTask(3) // one-shot: second hit must not panic
+	if got := f.Counts().Panics; got != 1 {
+		t.Fatalf("panics = %d, want 1", got)
+	}
+}
+
+// TestWrapWriterTransient checks that exactly the armed write indices
+// fail and that later writes on the same writer succeed again.
+func TestWrapWriterTransient(t *testing.T) {
+	f := New(3).FailWrites(1)
+	var buf bytes.Buffer
+	w := f.WrapWriter(&buf)
+	writes := []string{"a", "b", "c"}
+	var errs []error
+	for _, s := range writes {
+		_, err := io.WriteString(w, s)
+		errs = append(errs, err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("unexpected errors on healthy writes: %v", errs)
+	}
+	if !errors.Is(errs[1], ErrInjected) {
+		t.Fatalf("write 1 error = %v, want ErrInjected", errs[1])
+	}
+	if buf.String() != "ac" {
+		t.Fatalf("surviving bytes = %q, want %q", buf.String(), "ac")
+	}
+	if got := f.Counts().WriteFaults; got != 1 {
+		t.Fatalf("write faults = %d, want 1", got)
+	}
+}
+
+// TestPickDeterministic pins that the seeded generator replays the same
+// victim sequence for the same seed and diverges across seeds.
+func TestPickDeterministic(t *testing.T) {
+	seq := func(seed int64) []int {
+		f := New(seed)
+		out := make([]int, 16)
+		for i := range out {
+			out[i] = f.Pick(1000)
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}

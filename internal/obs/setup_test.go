@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scadaver/internal/faultinject"
+)
+
+// TestSetupTraceFileUnwritable checks Setup fails fast, before any work
+// runs, when the trace path cannot be created.
+func TestSetupTraceFileUnwritable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "trace.jsonl")
+	_, _, _, err := Setup("x", path, "", "")
+	if err == nil || !strings.Contains(err.Error(), "create trace file") {
+		t.Fatalf("unwritable trace path: err = %v", err)
+	}
+}
+
+// TestSetupPprofPortBound checks that a pprof address already held by
+// another listener is a Setup error, and that the partially-constructed
+// endpoints (the trace file opened first) are released on that path.
+func TestSetupPprofPortBound(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, _, _, err = Setup("x", traceFile, "", ln.Addr().String())
+	if err == nil || !strings.Contains(err.Error(), "pprof listener") {
+		t.Fatalf("bound pprof port: err = %v", err)
+	}
+	// The trace closer ran: the header-only file exists and is complete.
+	assertFileContains(t, traceFile, TraceSchema)
+}
+
+// TestSetupMetricsFileUnwritable checks the metrics export error
+// surfaces from the close function (metrics are written at close, not
+// at Setup).
+func TestSetupMetricsFileUnwritable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "metrics.json")
+	_, reg, closeObs, err := Setup("x", "", path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Inc("ops_total", nil)
+	if err := closeObs(); err == nil || !strings.Contains(err.Error(), "create metrics file") {
+		t.Fatalf("unwritable metrics path: close err = %v", err)
+	}
+}
+
+// TestTracerInjectedWriteFaultLatches drives the tracer over a
+// fault-injected writer: the header succeeds, the first span's begin
+// record hits an injected transient fault, and the tracer latches —
+// every later record is dropped rather than written to a sink that
+// already failed, and Err reports the original injected error.
+func TestTracerInjectedWriteFaultLatches(t *testing.T) {
+	var buf bytes.Buffer
+	faults := faultinject.New(1).FailWrites(1) // write 0 is the header
+	tr := NewTracer(faults.WrapWriter(&buf))
+
+	sp := tr.Start("op") // injected failure here
+	sp.Event("progress")
+	sp.End()
+	tr.Start("later").End()
+
+	if err := tr.Err(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Err() = %v, want wrapped ErrInjected", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], TraceSchema) {
+		t.Fatalf("latched tracer kept writing:\n%s", buf.String())
+	}
+	if got := faults.Counts().WriteFaults; got != 1 {
+		t.Fatalf("injected %d write faults, want 1", got)
+	}
+}

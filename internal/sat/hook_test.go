@@ -1,0 +1,82 @@
+package sat
+
+import "testing"
+
+// pigeonholeSolver builds the unsat PHP(n+1, n) instance — a reliable
+// conflict generator for exercising the per-conflict seams.
+func pigeonholeSolver(t *testing.T, n int) *Solver {
+	t.Helper()
+	s := New()
+	p := make([][]Var, n+1)
+	for i := range p {
+		p[i] = newVars(s, n)
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = PosLit(p[i][j])
+		}
+		mustAdd(t, s, lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i1 := 0; i1 <= n; i1++ {
+			for i2 := i1 + 1; i2 <= n; i2++ {
+				mustAdd(t, s, NegLit(p[i1][j]), NegLit(p[i2][j]))
+			}
+		}
+	}
+	return s
+}
+
+// TestConflictHookAborts pins the fault-injection seam: the hook sees
+// the per-call conflict count after every conflict and a true return
+// yields Unsolved at exactly that point.
+func TestConflictHookAborts(t *testing.T) {
+	s := pigeonholeSolver(t, 6)
+	var calls []uint64
+	s.SetConflictHook(func(c uint64) bool {
+		calls = append(calls, c)
+		return c >= 10
+	})
+	if got := s.Solve(); got != Unsolved {
+		t.Fatalf("Solve = %v, want Unsolved", got)
+	}
+	if len(calls) != 10 {
+		t.Fatalf("hook called %d times, want 10", len(calls))
+	}
+	for i, c := range calls {
+		if c != uint64(i+1) {
+			t.Fatalf("call %d saw conflict count %d, want %d", i, c, i+1)
+		}
+	}
+	// The seam is per-call and the solver stays usable: clearing the
+	// hook lets the same instance finish.
+	s.SetConflictHook(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after clearing hook: Solve = %v, want Unsat", got)
+	}
+}
+
+// TestConflictHookCountsPerCall checks the hook's count restarts at
+// every Solve call, mirroring the per-call conflict-budget contract.
+func TestConflictHookCountsPerCall(t *testing.T) {
+	s := pigeonholeSolver(t, 6)
+	var first uint64
+	s.SetConflictHook(func(c uint64) bool {
+		first = c
+		return true
+	})
+	if got := s.Solve(); got != Unsolved {
+		t.Fatalf("Solve = %v, want Unsolved", got)
+	}
+	if first != 1 {
+		t.Fatalf("first call saw count %d, want 1", first)
+	}
+	first = 0
+	if got := s.Solve(); got != Unsolved {
+		t.Fatalf("second Solve = %v, want Unsolved", got)
+	}
+	if first != 1 {
+		t.Fatalf("second call's first count = %d, want 1 (must reset per call)", first)
+	}
+}

@@ -53,6 +53,10 @@ type Solver struct {
 	// Cooperative cancellation: polled periodically during search.
 	interrupt func() bool
 
+	// Deterministic cancellation seam: consulted after every conflict
+	// with the current call's conflict count (see SetConflictHook).
+	conflictHook func(conflicts uint64) bool
+
 	// Progress probe: fired every progressEvery conflicts (see
 	// SetProgress). progressNext is the conflict count of the next report.
 	progress      func(Progress)
@@ -108,6 +112,17 @@ func (s *Solver) SetConflictBudget(n uint64) { s.conflictBudget = n }
 // Unsolved. A nil hook disables polling. The solver remains usable for
 // further Solve calls afterwards.
 func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
+
+// SetConflictHook installs a deterministic cancellation seam: after
+// every conflict of a Solve call the hook receives the number of
+// conflicts that call has spent so far, and a true return unwinds the
+// search to the root level with Unsolved — exactly like an exhausted
+// conflict budget, but decided by the caller. Unlike SetInterrupt
+// (polled on a wall-clock-ish iteration cadence) the hook is exact and
+// replayable, which is what the fault-injection harness needs to stall
+// solves at reproducible points. A nil hook disables the seam; the
+// disabled cost is one nil-check per conflict.
+func (s *Solver) SetConflictHook(f func(conflicts uint64) bool) { s.conflictHook = f }
 
 // SetProgress installs a progress probe fired from inside Solve every
 // `every` conflicts, so long searches (multi-second unsat proofs in
@@ -609,6 +624,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.varInc /= s.varDecay
 			s.clauseInc /= s.clauseDecay
 			if s.conflictBudget > 0 && conflicts >= s.conflictBudget {
+				s.cancelUntil(0)
+				return Unsolved
+			}
+			if s.conflictHook != nil && s.conflictHook(conflicts) {
 				s.cancelUntil(0)
 				return Unsolved
 			}

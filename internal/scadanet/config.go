@@ -34,8 +34,11 @@ func ParseConfig(r io.Reader) (*Config, error) {
 	section := ""
 	lineNo := 0
 
+	// %w in format is preserved, so sentinel errors from the network
+	// builder (ErrDuplicateDevice, ErrUnknownDevice, ...) stay visible
+	// to errors.Is through the line-number prefix.
 	fail := func(format string, args ...any) error {
-		return fmt.Errorf("config line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		return fmt.Errorf("config line %d: "+format, append([]any{lineNo}, args...)...)
 	}
 
 	for sc.Scan() {
@@ -66,7 +69,7 @@ func ParseConfig(r io.Reader) (*Config, error) {
 			}
 			kind, err := ParseDeviceKind(strings.ToLower(fields[0]))
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			lo, err := strconv.Atoi(fields[1])
 			if err != nil {
@@ -80,7 +83,7 @@ func ParseConfig(r io.Reader) (*Config, error) {
 			}
 			for id := lo; id <= hi; id++ {
 				if _, err := cfg.Net.AddDevice(Device{ID: DeviceID(id), Kind: kind}); err != nil {
-					return nil, fail("%v", err)
+					return nil, fail("%w", err)
 				}
 			}
 		case "links":
@@ -93,7 +96,7 @@ func ParseConfig(r io.Reader) (*Config, error) {
 				return nil, fail("bad link endpoints %q", line)
 			}
 			if _, err := cfg.Net.AddLink(DeviceID(a), DeviceID(b)); err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 		case "measurements":
 			if len(fields) < 2 {
@@ -112,7 +115,7 @@ func ParseConfig(r io.Reader) (*Config, error) {
 				ids = append(ids, z)
 			}
 			if err := cfg.Net.AssignMeasurements(DeviceID(ied), ids...); err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 		case "protocols":
 			if len(fields) < 2 {
@@ -140,7 +143,7 @@ func ParseConfig(r io.Reader) (*Config, error) {
 			}
 			profiles, err := secpolicy.ParseProfiles(fields[2:])
 			if err != nil {
-				return nil, fail("%v", err)
+				return nil, fail("%w", err)
 			}
 			l := cfg.Net.LinkBetween(DeviceID(a), DeviceID(b))
 			if l == nil {

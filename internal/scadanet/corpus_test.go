@@ -1,0 +1,60 @@
+package scadanet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadConfigCorpusRejected pins the loader's behavior on the
+// checked-in regression corpus of malformed configurations: every file
+// under testdata/configs/bad must be rejected, with the expected error
+// for the defect its name describes. New parser bugs found by fuzzing
+// should land here as named corpus files.
+func TestBadConfigCorpusRejected(t *testing.T) {
+	want := map[string]struct {
+		sentinel error  // errors.Is target, when the loader exposes one
+		substr   string // otherwise a fragment of the message
+	}{
+		"dup-device-id.scada":       {sentinel: ErrDuplicateDevice},
+		"dangling-link.scada":       {sentinel: ErrUnknownDevice},
+		"nan-key-bits.scada":        {substr: "bad key length"},
+		"unknown-measurement.scada": {substr: "unknown measurement"},
+		"negative-resiliency.scada": {substr: "negative resiliency"},
+	}
+
+	dir := filepath.Join("..", "..", "testdata", "configs", "bad")
+	files, err := filepath.Glob(filepath.Join(dir, "*.scada"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(want) {
+		t.Fatalf("corpus has %d files, expectations cover %d — keep them in sync", len(files), len(want))
+	}
+	for _, path := range files {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			exp, ok := want[name]
+			if !ok {
+				t.Fatalf("no expectation for corpus file %s", name)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			cfg, err := ParseConfig(f)
+			if err == nil {
+				t.Fatalf("loader accepted %s: %+v", name, cfg)
+			}
+			if exp.sentinel != nil && !errors.Is(err, exp.sentinel) {
+				t.Fatalf("error %v does not wrap %v", err, exp.sentinel)
+			}
+			if exp.substr != "" && !strings.Contains(err.Error(), exp.substr) {
+				t.Fatalf("error %q missing %q", err, exp.substr)
+			}
+		})
+	}
+}

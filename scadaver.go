@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"scadaver/internal/core"
+	"scadaver/internal/faultinject"
 	"scadaver/internal/hardening"
 	"scadaver/internal/lint"
 	"scadaver/internal/obs"
@@ -237,3 +238,66 @@ func Lint(cfg *Config, policy *SecurityPolicy) *LintReport {
 
 // Failures is a concrete contingency for direct evaluation.
 type Failures = core.Failures
+
+// Fault tolerance: per-query budgets, partial-results campaigns, panic
+// isolation, checkpoint/resume, and deterministic fault injection (see
+// DESIGN.md §9).
+type (
+	// QueryBudget bounds one verification by wall-clock deadline and
+	// conflict count, with optional retries under escalating budgets;
+	// exhaustion degrades the query to an Unsolved result.
+	QueryBudget = core.QueryBudget
+	// Outcome pairs a query's result with its isolated error in
+	// collect-mode campaigns.
+	Outcome = core.Outcome
+	// PanicError wraps a panic recovered from a campaign worker,
+	// carrying the task index and the worker's stack trace.
+	PanicError = core.PanicError
+	// Checkpoint is a resumable JSONL campaign journal with atomic
+	// flushes and a campaign fingerprint in its header.
+	Checkpoint = core.Checkpoint
+	// FaultPlan is a deterministic fault-injection plan for
+	// chaos-testing campaigns (nil injects nothing).
+	FaultPlan = faultinject.Faults
+)
+
+// Failure reasons reported on unsolved results.
+const (
+	ReasonDeadline    = core.ReasonDeadline
+	ReasonConflicts   = core.ReasonConflicts
+	ReasonInterrupted = core.ReasonInterrupted
+)
+
+// Checkpoint kinds.
+const (
+	CheckpointKindCampaign  = core.CheckpointKindCampaign
+	CheckpointKindEnumerate = core.CheckpointKindEnumerate
+)
+
+// ErrCheckpointMismatch reports a checkpoint written by a different
+// campaign (schema, kind, or fingerprint differs).
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
+// WithBudget bounds every query of the analyzer by the given budget.
+func WithBudget(b QueryBudget) Option { return core.WithBudget(b) }
+
+// WithFaults threads a deterministic fault-injection plan through the
+// analyzer's solver and campaign hooks; nil is a no-op.
+func WithFaults(f *FaultPlan) Option { return core.WithFaults(f) }
+
+// NewFaultPlan returns an empty fault-injection plan derived from seed;
+// arm individual faults with its chainable setters.
+func NewFaultPlan(seed int64) *FaultPlan { return faultinject.New(seed) }
+
+// OpenCheckpoint opens (or creates) a resumable campaign checkpoint,
+// rejecting files whose header does not match kind and fingerprint.
+func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
+	return core.OpenCheckpoint(path, kind, fingerprint)
+}
+
+// CampaignFingerprint derives the checkpoint fingerprint of a campaign
+// from its configuration, checkpoint kind, and any extra JSON-encodable
+// campaign parameters (for example the query list).
+func CampaignFingerprint(cfg *Config, kind string, extra ...any) (string, error) {
+	return core.CampaignFingerprint(cfg, kind, extra...)
+}
