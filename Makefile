@@ -35,16 +35,19 @@ bench-record:
 # The chaos pass: the fault-tolerance suite (deterministic fault
 # injection, budget degradation, checkpoint/resume, panic isolation)
 # under the race detector, uncached so injected faults re-fire every
-# run (see DESIGN.md §9).
+# run (see DESIGN.md §9), plus the verification-service chaos smoke
+# (overload shedding, breaker, drain-resume; see DESIGN.md §10).
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
 	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSetup|TestTracer' ./internal/obs
+	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker' ./internal/serve
+	$(GO) test -race -count=1 ./cmd/scada-served
 
 # The pre-merge gate: static checks, full build, race-enabled tests,
-# the config lint, and the chaos pass. The observability layer gets an
-# explicit vet + race pass (its tests hammer the tracer and registry
-# concurrently).
+# the config lint, and the chaos pass. The observability layer and the
+# verification service get explicit vet + race passes (their tests
+# hammer the tracer, registry, and admission pipeline concurrently).
 verify: vet build race lint chaos
-	$(GO) vet ./internal/obs
-	$(GO) test -race -count=1 ./internal/obs ./internal/sat
+	$(GO) vet ./internal/obs ./internal/serve
+	$(GO) test -race -count=1 ./internal/obs ./internal/sat ./internal/serve

@@ -39,6 +39,7 @@ import (
 	"scadaver/internal/lint"
 	"scadaver/internal/obs"
 	"scadaver/internal/scadanet"
+	"scadaver/internal/version"
 )
 
 func main() {
@@ -74,9 +75,14 @@ func run(args []string, out io.Writer) (retErr error) {
 		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
 		checkpoint = fs.String("checkpoint", "", "resumable checkpoint file for -sweep campaigns and threat enumeration")
 		keepGoing  = fs.Bool("keep-going", true, "for parallel -sweep: isolate per-query failures instead of aborting the campaign")
+		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(out, version.String())
+		return nil
 	}
 	if *configPath == "" {
 		fs.Usage()

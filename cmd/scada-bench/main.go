@@ -34,6 +34,7 @@ import (
 	"scadaver/internal/core"
 	"scadaver/internal/experiments"
 	"scadaver/internal/obs"
+	"scadaver/internal/version"
 )
 
 func main() {
@@ -60,9 +61,14 @@ func run(args []string, w io.Writer) (retErr error) {
 		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
 		checkpoint = fs.String("checkpoint", "", "for -fig sweep: stream finished queries to this resumable checkpoint file")
 		keepGoing  = fs.Bool("keep-going", true, "for -fig sweep: isolate per-query failures instead of aborting the campaign")
+		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(w, version.String())
+		return nil
 	}
 
 	root, reg, closeObs, err := obs.Setup("scada-bench", *traceFile, *metricsOut, *pprofAddr)

@@ -1,0 +1,201 @@
+// Command scada-served is the long-running verification service: it
+// loads one or more named SCADA configurations and serves resiliency
+// verification over HTTP/JSON with admission control, load shedding,
+// and graceful degradation (see internal/serve and DESIGN.md §10).
+//
+// Usage:
+//
+//	scada-served -addr :8080 -config grid=testdata/case5bus.scada \
+//	    [-config NAME=PATH ...] [-queue 64] [-workers 8] \
+//	    [-deadline 10s] [-max-deadline 30s] [-checkpoint-dir /var/lib/scadaver] \
+//	    [-breaker-threshold 0.5] [-drain-timeout 20s]
+//
+// Endpoints:
+//
+//	POST /v1/verify     one resiliency query        → JSON result
+//	POST /v1/sweep      combined budgets k = 0..K   → JSON results
+//	POST /v1/enumerate  threat vectors              → JSONL stream (resumable by requestId)
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (drain + breaker + load signals)
+//	GET  /metrics       Prometheus text exposition
+//	GET  /metrics.json  JSON metrics export
+//	GET  /debug/pprof/  live profiling
+//
+// Overload sheds with 429 Retry-After at the bounded admission queue;
+// a sustained unsolved/panic rate opens a breaker that turns /readyz
+// unready; SIGTERM drains gracefully — stop accepting, finish or
+// deadline-cancel in-flight solves, then exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/serve"
+	"scadaver/internal/version"
+)
+
+// configFlags collects repeated -config NAME=PATH (or bare PATH)
+// values.
+type configFlags []string
+
+func (c *configFlags) String() string { return strings.Join(*c, ", ") }
+func (c *configFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+// loadConfigs parses every -config value into a named configuration.
+// A bare PATH takes the file's base name (without extension) as its
+// name.
+func loadConfigs(specs []string) (map[string]*scadanet.Config, error) {
+	out := make(map[string]*scadanet.Config, len(specs))
+	for _, spec := range specs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		if name == "" || path == "" {
+			return nil, fmt.Errorf("bad -config %q: want NAME=PATH or PATH", spec)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate config name %q", name)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := scadanet.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("config %q: %w", name, err)
+		}
+		out[name] = cfg
+	}
+	return out, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "scada-served:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until SIGTERM/SIGINT, then drains.
+// ready, when non-nil, receives the bound listen address once the
+// service is accepting (tests listen on :0 and need the real port).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("scada-served", flag.ContinueOnError)
+	var configs configFlags
+	fs.Var(&configs, "config", "NAME=PATH of a .scada configuration to serve (repeatable; bare PATH names it after the file)")
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		queueDepth   = fs.Int("queue", 64, "admission queue depth; excess load is shed with 429")
+		workers      = fs.Int("workers", 0, "verification worker-pool size (0 = GOMAXPROCS)")
+		deadline     = fs.Duration("deadline", 10*time.Second, "default per-solve deadline for requests without a budget")
+		maxDeadline  = fs.Duration("max-deadline", 30*time.Second, "server-enforced per-solve deadline ceiling")
+		maxRetries   = fs.Int("max-retries", 2, "server-enforced retry ceiling per query")
+		reqTimeout   = fs.Duration("request-timeout", 60*time.Second, "whole-request wall-clock ceiling (queue wait included)")
+		maxEnumerate = fs.Int("max-enumerate", 256, "max threat vectors per /v1/enumerate request")
+		maxSweepK    = fs.Int("max-sweep-k", 64, "max budget range per /v1/sweep request")
+		brkWindow    = fs.Int("breaker-window", 32, "breaker rolling-window size (request outcomes)")
+		brkThreshold = fs.Float64("breaker-threshold", 0.5, "unsolved/panic rate that opens the breaker")
+		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing")
+		ckptDir      = fs.String("checkpoint-dir", "", "directory for resumable /v1/enumerate checkpoints (empty = disabled)")
+		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
+		showVersion  = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(out, version.String())
+		return nil
+	}
+	if len(configs) == 0 {
+		fs.Usage()
+		return fmt.Errorf("at least one -config is required")
+	}
+	named, err := loadConfigs(configs)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Options{
+		Configs:          named,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		DefaultBudget:    core.QueryBudget{Deadline: *deadline},
+		MaxBudget:        core.QueryBudget{Deadline: *maxDeadline, Retries: *maxRetries},
+		RequestTimeout:   *reqTimeout,
+		MaxEnumerate:     *maxEnumerate,
+		MaxSweepK:        *maxSweepK,
+		BreakerWindow:    *brkWindow,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		CheckpointDir:    *ckptDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "scada-served: serving %d config(s) on %s\n", len(named), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (readyz unready, new work shed),
+	// finish or deadline-cancel in-flight solves, then close the
+	// listener. Checkpoints are flushed per entry; metrics live at
+	// /metrics until the very end.
+	fmt.Fprintln(out, "scada-served: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if drainErr != nil {
+		fmt.Fprintln(out, "scada-served: drain deadline reached; in-flight solves were cancelled")
+	}
+	fmt.Fprintln(out, "scada-served: drained, exiting")
+	return nil
+}

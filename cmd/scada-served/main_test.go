@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scadaver") {
+		t.Fatalf("version output %q does not name the module", out.String())
+	}
+}
+
+func TestRequiresConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, nil); err == nil {
+		t.Fatal("run without -config succeeded")
+	}
+}
+
+func TestRejectsBadConfigSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-config", "=oops"}, &out, nil); err == nil {
+		t.Fatal("run accepted an empty config name")
+	}
+	if err := run([]string{"-config", "grid=/does/not/exist.scada"}, &out, nil); err == nil {
+		t.Fatal("run accepted a missing config file")
+	}
+}
+
+// TestServeAndGracefulShutdown boots the real binary path end to end:
+// parse a shipped configuration, serve on an ephemeral port, answer a
+// verification request, then drain cleanly on SIGTERM.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-config", "grid=../../testdata/case5bus.scada",
+			"-drain-timeout", "10s",
+		}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	body := strings.NewReader(`{"config":"grid","query":{"property":"observability","combined":true,"k":0}}`)
+	resp, err := http.Post(base+"/v1/verify", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/verify = %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM: %v (output %q)", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("output %q does not report a drain", out.String())
+	}
+}

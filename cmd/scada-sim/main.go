@@ -36,6 +36,7 @@ import (
 	"scadaver/internal/attacksim"
 	"scadaver/internal/core"
 	"scadaver/internal/scadanet"
+	"scadaver/internal/version"
 )
 
 // scenarioFile is the JSON scenario schema.
@@ -70,9 +71,14 @@ func run(args []string, out io.Writer) error {
 		outage       = fs.Duration("outage", 5*time.Second, "DoS burst duration")
 		horizon      = fs.Duration("horizon", 10*time.Second, "DoS scenario horizon")
 		step         = fs.Duration("step", time.Second, "sampling step")
+		showVer      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Fprintln(out, version.String())
+		return nil
 	}
 	if *configPath == "" {
 		fs.Usage()

@@ -16,6 +16,7 @@ import (
 	"scadaver/internal/powergrid"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/synth"
+	"scadaver/internal/version"
 )
 
 func main() {
@@ -37,9 +38,14 @@ func run(args []string) error {
 		k2         = fs.Int("k2", 1, "RTU failure budget written into the config")
 		r          = fs.Int("r", 1, "corrupted-measurement budget written into the config")
 		outPath    = fs.String("o", "-", "output file ('-' = stdout)")
+		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVer {
+		fmt.Println(version.String())
+		return nil
 	}
 
 	sys, err := powergrid.ByName(*bus)

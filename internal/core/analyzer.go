@@ -320,6 +320,9 @@ func NewAnalyzer(cfg *scadanet.Config, opts ...Option) (*Analyzer, error) {
 	for _, o := range opts {
 		o(a)
 	}
+	if err := a.budget.Validate(); err != nil {
+		return nil, err
+	}
 	a.fieldIEDs = cfg.Net.DevicesOfKind(scadanet.IED)
 	a.fieldRTUs = cfg.Net.DevicesOfKind(scadanet.RTU)
 	if len(a.fieldIEDs)+len(a.fieldRTUs) == 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"scadaver/internal/logic"
@@ -47,10 +49,61 @@ func (b QueryBudget) Enabled() bool {
 	return b.Deadline > 0 || b.Conflicts > 0 || b.Retries > 0
 }
 
+// ErrBadBudget reports a nonsensical query budget (negative deadline,
+// negative retry count, negative escalation factor). Budgets are
+// validated when an Analyzer is built, so a bad budget fails loudly at
+// construction instead of silently producing a solver that never
+// expires or retries forever.
+var ErrBadBudget = errors.New("core: invalid query budget")
+
+// Validate checks the budget for nonsensical values. The zero value is
+// valid (no bounds); Escalate may be 0 (select DefaultEscalation) or
+// any positive factor, but a negative factor — like a negative deadline
+// or retry count — is an error wrapping ErrBadBudget.
+func (b QueryBudget) Validate() error {
+	if b.Deadline < 0 {
+		return fmt.Errorf("%w: negative deadline %v", ErrBadBudget, b.Deadline)
+	}
+	if b.Retries < 0 {
+		return fmt.Errorf("%w: negative retries %d", ErrBadBudget, b.Retries)
+	}
+	if b.Escalate < 0 {
+		return fmt.Errorf("%w: negative escalation factor %g", ErrBadBudget, b.Escalate)
+	}
+	return nil
+}
+
+// Clamp derives a request-scoped budget from b bounded by cap: fields
+// that cap bounds never exceed cap's value, and fields b leaves unset
+// (zero) inherit cap's bound, so a caller-supplied budget can tighten —
+// but never loosen — a server-enforced ceiling. A zero field of cap
+// imposes no bound. Retries only ever clamp down: an unset retry count
+// means "no retries" and does not inherit cap's count, since extra
+// attempts are extra work, not a bound. Escalation is taken from b when
+// set, else from cap.
+func (b QueryBudget) Clamp(cap QueryBudget) QueryBudget {
+	out := b
+	if cap.Deadline > 0 && (out.Deadline <= 0 || out.Deadline > cap.Deadline) {
+		out.Deadline = cap.Deadline
+	}
+	if cap.Conflicts > 0 && (out.Conflicts == 0 || out.Conflicts > cap.Conflicts) {
+		out.Conflicts = cap.Conflicts
+	}
+	if cap.Retries > 0 && out.Retries > cap.Retries {
+		out.Retries = cap.Retries
+	}
+	if out.Escalate <= 0 {
+		out.Escalate = cap.Escalate
+	}
+	return out
+}
+
 // WithBudget attaches a per-query budget (deadline, conflict cap,
 // retries with escalation) to every verification of this analyzer.
 // Budget exhaustion degrades to Status Unsolved with a recorded
-// attempt count and failure reason; it is never an error.
+// attempt count and failure reason; it is never an error. The budget is
+// validated by NewAnalyzer: nonsensical values (see Validate) fail
+// construction with an error wrapping ErrBadBudget.
 func WithBudget(b QueryBudget) Option {
 	return func(a *Analyzer) { a.budget = b }
 }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scadaver/internal/powergrid"
+)
+
+func TestBudgetValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget QueryBudget
+		ok     bool
+	}{
+		{name: "zero value", budget: QueryBudget{}, ok: true},
+		{name: "sensible", budget: QueryBudget{Deadline: time.Second, Conflicts: 100, Retries: 2, Escalate: 1.5}, ok: true},
+		{name: "escalate zero selects default", budget: QueryBudget{Deadline: time.Second}, ok: true},
+		{name: "negative deadline", budget: QueryBudget{Deadline: -time.Millisecond}, ok: false},
+		{name: "negative retries", budget: QueryBudget{Retries: -1}, ok: false},
+		{name: "negative escalation", budget: QueryBudget{Escalate: -2}, ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.budget.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", tc.budget, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("Validate(%+v) = nil, want error", tc.budget)
+				}
+				if !errors.Is(err, ErrBadBudget) {
+					t.Fatalf("Validate(%+v) = %v, does not wrap ErrBadBudget", tc.budget, err)
+				}
+			}
+		})
+	}
+}
+
+// TestNewAnalyzerRejectsBadBudget pins the regression: a nonsensical
+// budget used to be accepted silently — a negative deadline produced an
+// analyzer whose solves never expired. It must fail construction.
+func TestNewAnalyzerRejectsBadBudget(t *testing.T) {
+	cfg := synthConfig(t, powergrid.Case5(), 7, 1)
+
+	for _, b := range []QueryBudget{
+		{Deadline: -time.Second},
+		{Retries: -3},
+		{Deadline: time.Second, Escalate: -1},
+	} {
+		if _, err := NewAnalyzer(cfg, WithBudget(b)); !errors.Is(err, ErrBadBudget) {
+			t.Fatalf("NewAnalyzer with budget %+v: err = %v, want ErrBadBudget", b, err)
+		}
+	}
+
+	// A valid budget still constructs.
+	if _, err := NewAnalyzer(cfg, WithBudget(QueryBudget{Deadline: time.Second, Retries: 1})); err != nil {
+		t.Fatalf("NewAnalyzer with a valid budget: %v", err)
+	}
+}
+
+func TestBudgetClamp(t *testing.T) {
+	ceiling := QueryBudget{Deadline: 10 * time.Second, Conflicts: 1000, Retries: 2, Escalate: 2}
+
+	// Unset unbounded fields (deadline, conflicts) inherit the
+	// ceiling's bounds; unset retries stay zero — zero means "no
+	// retries", and inheriting the ceiling's count would grant work the
+	// caller never asked for.
+	got := QueryBudget{}.Clamp(ceiling)
+	if got.Deadline != ceiling.Deadline || got.Conflicts != ceiling.Conflicts ||
+		got.Retries != 0 || got.Escalate != ceiling.Escalate {
+		t.Fatalf("zero budget clamped to %+v, want bounds of %+v with zero retries", got, ceiling)
+	}
+
+	// Looser-than-ceiling values are pulled down.
+	got = QueryBudget{Deadline: time.Hour, Conflicts: 1 << 30, Retries: 99}.Clamp(ceiling)
+	if got.Deadline != ceiling.Deadline || got.Conflicts != ceiling.Conflicts || got.Retries != ceiling.Retries {
+		t.Fatalf("loose budget clamped to %+v, want ceiling bounds %+v", got, ceiling)
+	}
+
+	// Tighter values pass through untouched.
+	tight := QueryBudget{Deadline: time.Second, Conflicts: 10, Retries: 1, Escalate: 3}
+	if got = tight.Clamp(ceiling); got != tight {
+		t.Fatalf("tight budget clamped to %+v, want unchanged %+v", got, tight)
+	}
+
+	// A zero ceiling field imposes no bound.
+	unbounded := QueryBudget{Deadline: time.Hour, Retries: 7}
+	got = unbounded.Clamp(QueryBudget{})
+	if got.Deadline != time.Hour || got.Retries != 7 {
+		t.Fatalf("zero ceiling changed the budget: %+v", got)
+	}
+}

@@ -104,7 +104,10 @@ type Checkpoint struct {
 // campaign identified by (kind, fingerprint). A missing file yields an
 // empty checkpoint; an existing file must carry the same schema, kind
 // and fingerprint or OpenCheckpoint fails with ErrCheckpointMismatch.
-// Recovered entries are available through Entries.
+// Recovered entries are available through Entries. A torn partial final
+// line (a writer killed mid-write) is dropped and the checkpoint
+// resumes from the last complete entry; a malformed entry anywhere else
+// is corruption and fails the open.
 func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, kind: kind, fingerprint: fingerprint}
 	f, err := os.Open(path)
@@ -135,17 +138,27 @@ func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
 			hdr.Schema, hdr.Kind, hdr.Fingerprint,
 			CheckpointSchema, kind, fingerprint)
 	}
+	// A malformed FINAL line is a torn write: the writer (or the whole
+	// machine) died mid-line. Every complete entry before it is still
+	// good, so the torn tail is dropped and the campaign resumes from
+	// the last complete entry — the next flush rewrites the file whole.
+	// A malformed entry in the MIDDLE is a different animal: later
+	// entries prove the writer kept going, so the file is corrupt, and
+	// resuming would silently skip work; refuse to guess.
+	var torn bool
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if torn {
+			return nil, fmt.Errorf("checkpoint %s: malformed entry %d", path, len(c.loaded)+1)
+		}
 		entry := make(json.RawMessage, len(line))
 		copy(entry, line)
 		if !json.Valid(entry) {
-			// A torn trailing line can only come from a non-atomic
-			// writer or disk corruption; refuse to guess.
-			return nil, fmt.Errorf("checkpoint %s: malformed entry %d", path, len(c.loaded)+1)
+			torn = true
+			continue
 		}
 		c.loaded = append(c.loaded, entry)
 	}

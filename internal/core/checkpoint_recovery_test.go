@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+)
+
+// TestCampaignFingerprintReorderedQueries pins that the fingerprint is
+// order-sensitive: checkpoint entries are keyed by input index, so the
+// same queries in a different order are a different campaign, and a
+// checkpoint of one must not resume the other.
+func TestCampaignFingerprintReorderedQueries(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+	reordered := make([]Query, len(queries))
+	copy(reordered, queries)
+	reordered[0], reordered[len(reordered)-1] = reordered[len(reordered)-1], reordered[0]
+
+	fp, err := CampaignFingerprint(cfg, CheckpointKindCampaign, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpReordered, err := CampaignFingerprint(cfg, CheckpointKindCampaign, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == fpReordered {
+		t.Fatal("reordered query list shares a fingerprint with the original")
+	}
+
+	// And the mismatch is enforced at resume time.
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindCampaign, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Add(campaignEntry{Index: 0, Result: &Result{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, CheckpointKindCampaign, fpReordered); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("resume with reordered-campaign fingerprint: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// seedCheckpoint writes a checkpoint with three vector entries and
+// returns its path.
+func seedCheckpoint(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		v := ThreatVector{IEDs: []scadanet.DeviceID{scadanet.DeviceID(i)}}
+		if err := ck.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestCheckpointTornFinalLineResumes pins the graceful-recovery
+// contract: a writer killed mid-line leaves a partial final JSONL line,
+// and the checkpoint must resume from the last complete entry instead
+// of refusing the whole file.
+func TestCheckpointTornFinalLineResumes(t *testing.T) {
+	path := seedCheckpoint(t)
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ieds":[4,`); err != nil { // no newline: torn mid-write
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-torn")
+	if err != nil {
+		t.Fatalf("open with torn final line: %v", err)
+	}
+	if got := len(ck.Entries()); got != 3 {
+		t.Fatalf("recovered %d entries, want the 3 complete ones", got)
+	}
+
+	// The next Add rewrites the file whole; reopening sees 4 clean
+	// entries and no trace of the torn tail.
+	if err := ck.Add(ThreatVector{IEDs: []scadanet.DeviceID{4}}); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ck2.Entries()); got != 4 {
+		t.Fatalf("after repair flush: %d entries, want 4", got)
+	}
+}
+
+// TestCheckpointMalformedMiddleEntryRejected draws the line of the
+// torn-tail grace: garbage followed by more entries means the writer
+// kept going past the damage — that is corruption, and resuming would
+// silently skip work, so the open must fail.
+func TestCheckpointMalformedMiddleEntryRejected(t *testing.T) {
+	path := seedCheckpoint(t)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle: header, entry, garbage line, entry, entry.
+	corrupted := append([]byte{}, raw...)
+	lines := 0
+	for i, b := range corrupted {
+		if b != '\n' {
+			continue
+		}
+		lines++
+		if lines == 2 { // end of the first entry line
+			corrupted = append(corrupted[:i+1],
+				append([]byte("{\"ieds\":[9,\n"), corrupted[i+1:]...)...)
+			break
+		}
+	}
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenCheckpoint(path, CheckpointKindEnumerate, "fp-torn"); err == nil {
+		t.Fatal("open accepted a checkpoint with a malformed middle entry")
+	} else if errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("corruption misreported as a fingerprint mismatch: %v", err)
+	}
+}

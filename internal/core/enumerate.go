@@ -63,8 +63,24 @@ func blockVector(enc *logic.Encoder, v ThreatVector) bool {
 // set regardless of the order — or the number of interruptions — in
 // which vectors were found. A nil ck disables checkpointing.
 func (a *Analyzer) EnumerateThreatsResumable(q Query, max int, ck *Checkpoint) ([]ThreatVector, error) {
+	return a.EnumerateThreatsStream(q, max, ck, nil)
+}
+
+// EnumerateThreatsStream is EnumerateThreatsResumable with a per-vector
+// emit callback, for callers that stream vectors as they are discovered
+// (the verification service's JSONL endpoint) instead of waiting for
+// the full set. emit is called once per distinct vector, in discovery
+// order, checkpoint-recovered vectors included (a resumed stream replays
+// the full set). An emit error — typically a disconnected client —
+// aborts the enumeration and is returned with the vectors found so far;
+// the checkpoint keeps every discovered vector, so the same enumeration
+// resumes where the stream broke. A nil emit disables streaming.
+func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit func(ThreatVector) error) ([]ThreatVector, error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
+	}
+	if emit == nil {
+		emit = func(ThreatVector) error { return nil }
 	}
 	span := a.startEnumerateSpan(q)
 	defer span.End()
@@ -83,6 +99,9 @@ func (a *Analyzer) EnumerateThreatsResumable(q Query, max int, ck *Checkpoint) (
 		}
 		seen[v.key()] = true
 		out = append(out, v)
+		if err := emit(v); err != nil {
+			return out, err
+		}
 		if !blockVector(enc, v) {
 			return out, nil
 		}
@@ -110,6 +129,9 @@ func (a *Analyzer) EnumerateThreatsResumable(q Query, max int, ck *Checkpoint) (
 				// valid and the entry is retried on the next Add.
 				a.metrics.Inc("scadaver_checkpoint_errors_total", nil)
 				span.Event("checkpoint-error", obs.A("error", err.Error()))
+			}
+			if err := emit(v); err != nil {
+				return out, err
 			}
 		}
 		if !blockVector(enc, v) {

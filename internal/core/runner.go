@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"scadaver/internal/faultinject"
 	"scadaver/internal/sat"
@@ -29,8 +30,9 @@ import (
 // interrupt hook, so even a long unsat proof unwinds within a few
 // hundred search steps.
 type Runner struct {
-	workers int
-	opts    []Option
+	workers  int
+	opts     []Option
+	inflight atomic.Int64
 }
 
 // NewRunner returns a runner with the given pool size; workers <= 0
@@ -45,6 +47,11 @@ func NewRunner(workers int, opts ...Option) *Runner {
 
 // Workers returns the configured pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// Inflight reports how many tasks this runner's campaigns are executing
+// at this instant, across all concurrent campaign calls. Long-running
+// services (internal/serve) poll it for load introspection.
+func (r *Runner) Inflight() int64 { return r.inflight.Load() }
 
 // probe materializes the runner's options onto a blank analyzer so the
 // runner itself can reach the cross-cutting hooks they carry — the
@@ -286,7 +293,10 @@ func (r *Runner) runEach(ctx context.Context, n int, newTask func(ctx context.Co
 				return
 			}
 			for i := range jobs {
-				if err := runTask(task, faults, i); err != nil {
+				r.inflight.Add(1)
+				err := runTask(task, faults, i)
+				r.inflight.Add(-1)
+				if err != nil {
 					var pe *PanicError
 					if errors.As(err, &pe) {
 						metrics.Inc("scadaver_worker_panics_total", nil)

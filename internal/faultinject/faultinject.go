@@ -45,15 +45,21 @@ type Faults struct {
 	solveDelay  time.Duration
 	failedWrite map[uint64]bool // global write indices that fail
 
+	// HTTP-layer faults (see BeforeStreamItem).
+	streamDelay time.Duration // slow client: per-item stall (0 = off)
+	dropAfter   int64         // mid-stream disconnect after N items (< 0 = off)
+
 	rngMu sync.Mutex
 	rng   uint64
 
 	panicFired atomic.Bool
 	writeIdx   atomic.Uint64
+	streamIdx  atomic.Int64
 
-	stalls      atomic.Uint64
-	panics      atomic.Uint64
-	writeFaults atomic.Uint64
+	stalls       atomic.Uint64
+	panics       atomic.Uint64
+	writeFaults  atomic.Uint64
+	streamFaults atomic.Uint64
 }
 
 // New returns a plan with every fault disabled. The seed feeds Pick
@@ -63,6 +69,7 @@ func New(seed int64) *Faults {
 		seed:        uint64(seed),
 		rng:         uint64(seed)*2862933555777941757 + 3037000493,
 		panicTask:   -1,
+		dropAfter:   -1,
 		failedWrite: map[uint64]bool{},
 	}
 }
@@ -167,6 +174,45 @@ func (f *Faults) CheckTask(i int) {
 	panic(ErrInjected)
 }
 
+// SlowClient arms HTTP-stream latency: every streamed response item
+// (a JSONL line of the enumeration endpoint) stalls for d before being
+// written, modeling a client that drains the response slowly. 0 disarms.
+func (f *Faults) SlowClient(d time.Duration) *Faults {
+	f.streamDelay = d
+	return f
+}
+
+// DropStreamAfter arms a mid-stream client disconnect: the n-th
+// (0-based, counted across all streams of the plan) streamed item fails
+// with ErrInjected, as if the client hung up while the response was in
+// flight. A negative n disarms.
+func (f *Faults) DropStreamAfter(n int) *Faults {
+	f.dropAfter = int64(n)
+	return f
+}
+
+// BeforeStreamItem is the HTTP streaming hook: response writers call it
+// before emitting each streamed item. It blocks for the slow-client
+// delay, then reports ErrInjected when the armed mid-stream disconnect
+// index is reached — the caller must treat that exactly like a real
+// client disconnect (abort the stream, keep server state consistent).
+func (f *Faults) BeforeStreamItem() error {
+	if f == nil {
+		return nil
+	}
+	if f.streamDelay > 0 {
+		time.Sleep(f.streamDelay)
+	}
+	if f.dropAfter < 0 {
+		return nil
+	}
+	if f.streamIdx.Add(1)-1 >= f.dropAfter {
+		f.streamFaults.Add(1)
+		return ErrInjected
+	}
+	return nil
+}
+
 // WrapWriter interposes the plan's transient write faults in front of
 // w. With no write faults armed (or a nil plan) it returns w unchanged,
 // so the production path pays nothing.
@@ -197,6 +243,7 @@ type Counts struct {
 	SolverStalls uint64
 	Panics       uint64
 	WriteFaults  uint64
+	StreamFaults uint64
 }
 
 // Counts returns the current injection counters.
@@ -208,5 +255,6 @@ func (f *Faults) Counts() Counts {
 		SolverStalls: f.stalls.Load(),
 		Panics:       f.panics.Load(),
 		WriteFaults:  f.writeFaults.Load(),
+		StreamFaults: f.streamFaults.Load(),
 	}
 }

@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStreamHooksNilAndDisarmed pins the "nil is off" contract for the
+// HTTP-stream hooks: a nil plan and an unarmed plan both inject
+// nothing, forever.
+func TestStreamHooksNilAndDisarmed(t *testing.T) {
+	var nilPlan *Faults
+	for i := 0; i < 10; i++ {
+		if err := nilPlan.BeforeStreamItem(); err != nil {
+			t.Fatalf("nil plan injected a stream fault: %v", err)
+		}
+	}
+	f := New(1)
+	for i := 0; i < 10; i++ {
+		if err := f.BeforeStreamItem(); err != nil {
+			t.Fatalf("unarmed plan injected a stream fault at item %d: %v", i, err)
+		}
+	}
+	if got := f.Counts().StreamFaults; got != 0 {
+		t.Fatalf("unarmed plan counted %d stream faults", got)
+	}
+}
+
+// TestDropStreamAfterIsDeterministic pins the counter semantics: items
+// before the armed index pass, the armed index and everything after it
+// fail with ErrInjected, and the counter spans streams of one plan.
+func TestDropStreamAfterIsDeterministic(t *testing.T) {
+	f := New(1).DropStreamAfter(3)
+	for i := 0; i < 3; i++ {
+		if err := f.BeforeStreamItem(); err != nil {
+			t.Fatalf("item %d before the drop index failed: %v", i, err)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if err := f.BeforeStreamItem(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("item %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := f.Counts().StreamFaults; got != 3 {
+		t.Fatalf("StreamFaults = %d, want 3", got)
+	}
+
+	// A negative index disarms.
+	off := New(1).DropStreamAfter(-1)
+	for i := 0; i < 5; i++ {
+		if err := off.BeforeStreamItem(); err != nil {
+			t.Fatalf("disarmed plan injected at item %d: %v", i, err)
+		}
+	}
+}
+
+// TestDropStreamAtZeroDropsFirstItem pins the edge the chaos suite
+// leans on: DropStreamAfter(0) fails the very first streamed item.
+func TestDropStreamAtZeroDropsFirstItem(t *testing.T) {
+	f := New(1).DropStreamAfter(0)
+	if err := f.BeforeStreamItem(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first item = %v, want ErrInjected", err)
+	}
+}
+
+// TestSlowClientDelays pins that the slow-client fault actually stalls
+// the stream hook without injecting an error.
+func TestSlowClientDelays(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	f := New(1).SlowClient(delay)
+	start := time.Now()
+	if err := f.BeforeStreamItem(); err != nil {
+		t.Fatalf("slow client injected an error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("BeforeStreamItem returned after %v, want >= %v", elapsed, delay)
+	}
+}

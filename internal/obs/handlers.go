@@ -1,0 +1,31 @@
+package obs
+
+import "net/http"
+
+// ContentTypePrometheus is the content type of the Prometheus text
+// exposition format, version suffix included — scrapers negotiate on
+// it, so the handler must not fall back to a bare text/plain.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// ContentTypeJSON is the content type of the JSON metrics export.
+const ContentTypeJSON = "application/json"
+
+// Handler serves the registry in the Prometheus text exposition format
+// with the correct versioned Content-Type. Each request snapshots the
+// registry, so a scrape observes a consistent point in time while the
+// campaign keeps recording.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		r.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// JSONHandler serves the registry snapshot as one JSON document with
+// Content-Type application/json.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentTypeJSON)
+		r.WriteJSON(w) //nolint:errcheck // client gone; nothing to do
+	})
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("scadaver_queries_total", map[string]string{"status": "unsat"})
+	r.SetGauge("scadaver_queue_depth", nil, 3)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if got := rec.Header().Get("Content-Type"); got != ContentTypePrometheus {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentTypePrometheus)
+	}
+	if !strings.Contains(rec.Header().Get("Content-Type"), "version=0.0.4") {
+		t.Fatal("Prometheus content type lacks the exposition-format version")
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`scadaver_queries_total{status="unsat"} 1`,
+		"# TYPE scadaver_queue_depth gauge",
+		"scadaver_queue_depth 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestJSONHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("scadaver_queries_total", nil)
+	r.SetGauge("scadaver_inflight", nil, 2)
+
+	rec := httptest.NewRecorder()
+	r.JSONHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+
+	if got := rec.Header().Get("Content-Type"); got != ContentTypeJSON {
+		t.Fatalf("Content-Type = %q, want %q", got, ContentTypeJSON)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if len(snap.Counters) != 1 || len(snap.Gauges) != 1 {
+		t.Fatalf("snapshot = %d counters, %d gauges; want 1 and 1", len(snap.Counters), len(snap.Gauges))
+	}
+	if snap.Gauges[0].Name != "scadaver_inflight" || snap.Gauges[0].Value != 2 {
+		t.Fatalf("gauge snapshot = %+v", snap.Gauges[0])
+	}
+}
+
+func TestGaugeLastWriteWins(t *testing.T) {
+	r := NewRegistry()
+	r.SetGauge("depth", nil, 5)
+	r.SetGauge("depth", nil, 2)
+	if got := r.Gauge("depth", nil); got != 2 {
+		t.Fatalf("Gauge = %v, want last-written 2", got)
+	}
+	r.SetGauge("depth", map[string]string{"q": "a"}, 7)
+	if got := r.Gauge("depth", map[string]string{"q": "a"}); got != 7 {
+		t.Fatalf("labeled Gauge = %v, want 7", got)
+	}
+	if got := r.Gauge("missing", nil); got != 0 {
+		t.Fatalf("missing Gauge = %v, want 0", got)
+	}
+}
+
+func TestNilRegistryGaugeIsNoOp(t *testing.T) {
+	var r *Registry
+	r.SetGauge("depth", nil, 1) // must not panic
+	if got := r.Gauge("depth", nil); got != 0 {
+		t.Fatalf("nil-registry Gauge = %v, want 0", got)
+	}
+}

@@ -19,17 +19,19 @@ var DefBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// Registry is a concurrency-safe metrics store: monotonic counters and
-// duration histograms, each keyed by a metric name plus a small label
-// set (property, budget, phase, ...). One registry aggregates across
-// all Runner workers and Sweep iterations of a campaign; export it once
-// at the end with WritePrometheus or WriteJSON.
+// Registry is a concurrency-safe metrics store: monotonic counters,
+// last-write-wins gauges, and duration histograms, each keyed by a
+// metric name plus a small label set (property, budget, phase, ...).
+// One registry aggregates across all Runner workers and Sweep
+// iterations of a campaign; export it once at the end with
+// WritePrometheus or WriteJSON, or serve it live with Handler.
 //
-// The nil *Registry is a valid disabled registry: Add and Observe
-// return immediately.
+// The nil *Registry is a valid disabled registry: Add, SetGauge and
+// Observe return immediately.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*counterSeries
+	gauges   map[string]*counterSeries
 	hists    map[string]*histSeries
 }
 
@@ -51,6 +53,7 @@ type histSeries struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*counterSeries),
+		gauges:   make(map[string]*counterSeries),
 		hists:    make(map[string]*histSeries),
 	}
 }
@@ -110,6 +113,38 @@ func (r *Registry) Add(name string, labels map[string]string, delta float64) {
 // Inc increments the counter series by one.
 func (r *Registry) Inc(name string, labels map[string]string) { r.Add(name, labels, 1) }
 
+// SetGauge sets the gauge series to v (last write wins). Gauges model
+// instantaneous levels — queue depth, in-flight solves, breaker state —
+// where counters model monotonic totals.
+func (r *Registry) SetGauge(name string, labels map[string]string, v float64) {
+	if r == nil {
+		return
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &counterSeries{name: name, labels: copyLabels(labels)}
+		r.gauges[key] = g
+	}
+	g.value = v
+	r.mu.Unlock()
+}
+
+// Gauge returns the current value of one gauge series (0 when the
+// series does not exist). Intended for tests and readiness checks.
+func (r *Registry) Gauge(name string, labels map[string]string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[seriesKey(name, labels)]; ok {
+		return g.value
+	}
+	return 0
+}
+
 // Observe records one value (in seconds) into the histogram series.
 func (r *Registry) Observe(name string, labels map[string]string, v float64) {
 	if r == nil {
@@ -164,6 +199,7 @@ type HistogramSnapshot struct {
 // metric name then label set so exports are deterministic.
 type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []CounterSnapshot   `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
@@ -176,17 +212,26 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
-	ckeys := make([]string, 0, len(r.counters))
-	for k := range r.counters {
-		ckeys = append(ckeys, k)
+	snapshotSeries := func(m map[string]*counterSeries) []CounterSnapshot {
+		if len(m) == 0 {
+			return nil
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]CounterSnapshot, 0, len(keys))
+		for _, k := range keys {
+			c := m[k]
+			out = append(out, CounterSnapshot{
+				Name: c.name, Labels: copyLabels(c.labels), Value: c.value,
+			})
+		}
+		return out
 	}
-	sort.Strings(ckeys)
-	for _, k := range ckeys {
-		c := r.counters[k]
-		snap.Counters = append(snap.Counters, CounterSnapshot{
-			Name: c.name, Labels: copyLabels(c.labels), Value: c.value,
-		})
-	}
+	snap.Counters = snapshotSeries(r.counters)
+	snap.Gauges = snapshotSeries(r.gauges)
 
 	hkeys := make([]string, 0, len(r.hists))
 	for k := range r.hists {
@@ -245,6 +290,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, c := range snap.Counters {
 		typeLine(c.Name, "counter")
 		fmt.Fprintf(&b, "%s%s %s\n", c.Name, promLabels(c.Labels, "", 0), promFloat(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		typeLine(g.Name, "gauge")
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, promLabels(g.Labels, "", 0), promFloat(g.Value))
 	}
 	for _, h := range snap.Histograms {
 		typeLine(h.Name, "histogram")

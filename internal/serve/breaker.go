@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The breaker sheds load before the service collapses:
+// when the rolling failure rate (unsolved results and worker panics)
+// crosses the threshold it opens, admission rejects new work, and
+// /readyz turns unready so load balancers stop routing here. After a
+// cooldown it half-opens and admits a single probe request; the probe's
+// outcome decides between closing again and another cooldown.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerOptions tunes the service breaker; the zero value selects the
+// defaults noted per field.
+type breakerOptions struct {
+	// Window is the number of most recent request outcomes the failure
+	// rate is computed over (default 32).
+	Window int
+	// Threshold is the failure rate in [0,1] that opens the breaker
+	// (default 0.5).
+	Threshold float64
+	// MinSamples gates opening until the window holds at least this
+	// many outcomes, so one early failure cannot open a cold breaker
+	// (default Window/4, at least 4).
+	MinSamples int
+	// Cooldown is how long the breaker stays open before half-opening
+	// for a probe (default 5s).
+	Cooldown time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o breakerOptions) withDefaults() breakerOptions {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		o.Threshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = max(4, o.Window/4)
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// breaker is a rolling-window circuit breaker over request outcomes.
+// All methods are safe for concurrent use.
+type breaker struct {
+	opts breakerOptions
+
+	mu       sync.Mutex
+	state    int
+	openedAt time.Time
+	probing  bool // half-open: the single probe slot is taken
+	ring     []bool
+	idx      int
+	filled   int
+	fails    int
+	onOpen   func(open bool) // state-change hook (breaker_open gauge)
+}
+
+func newBreaker(opts breakerOptions, onOpen func(bool)) *breaker {
+	opts = opts.withDefaults()
+	if onOpen == nil {
+		onOpen = func(bool) {}
+	}
+	return &breaker{opts: opts, ring: make([]bool, opts.Window), onOpen: onOpen}
+}
+
+// Allow reports whether admission may accept a request right now. In
+// the open state it returns false until the cooldown elapses, then
+// half-opens and grants exactly one probe slot; the probe's Record
+// decides the next state.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.opts.now().Sub(b.openedAt) < b.opts.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record feeds one finished request outcome into the rolling window and
+// drives the state machine: a half-open probe failure re-opens, a probe
+// success closes and resets the window; in the closed state crossing
+// the failure-rate threshold opens.
+func (b *breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if failure {
+			b.open()
+		} else {
+			b.close()
+		}
+		return
+	}
+
+	if b.filled == len(b.ring) {
+		if b.ring[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.ring[b.idx] = failure
+	if failure {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+
+	if b.state == breakerClosed && b.filled >= b.opts.MinSamples &&
+		float64(b.fails)/float64(b.filled) >= b.opts.Threshold {
+		b.open()
+	}
+}
+
+// Cancel releases an Allow that will never reach Record — the request
+// was shed later in the admission pipeline (queue full, drain race).
+// Without it a half-open probe slot taken by a shed request would stay
+// occupied forever and the breaker could never recover.
+func (b *breaker) Cancel() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// Open reports whether the breaker is currently open (half-open counts
+// as not open: the service is probing its way back to ready).
+func (b *breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.opts.now().Sub(b.openedAt) >= b.opts.Cooldown {
+		// Cooldown elapsed: report ready so traffic returns and the
+		// next admission runs the half-open probe.
+		return false
+	}
+	return b.state == breakerOpen
+}
+
+// open transitions to the open state (callers hold b.mu).
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.opts.now()
+	b.onOpen(true)
+}
+
+// close transitions to the closed state with a fresh window (callers
+// hold b.mu).
+func (b *breaker) close() {
+	b.state = breakerClosed
+	b.idx, b.filled, b.fails = 0, 0, 0
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.onOpen(false)
+}

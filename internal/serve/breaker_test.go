@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testBreaker(c *fakeClock, opts breakerOptions) *breaker {
+	opts.now = c.now
+	return newBreaker(opts, nil)
+}
+
+func TestBreakerStaysClosedBelowThreshold(t *testing.T) {
+	b := testBreaker(newFakeClock(), breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4})
+	for i := 0; i < 20; i++ {
+		if !b.Allow() {
+			t.Fatalf("Allow = false on healthy traffic (i=%d)", i)
+		}
+		b.Record(i%4 == 0) // 25% failure rate, below 50% threshold
+	}
+	if b.Open() {
+		t.Fatal("breaker opened below threshold")
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4, Cooldown: time.Second})
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	if !b.Open() {
+		t.Fatal("breaker still closed after 4/4 failures with MinSamples=4")
+	}
+	if b.Allow() {
+		t.Fatal("Allow = true while open, before cooldown")
+	}
+}
+
+func TestBreakerMinSamplesGate(t *testing.T) {
+	b := testBreaker(newFakeClock(), breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4})
+	b.Record(true)
+	b.Record(true)
+	b.Record(true) // 3/3 failures but below MinSamples
+	if b.Open() {
+		t.Fatal("breaker opened on fewer than MinSamples outcomes")
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4, Cooldown: time.Second})
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	// Cooldown elapsed: Open reports ready so traffic returns...
+	if b.Open() {
+		t.Fatal("Open = true after cooldown elapsed")
+	}
+	// ...and exactly one probe is admitted.
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second request admitted while probe in flight")
+	}
+	b.Record(false) // probe succeeds
+	if !b.Allow() || b.Open() {
+		t.Fatal("breaker did not close after successful probe")
+	}
+	// The window was reset: one failure must not re-open it.
+	b.Record(true)
+	if b.Open() {
+		t.Fatal("breaker re-opened on a single failure after reset")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4, Cooldown: time.Second})
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.Record(true) // probe fails
+	if b.Allow() {
+		t.Fatal("Allow = true immediately after failed probe")
+	}
+	if !b.Open() {
+		t.Fatal("breaker not open after failed probe")
+	}
+	// Another full cooldown earns another probe.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+}
+
+// TestBreakerCancelReleasesProbe covers the probe-leak fix: a request
+// admitted past Allow in the half-open state but shed later (queue
+// full, drain race, client fault) must release the probe slot, or the
+// breaker can never close again.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk, breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4, Cooldown: time.Second})
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Cancel() // the probe request was shed before reaching a worker
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Cancel")
+	}
+	b.Record(false)
+	if b.Open() {
+		t.Fatal("breaker did not close after the re-issued probe succeeded")
+	}
+}
+
+func TestBreakerOnOpenHook(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []bool
+	opts := breakerOptions{Window: 8, Threshold: 0.5, MinSamples: 4, Cooldown: time.Second}
+	opts.now = clk.now
+	b := newBreaker(opts, func(open bool) { transitions = append(transitions, open) })
+	for i := 0; i < 4; i++ {
+		b.Record(true)
+	}
+	clk.advance(time.Second)
+	b.Allow()
+	b.Record(false)
+	if len(transitions) != 2 || !transitions[0] || transitions[1] {
+		t.Fatalf("onOpen transitions = %v, want [true false]", transitions)
+	}
+}

@@ -1,0 +1,374 @@
+package serve
+
+// Chaos suite for the verification service: the acceptance criteria of
+// the hardened-service work, exercised end to end over real HTTP with
+// -race. Overload sheds instead of collapsing, worker panics stay
+// isolated, a degrading solver opens the breaker, and a drain (or a
+// dropped client) mid-enumeration leaves a checkpoint that resumes to
+// the identical vector set.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/faultinject"
+)
+
+// TestChaosOverloadShedsWithBoundedLatency drives 4x queue-capacity
+// concurrent load into a deliberately slow 2-worker service and asserts
+// the overload contract: every request gets a terminal answer (200 or a
+// 429/503 shed with Retry-After — never a panic escape or a hang), at
+// least one request is shed, and the latency of every admitted request
+// stays bounded by its derived request deadline.
+func TestChaosOverloadShedsWithBoundedLatency(t *testing.T) {
+	faults := faultinject.New(1).DelaySolves(50 * time.Millisecond)
+	budget := core.QueryBudget{Deadline: 2 * time.Second}
+	var s *Server
+	s, ts := newTestServer(t, func(o *Options) {
+		o.QueueDepth = 4
+		o.Workers = 2
+		o.Faults = faults
+		o.DefaultBudget = budget
+		o.BreakerThreshold = 1.0 // sheds must come from the queue, not the breaker
+	})
+	deadline := s.requestDeadline(budget.Clamp(s.opts.MaxBudget), 1)
+
+	const load = 4 * 4 // 4x queue capacity
+	q := core.Query{Property: core.Observability, Combined: true, K: 0}
+
+	type outcome struct {
+		code    int
+		latency time.Duration
+		retry   string
+	}
+	results := make([]outcome, load)
+	var wg sync.WaitGroup
+	for i := 0; i < load; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			results[i] = outcome{code: resp.StatusCode, latency: time.Since(start),
+				retry: resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+			// Admitted-request latency is bounded by the request deadline
+			// (queue wait included); slack covers HTTP overhead.
+			if r.latency > deadline+time.Second {
+				t.Errorf("request %d: admitted latency %v exceeds request deadline %v", i, r.latency, deadline)
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			shed++
+			if r.retry == "" {
+				t.Errorf("request %d: shed %d without Retry-After", i, r.code)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, r.code)
+		}
+	}
+	if ok == 0 {
+		t.Error("overload shed everything; some requests should be admitted")
+	}
+	if shed == 0 {
+		t.Error("4x queue-capacity load shed nothing")
+	}
+	if pan := s.reg.Counter("scadaver_worker_panics_total", nil); pan != 0 {
+		t.Errorf("worker panics escaped under overload: %v", pan)
+	}
+	t.Logf("overload: %d admitted, %d shed (deadline bound %v)", ok, shed, deadline)
+}
+
+// TestChaosPanicIsolation arms the task-panic fault so every verify
+// solve panics in the worker, and asserts the panic is converted to a
+// 500 for that request only — the service stays live, ready, and able
+// to answer probes.
+func TestChaosPanicIsolation(t *testing.T) {
+	faults := faultinject.New(1).PanicOnTask(0)
+	s, ts := newTestServer(t, func(o *Options) {
+		o.Faults = faults
+		o.BreakerMinSamples = 100 // keep the breaker out of this test
+	})
+
+	q := core.Query{Property: core.Observability, Combined: true, K: 0}
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+	body := decodeBody[errorBody](t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request status = %d, want 500", resp.StatusCode)
+	}
+	if body.Error == "" {
+		t.Fatal("panicking request has no error envelope")
+	}
+	if got := s.reg.Counter("scadaver_worker_panics_total", nil); got != 1 {
+		t.Fatalf("scadaver_worker_panics_total = %v, want 1", got)
+	}
+
+	// The blast radius ends at the request: probes still answer and the
+	// service still reports ready.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s after worker panic = %d", path, r.StatusCode)
+		}
+	}
+}
+
+// TestChaosBreakerOpensOnDegradedSolver stalls every solve so verify
+// requests degrade to Unsolved, and asserts the rolling failure rate
+// opens the breaker: /readyz flips unready and new work is shed with
+// 503 until the cooldown.
+func TestChaosBreakerOpensOnDegradedSolver(t *testing.T) {
+	faults := faultinject.New(1).StallSolverAfter(1)
+	clk := newFakeClock()
+	s, ts := newTestServer(t, func(o *Options) {
+		o.Faults = faults
+		o.BreakerWindow = 8
+		o.BreakerMinSamples = 4
+		o.BreakerThreshold = 0.5
+		o.BreakerCooldown = time.Minute
+		o.breakerNow = clk.now
+	})
+
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	var last int
+	for i := 0; i < 8; i++ {
+		resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		last = resp.StatusCode
+		if last == http.StatusServiceUnavailable {
+			break
+		}
+	}
+	if last != http.StatusServiceUnavailable {
+		t.Fatalf("breaker never opened under a stalled solver (last status %d)", last)
+	}
+	if !s.brk.Open() {
+		t.Fatal("breaker reports closed after shedding")
+	}
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeBody[readyzBody](t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || !body.BreakerOpen {
+		t.Fatalf("readyz with open breaker = %d %+v", resp.StatusCode, body)
+	}
+
+	// After the cooldown the service advertises ready again so the next
+	// request can run the half-open probe.
+	clk.advance(time.Minute)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after cooldown = %d, want 200 (probe window)", resp.StatusCode)
+	}
+}
+
+// enumerateVectors runs one /v1/enumerate request and returns the
+// streamed vectors plus the trailer (nil if truncated).
+func enumerateVectors(t testing.TB, url string, req EnumerateRequest) ([]core.ThreatVector, *EnumerateTrailer) {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/enumerate", req)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("enumerate status = %d, body %s", resp.StatusCode, raw)
+	}
+	return readStream(t, resp)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestChaosDrainMidEnumerateResumes interrupts a slow enumeration with
+// a forced drain, then boots a fresh service over the same checkpoint
+// directory and asserts the retried request resumes from the journal
+// and streams exactly the vector set an undisturbed enumeration finds.
+func TestChaosDrainMidEnumerateResumes(t *testing.T) {
+	dir := t.TempDir()
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q, Max: 32, RequestID: "drain-chaos-1"}
+
+	// The reference vector set, from an undisturbed direct enumeration.
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("test topology yields only %d vectors; too few to interrupt meaningfully", len(want))
+	}
+
+	// Service 1: slow solves, drained (forced, zero grace) mid-stream.
+	faults := faultinject.New(1).DelaySolves(40 * time.Millisecond)
+	s1, ts1 := newTestServer(t, func(o *Options) {
+		o.CheckpointDir = dir
+		o.Faults = faults
+		o.Workers = 1
+	})
+	streamErr := make(chan error, 1)
+	go func() {
+		resp := postJSON(t, ts1.URL+"/v1/enumerate", req)
+		defer resp.Body.Close()
+		_, err := io.Copy(io.Discard, resp.Body)
+		streamErr <- err
+	}()
+
+	// Wait until the journal proves at least one vector was discovered,
+	// then force-drain with an already-expired context: in-flight solves
+	// are interrupt-cancelled, the stream is truncated.
+	ckptPath := filepath.Join(dir, req.RequestID+".ckpt")
+	waitFor(t, 10*time.Second, func() bool {
+		fi, err := os.Stat(ckptPath)
+		return err == nil && fi.Size() > 0
+	})
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := s1.Drain(expired); err == nil {
+		t.Fatal("forced drain reported a clean finish")
+	}
+	<-streamErr // stream ended (truncated or complete); either way s1 is done
+	ts1.Close()
+
+	// Service 2: same checkpoint directory, no faults. The retry must
+	// resume and finish with the identical vector set.
+	_, ts2 := newTestServer(t, func(o *Options) { o.CheckpointDir = dir })
+	vectors, trailer := enumerateVectors(t, ts2.URL, req)
+	if trailer == nil || !trailer.Done {
+		t.Fatalf("resumed enumeration did not finish (trailer %+v)", trailer)
+	}
+	got, wantKeys := vectorKeys(vectors), vectorKeys(want)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("resumed enumeration streamed %d distinct vectors, want %d\ngot:  %v\nwant: %v",
+			len(got), len(wantKeys), sortedKeys(got), sortedKeys(wantKeys))
+	}
+	for k := range wantKeys {
+		if !got[k] {
+			t.Fatalf("resumed enumeration is missing vector %s", k)
+		}
+	}
+}
+
+// TestChaosMidStreamDisconnectResumes models a client that vanishes
+// mid-stream (injected stream fault) and asserts the checkpoint makes
+// the retry complete with the full vector set, replaying what was
+// already discovered.
+func TestChaosMidStreamDisconnectResumes(t *testing.T) {
+	dir := t.TempDir()
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q, Max: 32, RequestID: "drop-chaos-1"}
+
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("test topology yields only %d vectors", len(want))
+	}
+
+	// Service 1: the stream drops after 2 items.
+	faults := faultinject.New(1).DropStreamAfter(2)
+	_, ts1 := newTestServer(t, func(o *Options) {
+		o.CheckpointDir = dir
+		o.Faults = faults
+	})
+	vectors, trailer := enumerateVectors(t, ts1.URL, req)
+	if trailer != nil {
+		t.Fatalf("dropped stream still delivered a trailer %+v", trailer)
+	}
+	if len(vectors) > 2 {
+		t.Fatalf("stream delivered %d vectors after a drop-after-2 fault", len(vectors))
+	}
+
+	// Service 2: clean retry resumes from the checkpoint.
+	_, ts2 := newTestServer(t, func(o *Options) { o.CheckpointDir = dir })
+	vectors, trailer = enumerateVectors(t, ts2.URL, req)
+	if trailer == nil || !trailer.Done {
+		t.Fatalf("retry did not finish (trailer %+v)", trailer)
+	}
+	if trailer.Resumed == 0 {
+		t.Fatal("retry found an empty checkpoint; the dropped stream journaled nothing")
+	}
+	got, wantKeys := vectorKeys(vectors), vectorKeys(want)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("retry streamed %d distinct vectors, want %d", len(got), len(wantKeys))
+	}
+	for k := range wantKeys {
+		if !got[k] {
+			t.Fatalf("retry is missing vector %s", k)
+		}
+	}
+}
+
+// TestChaosCheckpointMismatchConflicts reuses a request ID for a
+// different query and asserts the service answers 409 instead of
+// silently resuming the wrong campaign.
+func TestChaosCheckpointMismatchConflicts(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, func(o *Options) { o.CheckpointDir = dir })
+
+	q1 := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q1, Max: 8, RequestID: "reused-id"}
+	if _, trailer := enumerateVectors(t, ts.URL, req); trailer == nil {
+		t.Fatal("seed enumeration did not finish")
+	}
+
+	req.Query = core.Query{Property: core.SecuredObservability, Combined: true, K: 2}
+	resp := postJSON(t, ts.URL+"/v1/enumerate", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reused request ID with a different query = %d, want 409", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

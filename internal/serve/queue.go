@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"scadaver/internal/obs"
+)
+
+// job is one admitted unit of verification work. The handler goroutine
+// builds it, the admission queue carries it, a pool worker executes run
+// and closes done; the handler then writes the response. Exactly one
+// worker touches a job after admission, so the fields need no locking —
+// the done channel is the happens-before edge back to the handler.
+type job struct {
+	id    int64  // request sequence number (PanicError index, logs)
+	route string // metric label
+
+	// ctx bounds the whole request: client disconnect, the derived
+	// request deadline, and server drain all cancel it.
+	ctx context.Context
+	// run does the verification. It is executed under panic isolation;
+	// its error (including a recovered *core.PanicError) lands in err.
+	run func(ctx context.Context) error
+
+	err      error
+	done     chan struct{}
+	enqueued time.Time
+}
+
+// queue is the bounded admission queue in front of the worker pool.
+// Enqueueing never blocks: when the queue is full the request is shed
+// at the HTTP layer with 429 Retry-After instead of piling up
+// goroutines — under overload the server's memory stays bounded by
+// depth + workers, and excess load is pushed back to clients.
+type queue struct {
+	ch  chan *job
+	reg *obs.Registry
+}
+
+func newQueue(depth int, reg *obs.Registry) *queue {
+	return &queue{ch: make(chan *job, depth), reg: reg}
+}
+
+// tryEnqueue admits the job if a slot is free and reports whether it
+// did. It never blocks.
+func (q *queue) tryEnqueue(j *job) bool {
+	select {
+	case q.ch <- j:
+		q.reg.SetGauge("scadaver_queue_depth", nil, float64(len(q.ch)))
+		return true
+	default:
+		return false
+	}
+}
+
+// dequeue returns the next job, or nil when quit closes first.
+func (q *queue) dequeue(quit <-chan struct{}) *job {
+	select {
+	case j := <-q.ch:
+		q.reg.SetGauge("scadaver_queue_depth", nil, float64(len(q.ch)))
+		return j
+	case <-quit:
+		return nil
+	}
+}
+
+// depth returns the current queue occupancy.
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity returns the configured queue depth.
+func (q *queue) capacity() int { return cap(q.ch) }

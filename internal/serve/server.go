@@ -1,0 +1,448 @@
+// Package serve is the long-running verification service around the
+// SCADA Analyzer: an HTTP/JSON API over named configurations with the
+// robustness layers a service needs that a one-shot CLI does not —
+// bounded admission (shed with 429, never unbounded goroutines),
+// server-capped per-request budgets mapped onto core.QueryBudget, a
+// fixed worker pool with per-request panic isolation, checkpoint-backed
+// resumable enumeration streams, a breaker that turns /readyz unready
+// when the rolling unsolved/panic rate says the service is degrading,
+// and a graceful drain that finishes or deadline-cancels in-flight
+// solves on shutdown. Overload degrades; it does not cascade.
+//
+// The request path is: admission (drain gate → breaker → bounded
+// queue) → worker pool (core.Runner / core.Sweep / enumeration under
+// *core.PanicError recovery) → response. See DESIGN.md §10.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/faultinject"
+	"scadaver/internal/obs"
+	"scadaver/internal/scadanet"
+)
+
+// Options configures a Server. Configs is required; every other field
+// has a serviceable default noted per field.
+type Options struct {
+	// Configs are the named SCADA configurations the service verifies;
+	// requests select one by name. Each is validated at construction so
+	// a bad config fails the boot, not the first request.
+	Configs map[string]*scadanet.Config
+
+	// QueueDepth bounds the admission queue (default 64). Requests
+	// beyond depth are shed with 429 Retry-After.
+	QueueDepth int
+	// Workers is the fixed worker-pool size (default GOMAXPROCS).
+	Workers int
+
+	// DefaultBudget applies when a request carries no budget; it is
+	// clamped by MaxBudget like any request budget (default: 10s
+	// deadline, no retries).
+	DefaultBudget core.QueryBudget
+	// MaxBudget is the server-enforced budget ceiling: request budgets
+	// are clamped to it, so a client can tighten but never loosen the
+	// server's bounds (default: 30s deadline, 2 retries).
+	MaxBudget core.QueryBudget
+	// RequestTimeout bounds a whole request — queue wait included —
+	// when its budget derives no deadline (default 60s).
+	RequestTimeout time.Duration
+
+	// MaxEnumerate caps the vectors one /v1/enumerate request may
+	// stream (default 256).
+	MaxEnumerate int
+	// MaxSweepK caps the budget range of one /v1/sweep request
+	// (default 64).
+	MaxSweepK int
+	// RetryAfter is the Retry-After hint attached to shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+
+	// Breaker tuning; zero values select the defaults documented on
+	// breakerOptions.
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
+
+	// CheckpointDir enables resumable /v1/enumerate requests: a request
+	// with a requestId journals its vectors to <dir>/<requestId>.ckpt
+	// and a retry of the same requestId resumes instead of re-solving.
+	// Empty disables checkpointing.
+	CheckpointDir string
+
+	// Metrics receives the service metrics (a fresh registry when nil);
+	// it is also served at /metrics and /metrics.json.
+	Metrics *obs.Registry
+	// Faults threads a deterministic fault-injection plan through the
+	// solvers, the checkpoint writer and the HTTP stream (chaos tests
+	// only; nil injects nothing).
+	Faults *faultinject.Faults
+	// AnalyzerOptions are extra options for every analyzer the service
+	// builds (policy, path bounds, tracing).
+	AnalyzerOptions []core.Option
+	// ErrorLog receives worker panics and drain progress (default:
+	// the standard logger).
+	ErrorLog *log.Logger
+
+	// breakerNow overrides the breaker clock in tests.
+	breakerNow func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if !o.DefaultBudget.Enabled() {
+		o.DefaultBudget = core.QueryBudget{Deadline: 10 * time.Second}
+	}
+	if !o.MaxBudget.Enabled() {
+		o.MaxBudget = core.QueryBudget{Deadline: 30 * time.Second, Retries: 2}
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.MaxEnumerate <= 0 {
+		o.MaxEnumerate = 256
+	}
+	if o.MaxSweepK <= 0 {
+		o.MaxSweepK = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.ErrorLog == nil {
+		o.ErrorLog = log.Default()
+	}
+	return o
+}
+
+// Server is the verification service. Construct with New, mount
+// Handler on an http.Server, and call Drain exactly once on shutdown.
+type Server struct {
+	opts Options
+	reg  *obs.Registry
+	q    *queue
+	brk  *breaker
+	mux  *http.ServeMux
+
+	// baseCtx is the service lifetime; cancelBase deadline-cancels every
+	// in-flight solve through the solver interrupt hook (forced drain).
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	quit      chan struct{} // stops idle workers once all jobs finished
+	workersWG sync.WaitGroup
+
+	// admitMu serializes admission against Drain: once draining is set
+	// under the mutex, no new job can slip past the jobsWG.Wait.
+	admitMu  sync.Mutex
+	draining atomic.Bool
+	jobsWG   sync.WaitGroup
+
+	inflight atomic.Int64
+	seq      atomic.Int64
+}
+
+// New validates the options and every named configuration, starts the
+// worker pool, and returns the service ready to accept requests.
+func New(opts Options) (*Server, error) {
+	// Validate the caller's budgets before withDefaults, which replaces
+	// a disabled budget — and a negative deadline reads as disabled — so
+	// a nonsensical configuration fails loudly instead of silently
+	// becoming the default.
+	if err := opts.DefaultBudget.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: default budget: %w", err)
+	}
+	if err := opts.MaxBudget.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: max budget: %w", err)
+	}
+	opts = opts.withDefaults()
+	if len(opts.Configs) == 0 {
+		return nil, fmt.Errorf("serve: no configurations to serve")
+	}
+	for name, cfg := range opts.Configs {
+		if _, err := core.NewAnalyzer(cfg, opts.AnalyzerOptions...); err != nil {
+			return nil, fmt.Errorf("serve: config %q: %w", name, err)
+		}
+	}
+
+	s := &Server{
+		opts: opts,
+		reg:  opts.Metrics,
+		q:    newQueue(opts.QueueDepth, opts.Metrics),
+		quit: make(chan struct{}),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.brk = newBreaker(breakerOptions{
+		Window:     opts.BreakerWindow,
+		Threshold:  opts.BreakerThreshold,
+		MinSamples: opts.BreakerMinSamples,
+		Cooldown:   opts.BreakerCooldown,
+		now:        opts.breakerNow,
+	}, func(open bool) {
+		v := 0.0
+		if open {
+			v = 1.0
+		}
+		s.reg.SetGauge("scadaver_breaker_open", nil, v)
+	})
+	s.reg.SetGauge("scadaver_breaker_open", nil, 0)
+	s.reg.SetGauge("scadaver_queue_depth", nil, 0)
+	s.reg.SetGauge("scadaver_inflight", nil, 0)
+
+	s.mux = http.NewServeMux()
+	s.routes()
+
+	s.workersWG.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler: the /v1 verification
+// API, health and readiness probes, metrics, and pprof.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET /metrics.json", s.reg.JSONHandler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Ready reports whether the service should receive traffic: not
+// draining and the breaker not open.
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && !s.brk.Open()
+}
+
+// Inflight reports how many requests are executing right now.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// QueueDepth reports the current admission-queue occupancy.
+func (s *Server) QueueDepth() int { return s.q.depth() }
+
+// analyzerOptions assembles the per-request analyzer options: the
+// service-wide extras, metrics, the fault plan, and the derived budget.
+func (s *Server) analyzerOptions(b core.QueryBudget) []core.Option {
+	opts := append([]core.Option(nil), s.opts.AnalyzerOptions...)
+	opts = append(opts, core.WithMetrics(s.reg), core.WithBudget(b))
+	if s.opts.Faults != nil {
+		opts = append(opts, core.WithFaults(s.opts.Faults))
+	}
+	return opts
+}
+
+// deriveBudget maps a request's budget spec onto the server's bounds:
+// an absent budget takes the default, and every budget — client or
+// default — is clamped by the server ceiling.
+func (s *Server) deriveBudget(b core.QueryBudget) (core.QueryBudget, error) {
+	if err := b.Validate(); err != nil {
+		return core.QueryBudget{}, err
+	}
+	if !b.Enabled() {
+		b = s.opts.DefaultBudget
+	}
+	return b.Clamp(s.opts.MaxBudget), nil
+}
+
+// requestDeadline derives the whole-request deadline (queue wait
+// included) from the effective budget: the sum of the escalating
+// per-attempt deadlines plus a grace for non-solve work, falling back
+// to RequestTimeout for unbounded budgets. perSolve > 1 scales the
+// bound for multi-solve requests (sweeps, enumerations).
+func (s *Server) requestDeadline(b core.QueryBudget, perSolve int) time.Duration {
+	if b.Deadline <= 0 {
+		return s.opts.RequestTimeout
+	}
+	esc := b.Escalate
+	if esc <= 1 {
+		esc = core.DefaultEscalation
+	}
+	total := time.Duration(0)
+	d := b.Deadline
+	for i := 0; i <= b.Retries; i++ {
+		total += d
+		d = time.Duration(float64(d) * esc)
+	}
+	if perSolve > 1 {
+		total *= time.Duration(perSolve)
+	}
+	// Grace for queueing, encoding and the interrupt-poll latency of an
+	// expiring solve.
+	total += total/4 + 100*time.Millisecond
+	if total > s.opts.RequestTimeout {
+		total = s.opts.RequestTimeout
+	}
+	return total
+}
+
+// admit runs the admission pipeline for one request: drain gate, then
+// breaker, then the bounded queue. On success the returned job is
+// enqueued and its done channel will be closed by a worker; on shed the
+// response (503 or 429 with Retry-After) has already been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, route string, deadline time.Duration, run func(ctx context.Context) error) (*job, context.CancelFunc, bool) {
+	if s.draining.Load() {
+		s.shed(w, route, http.StatusServiceUnavailable, "draining")
+		return nil, nil, false
+	}
+	if !s.brk.Allow() {
+		s.shed(w, route, http.StatusServiceUnavailable, "breaker")
+		return nil, nil, false
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	release := func() { stop(); cancel() }
+
+	j := &job{
+		id:       s.seq.Add(1),
+		route:    route,
+		ctx:      ctx,
+		run:      run,
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
+	}
+
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		s.admitMu.Unlock()
+		release()
+		s.brk.Cancel()
+		s.shed(w, route, http.StatusServiceUnavailable, "draining")
+		return nil, nil, false
+	}
+	s.jobsWG.Add(1)
+	s.admitMu.Unlock()
+
+	if !s.q.tryEnqueue(j) {
+		s.jobsWG.Done()
+		release()
+		s.brk.Cancel()
+		s.shed(w, route, http.StatusTooManyRequests, "queue")
+		return nil, nil, false
+	}
+	return j, release, true
+}
+
+// shed rejects a request at admission with a Retry-After hint and
+// accounts for it; shed requests never reach the worker pool and never
+// feed the breaker window.
+func (s *Server) shed(w http.ResponseWriter, route string, code int, reason string) {
+	s.reg.Inc("scadaver_shed_total", map[string]string{"reason": reason})
+	s.reg.Inc("scadaver_http_requests_total", map[string]string{
+		"route": route, "code": strconv.Itoa(code),
+	})
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+	writeJSONError(w, code, "overloaded: "+reason)
+}
+
+// worker is one pool goroutine: it executes admitted jobs until Drain
+// closes quit (which only happens after every admitted job finished).
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for {
+		j := s.q.dequeue(s.quit)
+		if j == nil {
+			return
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job with panic isolation and closes its done
+// channel. A job whose context died while queued (client disconnect,
+// deadline, drain) is skipped, not solved.
+func (s *Server) execute(j *job) {
+	defer s.jobsWG.Done()
+	defer close(j.done)
+	s.reg.ObserveDuration("scadaver_queue_wait_seconds",
+		map[string]string{"route": j.route}, time.Since(j.enqueued))
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		return
+	}
+	s.reg.SetGauge("scadaver_inflight", nil, float64(s.inflight.Add(1)))
+	defer func() {
+		s.reg.SetGauge("scadaver_inflight", nil, float64(s.inflight.Add(-1)))
+	}()
+	j.err = s.isolated(j)
+}
+
+// isolated reuses the campaign panic-isolation contract: a panic in
+// verification code becomes a *core.PanicError naming the request, the
+// request gets a 500, and the service keeps serving.
+func (s *Server) isolated(j *job) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &core.PanicError{Index: int(j.id), Value: v, Stack: debug.Stack()}
+			s.reg.Inc("scadaver_worker_panics_total", nil)
+			s.opts.ErrorLog.Printf("serve: request %d (%s) panicked: %v", j.id, j.route, v)
+		}
+	}()
+	return j.run(j.ctx)
+}
+
+// Drain gracefully shuts the service down: stop admitting (readyz
+// unready, new requests shed with 503), let in-flight and queued jobs
+// finish, and — if ctx expires first — deadline-cancel the remaining
+// solves through the solver interrupt hook and wait for them to
+// unwind. Safe to call once; returns ctx's error when the drain had to
+// force-cancel. The HTTP listener itself is the caller's to close
+// (http.Server.Shutdown), ideally after Drain marked the service
+// unready.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining.Swap(true)
+	s.admitMu.Unlock()
+	if already {
+		return nil
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.opts.ErrorLog.Printf("serve: drain deadline reached; cancelling in-flight solves")
+		s.cancelBase()
+		<-done
+	}
+	s.cancelBase()
+	close(s.quit)
+	s.workersWG.Wait()
+	return err
+}

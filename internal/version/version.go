@@ -1,0 +1,61 @@
+// Package version reports the build identity shared by every scadaver
+// CLI's -version flag: the module version and, when the binary was
+// built inside a VCS checkout, the revision and commit time Go stamps
+// into the binary.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the binary's version as a single line, e.g.
+//
+//	scadaver (devel) rev 1a2b3c4d5e6f (2026-08-06T10:00:00Z, dirty) go1.22.1
+//
+// It degrades gracefully: binaries built without module or VCS
+// information (go test, stripped builds) report what is available.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "scadaver (build info unavailable)"
+	}
+	var b strings.Builder
+	b.WriteString("scadaver ")
+	if v := info.Main.Version; v != "" {
+		b.WriteString(v)
+	} else {
+		b.WriteString("(devel)")
+	}
+
+	var rev, at, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		switch {
+		case at != "" && modified == "true":
+			fmt.Fprintf(&b, " (%s, dirty)", at)
+		case at != "":
+			fmt.Fprintf(&b, " (%s)", at)
+		case modified == "true":
+			b.WriteString(" (dirty)")
+		}
+	}
+	if info.GoVersion != "" {
+		fmt.Fprintf(&b, " %s", info.GoVersion)
+	}
+	return b.String()
+}

@@ -278,6 +278,10 @@ const (
 // campaign (schema, kind, or fingerprint differs).
 var ErrCheckpointMismatch = core.ErrCheckpointMismatch
 
+// ErrBadBudget reports a nonsensical query budget (negative deadline,
+// retry count, or escalation factor), rejected at analyzer construction.
+var ErrBadBudget = core.ErrBadBudget
+
 // WithBudget bounds every query of the analyzer by the given budget.
 func WithBudget(b QueryBudget) Option { return core.WithBudget(b) }
 
