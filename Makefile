@@ -28,9 +28,11 @@ bench:
 
 # Record the reference benchmark campaign (resiliency boundary plus
 # parallel k-sweep over IEEE 14/30/57) as machine-readable JSON, so
-# successive commits can be compared number-by-number.
+# successive commits can be compared number-by-number. Recorded with
+# preprocessing + the encoding cache enabled; BENCH_pr2.json is the
+# retained pre-preprocessing baseline (see EXPERIMENTS.md §P2).
 bench-record:
-	$(GO) run ./cmd/scada-bench -record BENCH_pr2.json -inputs 1 -runs 2 -maxk 4
+	$(GO) run ./cmd/scada-bench -record BENCH_pr5.json -inputs 1 -runs 2 -maxk 4 -presimplify
 
 # The chaos pass: the fault-tolerance suite (deterministic fault
 # injection, budget degradation, checkpoint/resume, panic isolation)

@@ -75,6 +75,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
 		checkpoint = fs.String("checkpoint", "", "resumable checkpoint file for -sweep campaigns and threat enumeration")
 		keepGoing  = fs.Bool("keep-going", true, "for parallel -sweep: isolate per-query failures instead of aborting the campaign")
+		presimp    = fs.Bool("presimplify", false, "preprocess the CNF before search (unit propagation, subsumption, variable elimination)")
+		noCache    = fs.Bool("no-cache", false, "disable the cross-query encoding cache (re-encode the structure per query)")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -161,6 +163,19 @@ func run(args []string, out io.Writer) (retErr error) {
 	budget := core.QueryBudget{Deadline: *deadline, Retries: *retries}
 	if budget.Enabled() {
 		opts = append(opts, core.WithBudget(budget))
+	}
+	// The encoding cache stays off for -sweep campaigns: the incremental
+	// single-solver path and the parallel pool are contracted to print
+	// identical witness vectors (see TestRunSweep), and solving clones of
+	// a shared snapshot explores the search space in a different order
+	// than the from-scratch encodings that contract was defined over.
+	// Everywhere else (single queries, enumeration, hardening) the cache
+	// is on by default; -no-cache is the escape hatch.
+	if !*noCache && *sweepK < 0 {
+		opts = append(opts, core.WithEncodingCache(core.NewEncodingCache()))
+	}
+	if *presimp {
+		opts = append(opts, core.WithPresimplify(true))
 	}
 
 	analyzer, err := core.NewAnalyzer(cfg, opts...)

@@ -61,6 +61,8 @@ func run(args []string, w io.Writer) (retErr error) {
 		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
 		checkpoint = fs.String("checkpoint", "", "for -fig sweep: stream finished queries to this resumable checkpoint file")
 		keepGoing  = fs.Bool("keep-going", true, "for -fig sweep: isolate per-query failures instead of aborting the campaign")
+		presimp    = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the encoding cache)")
+		noCache    = fs.Bool("no-cache", false, "disable the per-campaign encoding cache (re-encode the structure per query)")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,7 +85,8 @@ func run(args []string, w io.Writer) (retErr error) {
 	opt := experiments.Options{
 		Inputs: *inputs, Runs: *runs, Workers: *workers,
 		Trace: root, Metrics: reg,
-		Budget: core.QueryBudget{Deadline: *deadline, Retries: *retries},
+		Budget:      core.QueryBudget{Deadline: *deadline, Retries: *retries},
+		Presimplify: *presimp, NoCache: *noCache,
 	}
 
 	if *record != "" {

@@ -117,6 +117,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		brkThreshold = fs.Float64("breaker-threshold", 0.5, "unsolved/panic rate that opens the breaker")
 		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing")
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for resumable /v1/enumerate checkpoints (empty = disabled)")
+		presimp      = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the shared encoding cache)")
+		noCache      = fs.Bool("no-cache", false, "disable the service-wide encoding cache (re-encode the structure per request)")
 		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
@@ -149,6 +151,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		CheckpointDir:    *ckptDir,
+		Presimplify:      *presimp,
+		NoEncodingCache:  *noCache,
 	})
 	if err != nil {
 		return err

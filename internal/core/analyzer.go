@@ -150,19 +150,30 @@ func (v ThreatVector) key() string { return v.String() }
 type PhaseTimes struct {
 	Build  time.Duration `json:"buildNanos"`
 	Encode time.Duration `json:"encodeNanos"`
-	Solve  time.Duration `json:"solveNanos"`
-	Decode time.Duration `json:"decodeNanos"`
+	// Preprocess is the CNF simplification time (WithPresimplify); for
+	// the query that builds a cache snapshot it is the snapshot's one-off
+	// Simplify cost, split out of Build. Zero when preprocessing is off
+	// or the snapshot came from the cache.
+	Preprocess time.Duration `json:"preprocessNanos,omitempty"`
+	Solve      time.Duration `json:"solveNanos"`
+	Decode     time.Duration `json:"decodeNanos"`
 }
 
 // Sum returns the total time attributed to phases; the gap to
 // Result.Duration is per-query bookkeeping overhead.
-func (p PhaseTimes) Sum() time.Duration { return p.Build + p.Encode + p.Solve + p.Decode }
+func (p PhaseTimes) Sum() time.Duration {
+	return p.Build + p.Encode + p.Preprocess + p.Solve + p.Decode
+}
 
 // String implements fmt.Stringer.
 func (p PhaseTimes) String() string {
 	msf := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	return fmt.Sprintf("build=%.2fms encode=%.2fms solve=%.2fms decode=%.2fms",
+	s := fmt.Sprintf("build=%.2fms encode=%.2fms solve=%.2fms decode=%.2fms",
 		msf(p.Build), msf(p.Encode), msf(p.Solve), msf(p.Decode))
+	if p.Preprocess > 0 {
+		s += fmt.Sprintf(" preprocess=%.2fms", msf(p.Preprocess))
+	}
+	return s
 }
 
 // Result is the outcome of one verification.
@@ -288,6 +299,13 @@ type Analyzer struct {
 	budget         QueryBudget
 	faults         *faultinject.Faults
 
+	// Formula preprocessing and the cross-query encoding cache (see
+	// codecache.go). encFP memoizes the analyzer's share of the cache
+	// key; it is derived state, not configuration.
+	presimplify bool
+	cache       *EncodingCache
+	encFP       string
+
 	// Observability (all optional; nil = disabled).
 	trace         *obs.Span
 	metrics       *obs.Registry
@@ -387,27 +405,75 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	defer qspan.End()
 
 	var ph PhaseTimes
-	sp := qspan.Start("build")
-	t0 := time.Now()
-	enc, delivered := a.encodeStructure(q)
-	ph.Build = time.Since(t0)
-	sp.End()
+	var enc *logic.Encoder
+	var built bool
+	var entry *encodingEntry
+	var sp *obs.Span
+	var assumptions []*logic.Formula
+	if a.cache != nil {
+		// Cached path: clone the shared structural snapshot (built and,
+		// under presimplify, simplified exactly once per structure) and
+		// solve with the failure budget as an assumption on the private
+		// clone, mirroring how Sweep layers budgets over one encoding.
+		// Verdicts are unaffected, but the clone explores the search
+		// space in a different order than a from-scratch encoding, so a
+		// SAT query may surface a different (equally minimal) witness.
+		sp = qspan.Start("build")
+		t0 := time.Now()
+		var err error
+		enc, built, entry, err = a.snapshot(q)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		ph.Build = time.Since(t0)
+		if built {
+			preprocessPhase(&ph, entry.pre)
+		}
+		sp.End()
 
-	sp = qspan.Start("encode")
-	t0 = time.Now()
-	enc.Assert(a.budgetFormula(q))
-	enc.Assert(a.violationFormula(q, delivered))
-	ph.Encode = time.Since(t0)
-	sp.End()
+		sp = qspan.Start("encode")
+		t0 = time.Now()
+		assumptions = append(assumptions, a.budgetFormula(q))
+		ph.Encode = time.Since(t0)
+		sp.End()
+	} else {
+		sp = qspan.Start("build")
+		t0 := time.Now()
+		var delivered []*logic.Formula
+		enc, delivered = a.encodeStructure(q)
+		ph.Build = time.Since(t0)
+		sp.End()
+
+		sp = qspan.Start("encode")
+		t0 = time.Now()
+		enc.Assert(a.budgetFormula(q))
+		enc.Assert(a.violationFormula(q, delivered))
+		ph.Encode = time.Since(t0)
+		sp.End()
+
+		if a.presimplify {
+			sp = qspan.Start("preprocess")
+			t0 = time.Now()
+			enc.Simplify()
+			ph.Preprocess = time.Since(t0)
+			sp.End()
+		}
+	}
 
 	sp = qspan.Start("solve")
 	a.armProgress(enc, sp)
-	t0 = time.Now()
-	out := a.solveBudgeted(q, enc, sp)
+	t0 := time.Now()
+	out := a.solveBudgeted(q, enc, sp, assumptions...)
 	status := out.status
 	ph.Solve = time.Since(t0)
 	enc.Solver().SetProgress(0, nil)
 	stats := enc.Solver().Stats()
+	if built {
+		// The builder query carries the snapshot's one-time preprocessing
+		// counters so campaign sums account for the work exactly once.
+		addPreprocessStats(&stats, entry.pre)
+	}
 	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts),
 		obs.A("attempts", out.attempts))
 	sp.End()
@@ -519,6 +585,17 @@ func (a *Analyzer) recordMetrics(res *Result) {
 	m.Add("scadaver_solver_conflicts_total", pl, float64(res.Stats.Conflicts))
 	m.Add("scadaver_solver_decisions_total", pl, float64(res.Stats.Decisions))
 	m.Add("scadaver_solver_propagations_total", pl, float64(res.Stats.Propagations))
+	// Preprocessing series only appear on queries that actually ran (or
+	// built) a Simplify pass, so dashboards of non-preprocessing
+	// deployments stay unchanged.
+	if res.Phases.Preprocess > 0 {
+		m.ObserveDuration("scadaver_phase_seconds",
+			map[string]string{"phase": "preprocess", "property": prop}, res.Phases.Preprocess)
+	}
+	if res.Stats.SimplifyTime > 0 {
+		m.Add("scadaver_sat_elim_vars_total", pl, float64(res.Stats.ElimVars))
+		m.ObserveDuration("scadaver_sat_simplify_seconds", pl, res.Stats.SimplifyTime)
+	}
 }
 
 // nodeVar names the availability term of a field device.

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"scadaver/internal/logic"
+	"scadaver/internal/sat"
+)
+
+// EncodingVersion identifies the CNF encoding scheme — the clause shapes
+// emitted by encodeStructure/violationFormula and the preprocessing
+// applied on top of them (sat.Solver.Simplify). It participates in every
+// encoding-cache key and in the verification service's enumeration
+// checkpoint fingerprint, so bump it whenever the emitted clauses change
+// meaning: stale snapshots and resumed enumerations are then rejected
+// instead of silently mixed with the new encoding.
+const EncodingVersion = 1
+
+// WithPresimplify enables CNF preprocessing before search: after a
+// query's constraints are encoded, the solver runs unit propagation to
+// fixpoint, failed-literal probing, subsumption/self-subsuming
+// resolution, and bounded variable elimination over the anonymous
+// Tseitin auxiliaries (named variables are frozen — see
+// logic.Encoder.Simplify). Verdicts are unchanged; the search starts on
+// a smaller, stronger formula. Combined with WithEncodingCache the cost
+// is paid once per structure and amortized across every query that
+// shares it.
+func WithPresimplify(on bool) Option {
+	return func(a *Analyzer) { a.presimplify = on }
+}
+
+// WithEncodingCache shares a content-addressed cache of structural
+// encodings across analyzers. Verify, Sweep, and threat enumeration
+// then clone a ready (and, under WithPresimplify, pre-simplified)
+// solver snapshot instead of re-encoding the configuration per query;
+// only the per-query failure budget is encoded on the clone. The cache
+// is safe for concurrent use — Runner workers and service handlers
+// share one instance — and concurrent requests for the same snapshot
+// build it exactly once (per-entry singleflight).
+func WithEncodingCache(c *EncodingCache) Option {
+	return func(a *Analyzer) { a.cache = c }
+}
+
+// EncodingCache holds immutable solver snapshots of structural
+// encodings, keyed by content: a fingerprint of the configuration,
+// security policy and path bound, the query's structure-relevant fields
+// (property, corrupted-measurement budget, link budget), whether
+// preprocessing ran, and EncodingVersion. Entries are built once under
+// a per-entry sync.Once and never mutated afterwards; consumers receive
+// private clones (logic.Encoder.Clone), so any number of goroutines may
+// hit one entry concurrently.
+type EncodingCache struct {
+	mu      sync.Mutex
+	entries map[string]*encodingEntry
+}
+
+// encodingEntry is one built snapshot: the base encoder (structure +
+// negated property asserted, optionally simplified; the failure budget
+// is NOT included), plus the preprocessing counters and duration its
+// construction accrued, reported once by the query that built it.
+type encodingEntry struct {
+	once sync.Once
+	enc  *logic.Encoder
+	pre  sat.Stats
+}
+
+// NewEncodingCache returns an empty cache, ready to be shared across
+// analyzers and goroutines.
+func NewEncodingCache() *EncodingCache {
+	return &EncodingCache{entries: make(map[string]*encodingEntry)}
+}
+
+// Len reports how many distinct structural encodings the cache holds.
+func (c *EncodingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *EncodingCache) entry(key string) *encodingEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &encodingEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// encodingKey derives the cache key for q's structural encoding. The
+// configuration/policy/maxPaths fingerprint is computed once per
+// analyzer; the per-query suffix covers exactly the fields
+// encodeStructure and violationFormula consult (property, R, KL) plus
+// the preprocessing mode and encoding version.
+func (a *Analyzer) encodingKey(q Query) (string, error) {
+	if a.encFP == "" {
+		fp, err := CampaignFingerprint(a.cfg, "encoding", a.policy, a.maxPaths)
+		if err != nil {
+			return "", fmt.Errorf("core: encoding cache key: %w", err)
+		}
+		a.encFP = fp
+	}
+	return fmt.Sprintf("%s|v%d|prop%d|r%d|kl%d|simp%t",
+		a.encFP, EncodingVersion, q.Property, q.R, q.KL, a.presimplify), nil
+}
+
+// snapshot returns a private clone of the shared structural encoding
+// for q: configuration constraints, delivery definitions and the
+// negated property are asserted (and preprocessed under presimplify);
+// the failure budget is not, so one snapshot serves every budget. The
+// bool reports whether this call built the entry — the building query
+// attributes the one-time preprocessing cost and counters; cache hits
+// get the snapshot for free.
+func (a *Analyzer) snapshot(q Query) (*logic.Encoder, bool, *encodingEntry, error) {
+	key, err := a.encodingKey(q)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	e := a.cache.entry(key)
+	built := false
+	e.once.Do(func() {
+		built = true
+		// Canonicalize to the structure-relevant fields so the snapshot is
+		// visibly independent of the device-failure budget.
+		probe := Query{Property: q.Property, Combined: true, R: q.R, KL: q.KL}
+		enc, delivered := a.encodeStructure(probe)
+		enc.Assert(a.violationFormula(probe, delivered))
+		if a.presimplify {
+			enc.Simplify()
+		}
+		e.pre = enc.Solver().Stats()
+		e.enc = enc
+	})
+	return e.enc.Clone(), built, e, nil
+}
+
+// addPreprocessStats folds a snapshot's one-time preprocessing counters
+// into a per-query stats record (only the query that built the snapshot
+// does this, so campaign-level sums count the work exactly once).
+func addPreprocessStats(dst *sat.Stats, pre sat.Stats) {
+	dst.ElimVars += pre.ElimVars
+	dst.SubsumedClauses += pre.SubsumedClauses
+	dst.StrengthenedClauses += pre.StrengthenedClauses
+	dst.FailedLits += pre.FailedLits
+	dst.SimplifyTime += pre.SimplifyTime
+}
+
+// preprocessPhase splits a snapshot-building query's wall time between
+// the build and preprocess phases: the snapshot's Simplify duration is
+// reported as Preprocess and removed from Build.
+func preprocessPhase(ph *PhaseTimes, pre sat.Stats) {
+	ph.Preprocess = pre.SimplifyTime
+	ph.Build -= ph.Preprocess
+	if ph.Build < 0 {
+		ph.Build = 0
+	}
+}
+
+// enumEncoder returns the fully-asserted encoder backing one threat
+// enumeration: a cache clone plus the asserted budget when a cache is
+// configured, otherwise a fresh full encoding (preprocessed under
+// presimplify). Blocking clauses land on the returned encoder either
+// way, never on a shared snapshot.
+func (a *Analyzer) enumEncoder(q Query) (*logic.Encoder, error) {
+	if a.cache != nil {
+		enc, _, _, err := a.snapshot(q)
+		if err != nil {
+			return nil, err
+		}
+		enc.Assert(a.budgetFormula(q))
+		return enc, nil
+	}
+	enc := a.encode(q)
+	if a.presimplify {
+		enc.Simplify()
+	}
+	return enc, nil
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"testing"
+
+	"scadaver/internal/obs"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+)
+
+// cacheModes enumerates the four optimization configurations whose
+// externally visible behaviour must coincide.
+func cacheModes() []struct {
+	name string
+	opts func() []Option
+} {
+	return []struct {
+		name string
+		opts func() []Option
+	}{
+		{"baseline", func() []Option { return nil }},
+		{"cache", func() []Option { return []Option{WithEncodingCache(NewEncodingCache())} }},
+		{"presimplify", func() []Option { return []Option{WithPresimplify(true)} }},
+		{"cache+presimplify", func() []Option {
+			return []Option{WithEncodingCache(NewEncodingCache()), WithPresimplify(true)}
+		}},
+	}
+}
+
+// sortedVectors canonicalizes an enumerated threat space for set
+// comparison (enumeration order is not part of the contract; the set
+// is).
+func sortedVectors(t *testing.T, vs []ThreatVector) string {
+	t.Helper()
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = string(b)
+	}
+	sort.Strings(keys)
+	b, err := json.Marshal(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCacheAndPresimplifyPreserveVerdicts is the end-to-end equivalence
+// gate for the optimization pipeline: on synthetic IEEE-14 and IEEE-30
+// systems, every core property verdict must be identical with the
+// encoding cache and preprocessing on or off, across combined, split,
+// link-budget and bad-data queries.
+func TestCacheAndPresimplifyPreserveVerdicts(t *testing.T) {
+	systems := []struct {
+		name string
+		bus  *powergrid.BusSystem
+		seed int64
+	}{
+		{"ieee14", powergrid.IEEE14(), 7},
+		{"ieee30", powergrid.IEEE30(), 11},
+	}
+	var queries []Query
+	for k := 0; k <= 2; k++ {
+		queries = append(queries,
+			Query{Property: Observability, Combined: true, K: k},
+			Query{Property: SecuredObservability, Combined: true, K: k},
+			Query{Property: BadDataDetectability, Combined: true, K: k, R: 1},
+			Query{Property: Observability, K1: k, K2: 1},
+			Query{Property: Observability, Combined: true, K: k, KL: 1},
+		)
+	}
+	for _, sys := range systems {
+		cfg := synthConfig(t, sys.bus, sys.seed, 2)
+		want := make([]sat.Status, len(queries))
+		for _, mode := range cacheModes() {
+			a, err := NewAnalyzer(cfg, mode.opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range queries {
+				res, err := a.Verify(q)
+				if err != nil {
+					t.Fatalf("%s/%s %v: %v", sys.name, mode.name, q, err)
+				}
+				if mode.name == "baseline" {
+					want[i] = res.Status
+					continue
+				}
+				if res.Status != want[i] {
+					t.Errorf("%s/%s %v: status %v, baseline %v",
+						sys.name, mode.name, q, res.Status, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheAndPresimplifyPreserveEnumeration: the full minimal
+// threat-vector set (an order-independent antichain) must be identical
+// across all optimization modes, byte for byte after canonical sorting.
+func TestCacheAndPresimplifyPreserveEnumeration(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 7, 2)
+	queries := []Query{
+		{Property: Observability, Combined: true, K: 2},
+		{Property: SecuredObservability, K1: 1, K2: 1},
+		{Property: BadDataDetectability, Combined: true, K: 1, R: 1},
+	}
+	for _, q := range queries {
+		want := ""
+		for _, mode := range cacheModes() {
+			a, err := NewAnalyzer(cfg, mode.opts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs, err := a.EnumerateThreats(q, 0)
+			if err != nil {
+				t.Fatalf("%s %v: %v", mode.name, q, err)
+			}
+			got := sortedVectors(t, vs)
+			if mode.name == "baseline" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s %v: threat set diverged\n got %s\nwant %s", mode.name, q, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheSweepAgreesWithVerify: resiliency boundaries computed on the
+// sweep fast path must not move under caching/preprocessing.
+func TestCacheSweepAgreesWithVerify(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 19, 2)
+	base, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MaxResiliencyCombined(SecuredObservability, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range cacheModes()[1:] {
+		a, err := NewAnalyzer(cfg, mode.opts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.MaxResiliencyCombined(SecuredObservability, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: max resiliency %d, baseline %d", mode.name, got, want)
+		}
+	}
+}
+
+// TestEncodingCacheSingleflight: analyzers sharing one cache build each
+// distinct structure exactly once, even when they race, and distinct
+// (property, r, kl) structures get distinct entries.
+func TestEncodingCacheSingleflight(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 7, 2)
+	cache := NewEncodingCache()
+	q := Query{Property: Observability, Combined: true, K: 1}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := NewAnalyzer(cfg, WithEncodingCache(cache), WithPresimplify(true))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := a.Verify(q); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 1 {
+		t.Fatalf("cache entries after identical concurrent queries: %d, want 1", got)
+	}
+
+	a, err := NewAnalyzer(cfg, WithEncodingCache(cache), WithPresimplify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{
+		{Property: SecuredObservability, Combined: true, K: 1},
+		{Property: Observability, Combined: true, K: 1, KL: 1},
+		{Property: BadDataDetectability, Combined: true, K: 1, R: 1},
+	} {
+		if _, err := a.Verify(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.Len(); got != 4 {
+		t.Fatalf("cache entries after three new structures: %d, want 4", got)
+	}
+	// Same structure, different budget: no new entry.
+	if _, err := a.Verify(Query{Property: Observability, K1: 2, K2: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Len(); got != 4 {
+		t.Fatalf("cache entries after budget-only variation: %d, want 4", got)
+	}
+}
+
+// TestCacheRunnerEquivalence: a parallel campaign over a shared cache
+// reproduces, index by index, the serial uncached results' statuses on
+// the repo's standard campaign query mix.
+func TestCacheRunnerEquivalence(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	queries := campaignQueries(2)
+
+	serial := make([]*Result, len(queries))
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if serial[i], err = a.Verify(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cache := NewEncodingCache()
+	parallel, err := NewRunner(8, WithEncodingCache(cache), WithPresimplify(true)).
+		VerifyAll(context.Background(), cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if parallel[i].Status != serial[i].Status {
+			t.Errorf("query %v: parallel cached %v, serial %v",
+				queries[i], parallel[i].Status, serial[i].Status)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("campaign did not populate the shared cache")
+	}
+}
+
+// TestCachePreprocessAccounting: the query that builds a snapshot
+// reports the preprocessing phase and counters; cache hits do not
+// re-pay them.
+func TestCachePreprocessAccounting(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 7, 2)
+	a, err := NewAnalyzer(cfg, WithEncodingCache(NewEncodingCache()), WithPresimplify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Property: SecuredObservability, Combined: true, K: 1}
+	first, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Phases.Preprocess <= 0 {
+		t.Errorf("builder query Preprocess = %v, want > 0", first.Phases.Preprocess)
+	}
+	if first.Stats.SimplifyTime <= 0 || first.Stats.ElimVars == 0 {
+		t.Errorf("builder query preprocessing stats missing: %+v", first.Stats)
+	}
+	second, err := a.Verify(Query{Property: SecuredObservability, Combined: true, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Phases.Preprocess != 0 {
+		t.Errorf("cache-hit query Preprocess = %v, want 0", second.Phases.Preprocess)
+	}
+	if second.Stats.SimplifyTime != 0 || second.Stats.ElimVars != 0 {
+		t.Errorf("cache-hit query repeated preprocessing stats: %+v", second.Stats)
+	}
+}
+
+// TestPreprocessMetricsExported: a preprocessing verification exports
+// the sat_elim_vars counter, the sat_simplify_seconds histogram, and a
+// preprocess series in the phase histogram — and a plain verification
+// exports none of them, keeping non-preprocessing dashboards unchanged.
+func TestPreprocessMetricsExported(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 7, 2)
+	reg := obs.NewRegistry()
+	// Cache + presimplify: the builder query carries the snapshot's
+	// preprocessing counters, so variable elimination is observable even
+	// when the per-query instance would be fully decided by propagation.
+	a, err := NewAnalyzer(cfg, WithMetrics(reg), WithPresimplify(true),
+		WithEncodingCache(NewEncodingCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(Query{Property: SecuredObservability, Combined: true, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var elim float64
+	foundElim := false
+	for _, c := range snap.Counters {
+		if c.Name == "scadaver_sat_elim_vars_total" {
+			foundElim, elim = true, c.Value
+		}
+	}
+	if !foundElim || elim <= 0 {
+		t.Errorf("scadaver_sat_elim_vars_total missing or zero (found=%v value=%v)", foundElim, elim)
+	}
+	foundSimp, foundPhase := false, false
+	for _, h := range snap.Histograms {
+		if h.Name == "scadaver_sat_simplify_seconds" {
+			foundSimp = true
+		}
+		if h.Name == "scadaver_phase_seconds" && h.Labels["phase"] == "preprocess" {
+			foundPhase = true
+		}
+	}
+	if !foundSimp {
+		t.Error("scadaver_sat_simplify_seconds histogram missing")
+	}
+	if !foundPhase {
+		t.Error(`scadaver_phase_seconds{phase="preprocess"} series missing`)
+	}
+
+	plain := obs.NewRegistry()
+	b, err := NewAnalyzer(cfg, WithMetrics(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verify(Query{Property: SecuredObservability, Combined: true, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plain.Snapshot().Counters {
+		if c.Name == "scadaver_sat_elim_vars_total" {
+			t.Error("plain verification exported preprocessing counters")
+		}
+	}
+	for _, h := range plain.Snapshot().Histograms {
+		if h.Name == "scadaver_sat_simplify_seconds" ||
+			(h.Name == "scadaver_phase_seconds" && h.Labels["phase"] == "preprocess") {
+			t.Errorf("plain verification exported %s{%v}", h.Name, h.Labels)
+		}
+	}
+}

@@ -84,7 +84,10 @@ func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit
 	}
 	span := a.startEnumerateSpan(q)
 	defer span.End()
-	enc := a.encode(q)
+	enc, err := a.enumEncoder(q)
+	if err != nil {
+		return nil, err
+	}
 	var out []ThreatVector
 	seen := map[string]bool{}
 	defer func() { span.Annotate(obs.A("vectors", len(out))) }()

@@ -36,14 +36,32 @@ type Sweep struct {
 
 // NewSweep prepares a reusable encoding of the property — with the fixed
 // corrupted-measurement budget r and link budget kl — for repeated
-// verification under varying device-failure budgets.
+// verification under varying device-failure budgets. With an encoding
+// cache configured the sweep starts from a clone of the shared (and,
+// under presimplify, pre-simplified) structural snapshot; otherwise it
+// encodes the structure itself, preprocessing it when presimplify is on.
+// Either way, per-k budgets stay assumptions on the sweep's private
+// encoder.
 func (a *Analyzer) NewSweep(p Property, r, kl int) (*Sweep, error) {
 	probe := Query{Property: p, Combined: true, K: 0, R: r, KL: kl}
 	if err := validateQuery(probe); err != nil {
 		return nil, err
 	}
-	enc, delivered := a.encodeStructure(probe)
-	enc.Assert(a.violationFormula(probe, delivered))
+	var enc *logic.Encoder
+	if a.cache != nil {
+		var err error
+		enc, _, _, err = a.snapshot(probe)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var delivered []*logic.Formula
+		enc, delivered = a.encodeStructure(probe)
+		enc.Assert(a.violationFormula(probe, delivered))
+		if a.presimplify {
+			enc.Simplify()
+		}
+	}
 	return &Sweep{a: a, enc: enc, prop: p, r: r, kl: kl}, nil
 }
 

@@ -63,6 +63,18 @@ type Options struct {
 	// bounds. Exhausted queries degrade to Unsolved results instead of
 	// failing the campaign.
 	Budget core.QueryBudget
+
+	// Presimplify preprocesses each structural CNF before search
+	// (core.WithPresimplify); combined with the encoding cache the cost
+	// is paid once per structure.
+	Presimplify bool
+	// NoCache disables the per-campaign encoding cache; every
+	// verification then re-encodes its structure from scratch (the
+	// pre-optimization behaviour, kept for A/B measurements).
+	NoCache bool
+	// Cache is the campaign's shared encoding cache; withDefaults
+	// creates one unless NoCache is set, and all workers clone from it.
+	Cache *core.EncodingCache
 }
 
 // CoreOptions translates the observability and robustness knobs into
@@ -77,6 +89,12 @@ func (o Options) CoreOptions() []core.Option {
 	}
 	if o.Budget.Enabled() {
 		opts = append(opts, core.WithBudget(o.Budget))
+	}
+	if o.Cache != nil {
+		opts = append(opts, core.WithEncodingCache(o.Cache))
+	}
+	if o.Presimplify {
+		opts = append(opts, core.WithPresimplify(true))
 	}
 	return opts
 }
@@ -99,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxK <= 0 {
 		o.MaxK = 4
+	}
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = core.NewEncodingCache()
 	}
 	return o
 }

@@ -33,6 +33,47 @@ func NewEncoder() *Encoder {
 // Solver exposes the underlying SAT solver (for stats and budgets).
 func (e *Encoder) Solver() *sat.Solver { return e.solver }
 
+// Simplify preprocesses the asserted constraints in place (unit
+// propagation, probing, subsumption, bounded variable elimination — see
+// sat.Solver.Simplify). Every named variable and the internal
+// constant-true literal are frozen first: callers keep referring to them
+// in later formulas, assumptions, Block clauses, and Model lookups, so
+// only anonymous Tseitin and counter auxiliaries are eliminable. The
+// formula-literal memo is dropped, since cached auxiliary literals may
+// no longer exist; formulas encoded afterwards get fresh auxiliaries.
+// Reports false when preprocessing refutes the instance.
+func (e *Encoder) Simplify() bool {
+	for _, v := range e.vars {
+		e.solver.Freeze(v)
+	}
+	if e.hasTrue {
+		e.solver.Freeze(e.litTrue.Var())
+	}
+	e.cache = make(map[*Formula]sat.Lit)
+	return e.solver.Simplify()
+}
+
+// Clone returns an independent copy of the encoder and its solver
+// (variables, clauses, and any Simplify state carry over; see
+// sat.Solver.Clone). The formula-literal memo starts empty — formulas
+// encoded into the clone emit their own auxiliaries — so clones of one
+// encoded structure can be extended and solved concurrently. This is
+// what the core encoding cache hands out per query.
+func (e *Encoder) Clone() *Encoder {
+	vars := make(map[string]sat.Var, len(e.vars))
+	for name, v := range e.vars {
+		vars[name] = v
+	}
+	return &Encoder{
+		solver:  e.solver.Clone(),
+		vars:    vars,
+		names:   append([]string(nil), e.names...),
+		cache:   make(map[*Formula]sat.Lit),
+		hasTrue: e.hasTrue,
+		litTrue: e.litTrue,
+	}
+}
+
 // VarLit returns the solver literal for the named variable, creating the
 // variable on first use.
 func (e *Encoder) VarLit(name string) sat.Lit {

@@ -1,0 +1,66 @@
+package sat
+
+// Clone returns an independent deep copy of the solver at the root
+// level: variables, root-level assignments, problem and learned clauses,
+// watches, activities, saved phases, and the elimination stack of a
+// previous Simplify all carry over; per-solve hooks (interrupt, conflict
+// hook, progress probe) and the cumulative statistics do not. The copy
+// shares no mutable state with the original, so clones may be solved
+// concurrently — this is what the encoding cache hands out per query.
+//
+// Clone must be taken at decision level 0 (any active search is unwound
+// first). Root-level antecedents are dropped in the copy: conflict
+// analysis never resolves on level-0 assignments, so reasons there are
+// dead weight.
+func (s *Solver) Clone() *Solver {
+	s.cancelUntil(0)
+	nv := len(s.assigns)
+	n := &Solver{
+		varInc:         s.varInc,
+		varDecay:       s.varDecay,
+		clauseInc:      s.clauseInc,
+		clauseDecay:    s.clauseDecay,
+		maxLearned:     s.maxLearned,
+		restartBase:    s.restartBase,
+		lubyIdx:        s.lubyIdx,
+		conflictBudget: s.conflictBudget,
+		rootUnsat:      s.rootUnsat,
+		levelSeen:      make(map[int]bool, 32),
+		assigns:        append([]Tribool(nil), s.assigns...),
+		level:          append([]int(nil), s.level...),
+		reason:         make([]*clause, nv),
+		trail:          append([]Lit(nil), s.trail...),
+		activity:       append([]float64(nil), s.activity...),
+		polarity:       append([]bool(nil), s.polarity...),
+		seen:           make([]bool, nv),
+		frozen:         append([]bool(nil), s.frozen...),
+		eliminated:     append([]bool(nil), s.eliminated...),
+		elimStack:      append([]elimRecord(nil), s.elimStack...),
+		watches:        make([][]watcher, 2*nv),
+	}
+	n.qhead = len(n.trail)
+	n.order = newActivityHeap(&n.activity)
+	for v := Var(0); int(v) < nv; v++ {
+		if n.assigns[v] == Unknown && !n.eliminated[v] {
+			n.order.push(v)
+		}
+	}
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		cc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd}
+		n.clauses = append(n.clauses, cc)
+		n.attach(cc)
+	}
+	for _, c := range s.learned {
+		if c.deleted {
+			continue
+		}
+		cc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd, learned: true}
+		n.learned = append(n.learned, cc)
+		n.attach(cc)
+	}
+	n.stats.MaxVars = nv
+	return n
+}

@@ -1,0 +1,550 @@
+package sat
+
+import (
+	"sort"
+	"time"
+)
+
+// Preprocessing (SatELite-style, Eén & Biere 2005): unit propagation to
+// fixpoint, failed-literal probing, backward subsumption, self-subsuming
+// resolution, and bounded variable elimination with model
+// reconstruction. Simplify rewrites the problem-clause database into an
+// equisatisfiable, typically much smaller one before CDCL search starts.
+//
+// The solver stays incrementally usable afterwards under one contract:
+// variables the caller will mention again — in future AddClause calls or
+// as Solve assumptions — must be Frozen before Simplify, which exempts
+// them from elimination. Eliminated variables are resolved out of the
+// clause database entirely; their values are reconstructed into every
+// satisfying model by extendModel, so Model and Value keep reporting
+// them correctly.
+
+// Bounds keeping preprocessing cheap relative to search. Probing is
+// capped per Simplify call; elimination skips variables with large
+// occurrence lists (resolving them is quadratic and rarely pays off on
+// the structured formulas the encoder emits) and never grows the
+// formula: a variable is eliminated only when the non-tautological
+// resolvents number at most the clauses they replace plus elimGrow.
+const (
+	simplifyProbeLimit = 4096
+	elimOccLimit       = 40
+	elimGrow           = 0
+)
+
+// elimRecord remembers, for one eliminated variable, the clauses in
+// which it occurred positively at elimination time (snapshots including
+// the variable itself). That one side suffices for reconstruction: in a
+// model of the simplified formula the variable must be true iff some of
+// these clauses is not satisfied by its other literals — were both a
+// positive and a negative occurrence clause otherwise-false, their
+// resolvent (which Simplify added) would be falsified too.
+type elimRecord struct {
+	v   Var
+	pos [][]Lit
+}
+
+// Freeze exempts v from variable elimination in future Simplify calls.
+// Callers must freeze every variable they will still refer to after
+// simplification — in added clauses, assumptions, or Block-style model
+// queries by name. Freezing an already-frozen variable is a no-op.
+func (s *Solver) Freeze(v Var) { s.frozen[v] = true }
+
+// Eliminated reports whether v was removed by a previous Simplify.
+func (s *Solver) Eliminated(v Var) bool { return s.eliminated[v] }
+
+// Simplify preprocesses the clause database at the root level:
+// propagates to fixpoint, probes literals for failed assignments,
+// removes subsumed clauses, strengthens clauses by self-subsuming
+// resolution, and eliminates non-frozen variables by bounded resolution.
+// It reports false when preprocessing proves the instance unsatisfiable
+// (subsequent Solve calls return Unsat immediately). Learned clauses are
+// discarded — they are logically redundant — so Simplify is best called
+// once, after the structural encoding and before search.
+func (s *Solver) Simplify() bool {
+	start := time.Now()
+	defer func() { s.stats.SimplifyTime += time.Since(start) }()
+
+	s.cancelUntil(0)
+	if s.rootUnsat {
+		return false
+	}
+	if s.propagate() != nil {
+		s.rootUnsat = true
+		return false
+	}
+
+	s.probeFailedLiterals(simplifyProbeLimit)
+	if s.rootUnsat {
+		return false
+	}
+
+	p := newSimplifier(s)
+	if !p.run() {
+		s.rootUnsat = true
+	}
+	p.rebuild()
+	return !s.rootUnsat
+}
+
+// probeFailedLiterals assumes each candidate literal at a fresh decision
+// level and propagates: a conflict proves the literal's negation at the
+// root ("failed literal"). Watches are still attached here, so this is
+// plain unit propagation, bounded by maxProbes assumptions per call.
+func (s *Solver) probeFailedLiterals(maxProbes int) {
+	probes := 0
+	for v := Var(0); int(v) < len(s.assigns); v++ {
+		if probes >= maxProbes {
+			return
+		}
+		if s.assigns[v] != Unknown || s.eliminated[v] {
+			continue
+		}
+		for _, l := range [2]Lit{PosLit(v), NegLit(v)} {
+			if s.value(l) != Unknown {
+				continue
+			}
+			probes++
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(l, nil)
+			conflict := s.propagate()
+			s.cancelUntil(0)
+			if conflict == nil {
+				continue
+			}
+			s.stats.FailedLits++
+			s.uncheckedEnqueue(l.Neg(), nil)
+			if s.propagate() != nil {
+				s.rootUnsat = true
+				return
+			}
+		}
+	}
+}
+
+// simplifier is the occurrence-list workspace of one Simplify call. The
+// clause database is copied into an indexed working set (watches play no
+// role here); occurrence lists are kept exact — a clause index appears
+// in occ[l] iff the live clause contains l — so subsumption candidates
+// and resolution partners come straight off the lists.
+type simplifier struct {
+	s       *Solver
+	cls     []simpClause
+	occ     [][]int
+	queue   []int // clause indices pending backward subsumption
+	inQueue []bool
+	units   []Lit // root assignments pending application to the working set
+}
+
+type simpClause struct {
+	lits []Lit // sorted ascending, deduped
+	dead bool
+}
+
+func newSimplifier(s *Solver) *simplifier {
+	p := &simplifier{
+		s:   s,
+		occ: make([][]int, 2*len(s.assigns)),
+	}
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		lits := make([]Lit, 0, len(c.lits))
+		satisfied := false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case True:
+				satisfied = true
+			case False:
+				// drop
+			default:
+				lits = append(lits, l)
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		p.addClause(lits)
+	}
+	// The working set replaces the watched representation entirely.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	s.learned = nil
+	return p
+}
+
+// addClause inserts a working clause (sorted lits), routing empty and
+// unit clauses to the root assignment machinery.
+func (p *simplifier) addClause(lits []Lit) {
+	switch len(lits) {
+	case 0:
+		p.s.rootUnsat = true
+	case 1:
+		p.units = append(p.units, lits[0])
+	default:
+		ci := len(p.cls)
+		p.cls = append(p.cls, simpClause{lits: lits})
+		p.inQueue = append(p.inQueue, false)
+		for _, l := range lits {
+			p.occ[l] = append(p.occ[l], ci)
+		}
+		p.push(ci)
+	}
+}
+
+func (p *simplifier) push(ci int) {
+	if !p.inQueue[ci] {
+		p.inQueue[ci] = true
+		p.queue = append(p.queue, ci)
+	}
+}
+
+func (p *simplifier) removeOcc(l Lit, ci int) {
+	list := p.occ[l]
+	for i, c := range list {
+		if c == ci {
+			list[i] = list[len(list)-1]
+			p.occ[l] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+func (p *simplifier) kill(ci int) {
+	c := &p.cls[ci]
+	if c.dead {
+		return
+	}
+	c.dead = true
+	for _, l := range c.lits {
+		p.removeOcc(l, ci)
+	}
+}
+
+// removeLit strengthens clause ci by deleting literal l, killing the
+// clause if it degenerates to a unit (the unit is queued as a root
+// assignment, which supersedes the clause). Reports false on refutation.
+func (p *simplifier) removeLit(ci int, l Lit) bool {
+	c := &p.cls[ci]
+	if c.dead {
+		return true
+	}
+	p.removeOcc(l, ci)
+	lits := c.lits[:0]
+	for _, q := range c.lits {
+		if q != l {
+			lits = append(lits, q)
+		}
+	}
+	c.lits = lits
+	switch len(lits) {
+	case 0:
+		p.s.rootUnsat = true
+		return false
+	case 1:
+		p.units = append(p.units, lits[0])
+		// Detach the remaining occurrence; the pending root assignment
+		// subsumes the clause.
+		p.removeOcc(lits[0], ci)
+		c.dead = true
+		return true
+	}
+	p.push(ci)
+	return true
+}
+
+// drainUnits applies pending root assignments to the working set:
+// satisfied clauses die, falsified occurrences are removed (possibly
+// cascading into further units). Reports false on refutation.
+func (p *simplifier) drainUnits() bool {
+	for len(p.units) > 0 {
+		l := p.units[0]
+		p.units = p.units[1:]
+		switch p.s.value(l) {
+		case True:
+			continue
+		case False:
+			p.s.rootUnsat = true
+			return false
+		}
+		p.s.uncheckedEnqueue(l, nil)
+		for _, ci := range append([]int(nil), p.occ[l]...) {
+			p.kill(ci)
+		}
+		for _, ci := range append([]int(nil), p.occ[l.Neg()]...) {
+			if !p.removeLit(ci, l.Neg()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run drives simplification to fixpoint: subsumption sweeps alternate
+// with elimination rounds until neither makes progress.
+func (p *simplifier) run() bool {
+	if !p.drainUnits() {
+		return false
+	}
+	for round := 0; round < 10; round++ {
+		if !p.subsumeAll() {
+			return false
+		}
+		if p.eliminateRound() == 0 || p.s.rootUnsat {
+			break
+		}
+	}
+	return !p.s.rootUnsat
+}
+
+// subsumeAll processes the backward-subsumption queue: each queued
+// clause C kills every live clause it subsumes and strengthens every
+// clause it self-subsumes (C = A∨l, D ⊇ A∨¬l ⟹ ¬l leaves D).
+// Candidates come from the occurrence list of C's rarest literal, the
+// standard SatELite narrowing.
+func (p *simplifier) subsumeAll() bool {
+	for len(p.queue) > 0 {
+		ci := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inQueue[ci] = false
+		c := &p.cls[ci]
+		if c.dead || len(c.lits) == 0 {
+			continue
+		}
+		best := c.lits[0]
+		for _, l := range c.lits[1:] {
+			if len(p.occ[l]) < len(p.occ[best]) {
+				best = l
+			}
+		}
+		// Candidates containing best are (possibly self-) subsumed;
+		// candidates containing ¬best can only be strengthened with the
+		// flip on best itself, which the merge walk also detects.
+		cand := append([]int(nil), p.occ[best]...)
+		cand = append(cand, p.occ[best.Neg()]...)
+		for _, di := range cand {
+			if di == ci || p.cls[di].dead || c.dead {
+				continue
+			}
+			d := &p.cls[di]
+			if len(d.lits) < len(c.lits) {
+				continue
+			}
+			flip, ok := subsume(c.lits, d.lits)
+			if !ok {
+				continue
+			}
+			if flip == LitUndef {
+				p.s.stats.SubsumedClauses++
+				p.kill(di)
+				continue
+			}
+			p.s.stats.StrengthenedClauses++
+			if !p.removeLit(di, flip.Neg()) {
+				return false
+			}
+			if !p.drainUnits() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// subsume reports whether c subsumes d (both sorted ascending), allowing
+// at most one sign-flipped variable. A LitUndef flip with ok means plain
+// subsumption (c ⊆ d); a concrete flip l means c contains l while d
+// contains ¬l and is otherwise a superset — self-subsuming resolution
+// may remove ¬l from d.
+func subsume(c, d []Lit) (flip Lit, ok bool) {
+	flip = LitUndef
+	i, j := 0, 0
+	for i < len(c) {
+		if j >= len(d) {
+			return LitUndef, false
+		}
+		switch {
+		case c[i] == d[j]:
+			i++
+			j++
+		case c[i] == d[j].Neg():
+			if flip != LitUndef {
+				return LitUndef, false
+			}
+			flip = c[i]
+			i++
+			j++
+		case c[i] > d[j]:
+			j++
+		default:
+			return LitUndef, false
+		}
+	}
+	return flip, true
+}
+
+// eliminateRound attempts bounded variable elimination on every
+// non-frozen, unassigned variable, returning how many were eliminated.
+func (p *simplifier) eliminateRound() int {
+	eliminated := 0
+	for v := Var(0); int(v) < len(p.s.assigns); v++ {
+		if p.s.frozen[v] || p.s.eliminated[v] || p.s.assigns[v] != Unknown {
+			continue
+		}
+		if p.tryEliminate(v) {
+			eliminated++
+			if !p.drainUnits() {
+				return eliminated
+			}
+		}
+		if p.s.rootUnsat {
+			return eliminated
+		}
+	}
+	return eliminated
+}
+
+// tryEliminate resolves v out of the formula when the set of
+// non-tautological resolvents of its positive and negative occurrence
+// lists is no larger than the clauses they replace (plus elimGrow). The
+// positive occurrence snapshots go on the elimination stack for model
+// reconstruction.
+func (p *simplifier) tryEliminate(v Var) bool {
+	pos := p.occ[PosLit(v)]
+	neg := p.occ[NegLit(v)]
+	if len(pos)+len(neg) > elimOccLimit {
+		return false
+	}
+	limit := len(pos) + len(neg) + elimGrow
+	resolvents := make([][]Lit, 0, limit)
+	for _, ci := range pos {
+		for _, di := range neg {
+			r, ok := resolve(p.cls[ci].lits, p.cls[di].lits, v)
+			if !ok {
+				continue
+			}
+			resolvents = append(resolvents, r)
+			if len(resolvents) > limit {
+				return false
+			}
+		}
+	}
+
+	rec := elimRecord{v: v, pos: make([][]Lit, 0, len(pos))}
+	for _, ci := range pos {
+		rec.pos = append(rec.pos, append([]Lit(nil), p.cls[ci].lits...))
+	}
+	for _, ci := range append([]int(nil), pos...) {
+		p.kill(ci)
+	}
+	for _, ci := range append([]int(nil), neg...) {
+		p.kill(ci)
+	}
+	p.s.eliminated[v] = true
+	p.s.elimStack = append(p.s.elimStack, rec)
+	p.s.stats.ElimVars++
+	for _, r := range resolvents {
+		p.addClause(r)
+	}
+	return true
+}
+
+// resolve returns the resolvent of a and b on pivot v (both sorted),
+// deduped and re-sorted; ok is false for tautological resolvents.
+func resolve(a, b []Lit, v Var) (out []Lit, ok bool) {
+	out = make([]Lit, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i := 0; i < len(out); i++ {
+		if w > 0 && out[i] == out[w-1] {
+			continue
+		}
+		if w > 0 && out[i] == out[w-1].Neg() {
+			return nil, false
+		}
+		out[w] = out[i]
+		w++
+	}
+	return out[:w], true
+}
+
+// rebuild installs the surviving working clauses as the solver's clause
+// database and re-attaches watches. Root-level reasons are cleared: the
+// antecedent clauses no longer exist, and conflict analysis never
+// resolves on level-0 assignments anyway.
+func (p *simplifier) rebuild() {
+	s := p.s
+	s.clauses = s.clauses[:0]
+	if s.rootUnsat {
+		return
+	}
+	for i := range p.cls {
+		if p.cls[i].dead {
+			continue
+		}
+		c := &clause{lits: p.cls[i].lits}
+		s.clauses = append(s.clauses, c)
+		s.attach(c)
+	}
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.qhead = len(s.trail)
+}
+
+// extendModel reconstructs eliminated variables into the current
+// satisfying assignment, newest elimination first (a variable's stored
+// clauses only mention variables still live at its elimination time, so
+// every literal read here is already decided). The variable is set true
+// exactly when some positive-occurrence clause is not satisfied by its
+// other literals — the assignment that repairs all removed clauses; the
+// resolvents kept in the formula guarantee no negative-occurrence clause
+// needs the opposite (see DESIGN.md §11).
+func (s *Solver) extendModel() {
+	for i := len(s.elimStack) - 1; i >= 0; i-- {
+		rec := &s.elimStack[i]
+		val := False
+		for _, cl := range rec.pos {
+			satisfied := false
+			for _, l := range cl {
+				if l.Var() == rec.v {
+					continue
+				}
+				if s.litModelTrue(l) {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied {
+				val = True
+				break
+			}
+		}
+		s.assigns[rec.v] = val
+	}
+}
+
+// litModelTrue evaluates l under the Model convention: unassigned
+// variables read as false.
+func (s *Solver) litModelTrue(l Lit) bool {
+	b := s.assigns[l.Var()] == True
+	if l.Sign() {
+		return !b
+	}
+	return b
+}

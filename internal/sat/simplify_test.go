@@ -1,0 +1,270 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSeededCNF adds a seeded random k-CNF over nv fresh variables and
+// returns the clauses (as literal slices) alongside the variables, so
+// tests can re-evaluate models against the original formula.
+func randomSeededCNF(t *testing.T, s *Solver, rng *rand.Rand, nv, clauses, width int) ([]Var, [][]Lit) {
+	t.Helper()
+	vars := newVars(s, nv)
+	var added [][]Lit
+	for i := 0; i < clauses; i++ {
+		k := 1 + rng.Intn(width)
+		lits := make([]Lit, 0, k)
+		seen := map[Var]bool{}
+		for len(lits) < k {
+			v := vars[rng.Intn(nv)]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, MkLit(v, rng.Intn(2) == 1))
+		}
+		mustAdd(t, s, lits...)
+		added = append(added, lits)
+	}
+	return vars, added
+}
+
+// modelSatisfies evaluates the original clauses under the solver's
+// current model (Model semantics: unassigned reads false).
+func modelSatisfies(s *Solver, clauses [][]Lit) bool {
+	for _, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			if s.litModelTrue(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSimplifyEquivalence is the core soundness property: on seeded
+// random CNFs, solving with and without Simplify must agree on
+// sat/unsat, and after Simplify the reconstructed model (eliminated
+// variables included) must satisfy every original clause.
+func TestSimplifyEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 8 + rng.Intn(25)
+		nc := 5 + rng.Intn(4*nv)
+		width := 2 + rng.Intn(3)
+
+		plain := New()
+		_, clauses := randomSeededCNF(t, plain, rand.New(rand.NewSource(seed)), nv, nc, width)
+		want := plain.Solve()
+
+		pre := New()
+		randomSeededCNF(t, pre, rand.New(rand.NewSource(seed)), nv, nc, width)
+		ok := pre.Simplify()
+		got := pre.Solve()
+		if got != want {
+			t.Fatalf("seed %d (nv=%d nc=%d): plain=%v simplified=%v", seed, nv, nc, want, got)
+		}
+		if !ok && want == Sat {
+			t.Fatalf("seed %d: Simplify claimed unsat on a satisfiable instance", seed)
+		}
+		if got == Sat && !modelSatisfies(pre, clauses) {
+			t.Fatalf("seed %d: reconstructed model does not satisfy the original clauses", seed)
+		}
+	}
+}
+
+// TestSimplifyFrozenIncremental checks the incremental contract: frozen
+// variables survive elimination and can carry assumptions and new
+// clauses after Simplify, with models still satisfying everything.
+func TestSimplifyFrozenIncremental(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		nv := 10 + rng.Intn(20)
+		nc := 5 + rng.Intn(3*nv)
+
+		build := func() (*Solver, []Var, [][]Lit) {
+			s := New()
+			vars, clauses := randomSeededCNF(t, s, rand.New(rand.NewSource(2000+seed)), nv, nc, 3)
+			return s, vars, clauses
+		}
+
+		plain, pvars, _ := build()
+		pre, vars, clauses := build()
+		// Freeze the first few variables; they will be assumed and extended.
+		frozen := vars[:4]
+		for _, v := range frozen {
+			pre.Freeze(v)
+		}
+		pre.Simplify()
+		for _, v := range frozen {
+			if pre.Eliminated(v) {
+				t.Fatalf("seed %d: frozen var %v was eliminated", seed, v)
+			}
+		}
+
+		// Same assumptions against both solvers must agree.
+		assume := []Lit{PosLit(frozen[0]), NegLit(frozen[1])}
+		plainAssume := []Lit{PosLit(pvars[0]), NegLit(pvars[1])}
+		want := plain.Solve(plainAssume...)
+		got := pre.Solve(assume...)
+		if got != want {
+			t.Fatalf("seed %d under assumptions: plain=%v simplified=%v", seed, want, got)
+		}
+		if got == Sat && !modelSatisfies(pre, clauses) {
+			t.Fatalf("seed %d: model after assumptions violates original clauses", seed)
+		}
+
+		// New clauses over frozen variables keep both solvers aligned.
+		if err := pre.AddClause(NegLit(frozen[2]), NegLit(frozen[3])); err != nil {
+			t.Fatalf("seed %d: AddClause over frozen vars: %v", seed, err)
+		}
+		if err := plain.AddClause(NegLit(pvars[2]), NegLit(pvars[3])); err != nil {
+			t.Fatal(err)
+		}
+		want = plain.Solve()
+		got = pre.Solve()
+		if got != want {
+			t.Fatalf("seed %d after added clause: plain=%v simplified=%v", seed, want, got)
+		}
+		if got == Sat && !modelSatisfies(pre, clauses) {
+			t.Fatalf("seed %d: model after added clause violates original clauses", seed)
+		}
+	}
+}
+
+// TestSimplifyRejectsEliminatedVars: referring to an eliminated variable
+// in a new clause is a caller bug and must fail loudly, not corrupt the
+// instance.
+func TestSimplifyRejectsEliminatedVars(t *testing.T) {
+	s := New()
+	vs := newVars(s, 4)
+	// v0 is a Tseitin-style definition over v1,v2: occurs in 3 clauses.
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[2]))
+	mustAdd(t, s, PosLit(vs[0]), NegLit(vs[1]), NegLit(vs[2]))
+	mustAdd(t, s, PosLit(vs[1]), PosLit(vs[3]))
+	for _, v := range vs[1:] {
+		s.Freeze(v)
+	}
+	s.Simplify()
+	if !s.Eliminated(vs[0]) {
+		t.Skip("v0 not eliminated under current bounds")
+	}
+	if err := s.AddClause(PosLit(vs[0])); err == nil {
+		t.Fatal("AddClause over an eliminated variable succeeded")
+	}
+}
+
+// TestSimplifyStats: preprocessing work shows up in the counters, and
+// pure/unused variables are eliminated.
+func TestSimplifyStats(t *testing.T) {
+	s := New()
+	vs := newVars(s, 9)
+	// Subsumption pair: (v0 ∨ v1) subsumes (v0 ∨ v1 ∨ v2). Probing either
+	// polarity of v0/v1 propagates without conflict, so the pair survives
+	// to the subsumption phase.
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]), PosLit(vs[2]))
+	// Self-subsumption: (v2 ∨ ¬v3) strengthens (v2 ∨ v3 ∨ v4) to (v2 ∨ v4).
+	mustAdd(t, s, PosLit(vs[2]), NegLit(vs[3]))
+	mustAdd(t, s, PosLit(vs[2]), PosLit(vs[3]), PosLit(vs[4]))
+	// v5 occurs only positively (pure), v6 not at all: both eliminable.
+	mustAdd(t, s, PosLit(vs[5]), PosLit(vs[4]))
+	// Failed literal: ¬v7 propagates v8 and ¬v8, so v7 is forced true.
+	mustAdd(t, s, PosLit(vs[7]), PosLit(vs[8]))
+	mustAdd(t, s, PosLit(vs[7]), NegLit(vs[8]))
+	for _, v := range vs[:5] {
+		s.Freeze(v)
+	}
+	if !s.Simplify() {
+		t.Fatal("satisfiable instance simplified to unsat")
+	}
+	st := s.Stats()
+	if st.SubsumedClauses == 0 {
+		t.Errorf("SubsumedClauses = 0, want > 0")
+	}
+	if st.StrengthenedClauses == 0 {
+		t.Errorf("StrengthenedClauses = 0, want > 0")
+	}
+	if st.ElimVars == 0 {
+		t.Errorf("ElimVars = 0, want > 0 (pure/unused vars present)")
+	}
+	if st.FailedLits == 0 {
+		t.Errorf("FailedLits = 0, want > 0")
+	}
+	if st.SimplifyTime <= 0 {
+		t.Errorf("SimplifyTime = %v, want > 0", st.SimplifyTime)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+}
+
+// TestSimplifyUnsatAtRoot: preprocessing alone can refute instances.
+func TestSimplifyUnsatAtRoot(t *testing.T) {
+	s := New()
+	vs := newVars(s, 2)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, PosLit(vs[0]), NegLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[0]), NegLit(vs[1]))
+	if s.Simplify() {
+		t.Fatal("Simplify should refute the complete binary contradiction")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat after refuting Simplify")
+	}
+}
+
+// TestCloneIndependence: a clone answers queries identically and
+// mutations of the clone never leak back into the original.
+func TestCloneIndependence(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		base := New()
+		_, clauses := randomSeededCNF(t, base, rand.New(rand.NewSource(3000+seed)), 20, 50, 3)
+		base.Simplify()
+
+		c1 := base.Clone()
+		c2 := base.Clone()
+		want := c1.Solve()
+		if got := c2.Solve(); got != want {
+			t.Fatalf("seed %d: clones disagree: %v vs %v", seed, want, got)
+		}
+		if want == Sat && !modelSatisfies(c1, clauses) {
+			t.Fatalf("seed %d: clone model violates original clauses", seed)
+		}
+		// The base must be untouched by clone solving: its own solve
+		// agrees and its stats never moved.
+		if base.Stats().Solves != 0 {
+			t.Fatalf("seed %d: clone solving mutated base stats", seed)
+		}
+		if got := base.Solve(); got != want {
+			t.Fatalf("seed %d: base=%v clones=%v", seed, got, want)
+		}
+	}
+}
+
+// TestCloneConcurrent solves many clones of one simplified base in
+// parallel; under -race this proves Clone shares no mutable state.
+func TestCloneConcurrent(t *testing.T) {
+	base := New()
+	randomSeededCNF(t, base, rand.New(rand.NewSource(77)), 30, 90, 3)
+	base.Simplify()
+	want := base.Clone().Solve()
+
+	done := make(chan Status, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- base.Clone().Solve() }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent clone disagrees: %v vs %v", got, want)
+		}
+	}
+}

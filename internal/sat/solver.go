@@ -39,9 +39,18 @@ type Solver struct {
 	maxLearned  int
 
 	// Conflict-analysis scratch.
-	seen       []bool
-	analyzeTmp []Lit
-	levelSeen  map[int]bool
+	seen        []bool
+	analyzeTmp  []Lit
+	minimizeTmp []Lit // reusable snapshot buffer for clause minimization
+	levelSeen   map[int]bool
+
+	// Preprocessing state (see simplify.go). Frozen variables are exempt
+	// from elimination because callers will still refer to them in future
+	// clauses or assumptions; eliminated variables are resolved out of the
+	// clause database and reconstructed into models by extendModel.
+	frozen     []bool
+	eliminated []bool
+	elimStack  []elimRecord
 
 	// Restart bookkeeping.
 	lubyIdx     int
@@ -92,6 +101,8 @@ func (s *Solver) NewVar() Var {
 	s.polarity = append(s.polarity, true)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.frozen = append(s.frozen, false)
+	s.eliminated = append(s.eliminated, false)
 	s.order.push(v)
 	s.stats.MaxVars = len(s.assigns)
 	return v
@@ -210,6 +221,9 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	for _, l := range tmp {
 		if int(l.Var()) >= len(s.assigns) || l < 0 {
 			return fmt.Errorf("sat: literal %v uses an undeclared variable", l)
+		}
+		if s.eliminated[l.Var()] {
+			return fmt.Errorf("sat: literal %v uses a variable eliminated by Simplify (Freeze it before simplifying)", l)
 		}
 		if l == prev {
 			continue
@@ -428,8 +442,9 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 	// Clause minimization: drop literals implied by the rest. Snapshot
 	// the clause first: the in-place compaction below overwrites dropped
 	// literals, and every touched variable must have its seen flag
-	// cleared afterwards.
-	toClear := append([]Lit(nil), learnt...)
+	// cleared afterwards. The snapshot buffer is reused across conflicts.
+	toClear := append(s.minimizeTmp[:0], learnt...)
+	s.minimizeTmp = toClear
 	for _, l := range learnt[1:] {
 		s.seen[l.Var()] = true
 	}
@@ -526,7 +541,37 @@ func (s *Solver) reduceDB() {
 		c.deleted = true
 		s.stats.Removed++
 	}
-	s.learned = append([]*clause(nil), kept...)
+	// Compact in place: kept aliases s.learned's backing array, so only
+	// the dropped tail needs clearing for the GC.
+	for i := len(kept); i < len(s.learned); i++ {
+		s.learned[i] = nil
+	}
+	s.learned = kept
+	s.cleanWatches()
+}
+
+// cleanWatches drops watchers of deleted clauses and shrinks watch lists
+// whose backing arrays grew far beyond their live size, so steady-state
+// propagation neither scans dead entries nor pins peak-sized buffers.
+func (s *Solver) cleanWatches() {
+	for i := range s.watches {
+		ws := s.watches[i]
+		kept := ws[:0]
+		for _, w := range ws {
+			if !w.c.deleted {
+				kept = append(kept, w)
+			}
+		}
+		for j := len(kept); j < len(ws); j++ {
+			ws[j] = watcher{}
+		}
+		if cap(kept) >= 16 && cap(kept) > 4*len(kept) {
+			shrunk := make([]watcher, len(kept))
+			copy(shrunk, kept)
+			kept = shrunk
+		}
+		s.watches[i] = kept
+	}
 }
 
 func (s *Solver) isReason(c *clause) bool {
@@ -544,7 +589,7 @@ func (s *Solver) isReason(c *clause) bool {
 func (s *Solver) pickBranchLit() Lit {
 	for !s.order.empty() {
 		v := s.order.pop()
-		if s.assigns[v] == Unknown {
+		if s.assigns[v] == Unknown && !s.eliminated[v] {
 			return MkLit(v, s.polarity[v])
 		}
 	}
@@ -663,6 +708,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 		l := s.pickBranchLit()
 		if l == LitUndef {
+			s.extendModel()
 			return Sat
 		}
 		s.stats.Decisions++

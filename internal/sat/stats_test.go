@@ -131,11 +131,13 @@ func TestStatsCountersComplete(t *testing.T) {
 	}
 
 	s := big.String()
+	durationType := reflect.TypeOf(time.Duration(0))
 	for i := 0; i < bv.NumField(); i++ {
 		name := tp.Field(i).Name
 		var want string
-		if name == "SolveTime" {
-			want = fmt.Sprintf("%.2f", float64(big.SolveTime.Microseconds())/1000)
+		if tp.Field(i).Type == durationType {
+			// Durations render as fractional milliseconds.
+			want = fmt.Sprintf("%.2f", float64(time.Duration(bv.Field(i).Int()).Microseconds())/1000)
 		} else {
 			switch bv.Field(i).Kind() {
 			case reflect.Uint64:

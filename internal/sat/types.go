@@ -171,8 +171,14 @@ type Stats struct {
 	Reduces      uint64        // learned-DB reduction sweeps (reduceDB calls)
 	Solves       uint64        // completed Solve calls
 	SolveTime    time.Duration // wall time spent inside Solve
-	MaxVars      int
-	Clauses      int
+	// Preprocessing counters (Solver.Simplify).
+	ElimVars            uint64        // variables removed by bounded variable elimination
+	SubsumedClauses     uint64        // clauses deleted by (backward) subsumption
+	StrengthenedClauses uint64        // literals removed by self-subsuming resolution
+	FailedLits          uint64        // literals fixed by failed-literal probing
+	SimplifyTime        time.Duration // wall time spent inside Simplify
+	MaxVars             int
+	Clauses             int
 }
 
 // Progress is the point-in-time search snapshot delivered to the
@@ -197,24 +203,31 @@ type Progress struct {
 // reflection, so per-solve deltas never silently lose a counter.
 func (st Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Conflicts:    st.Conflicts - prev.Conflicts,
-		Decisions:    st.Decisions - prev.Decisions,
-		Propagations: st.Propagations - prev.Propagations,
-		Restarts:     st.Restarts - prev.Restarts,
-		Learned:      st.Learned - prev.Learned,
-		Removed:      st.Removed - prev.Removed,
-		Reduces:      st.Reduces - prev.Reduces,
-		Solves:       st.Solves - prev.Solves,
-		SolveTime:    st.SolveTime - prev.SolveTime,
-		MaxVars:      st.MaxVars,
-		Clauses:      st.Clauses,
+		Conflicts:           st.Conflicts - prev.Conflicts,
+		Decisions:           st.Decisions - prev.Decisions,
+		Propagations:        st.Propagations - prev.Propagations,
+		Restarts:            st.Restarts - prev.Restarts,
+		Learned:             st.Learned - prev.Learned,
+		Removed:             st.Removed - prev.Removed,
+		Reduces:             st.Reduces - prev.Reduces,
+		Solves:              st.Solves - prev.Solves,
+		SolveTime:           st.SolveTime - prev.SolveTime,
+		ElimVars:            st.ElimVars - prev.ElimVars,
+		SubsumedClauses:     st.SubsumedClauses - prev.SubsumedClauses,
+		StrengthenedClauses: st.StrengthenedClauses - prev.StrengthenedClauses,
+		FailedLits:          st.FailedLits - prev.FailedLits,
+		SimplifyTime:        st.SimplifyTime - prev.SimplifyTime,
+		MaxVars:             st.MaxVars,
+		Clauses:             st.Clauses,
 	}
 }
 
 // String implements fmt.Stringer.
 func (st Stats) String() string {
 	return fmt.Sprintf(
-		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d reduces=%d solves=%d solve_ms=%.2f",
+		"vars=%d clauses=%d conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d removed=%d reduces=%d solves=%d solve_ms=%.2f elim_vars=%d subsumed=%d strengthened=%d failed_lits=%d simplify_ms=%.2f",
 		st.MaxVars, st.Clauses, st.Conflicts, st.Decisions, st.Propagations, st.Restarts, st.Learned, st.Removed,
-		st.Reduces, st.Solves, float64(st.SolveTime.Microseconds())/1000)
+		st.Reduces, st.Solves, float64(st.SolveTime.Microseconds())/1000,
+		st.ElimVars, st.SubsumedClauses, st.StrengthenedClauses, st.FailedLits,
+		float64(st.SimplifyTime.Microseconds())/1000)
 }

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"scadaver/internal/core"
+)
+
+// TestServicePresimplifyVerdicts: the service with preprocessing and
+// the shared encoding cache enabled returns exactly the verdicts of a
+// plain direct analyzer, and repeated requests share one snapshot.
+func TestServicePresimplifyVerdicts(t *testing.T) {
+	s, ts := newTestServer(t, func(o *Options) { o.Presimplify = true })
+	if s.cache == nil {
+		t.Fatal("encoding cache should be on by default")
+	}
+
+	direct, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []core.Query{
+		{Property: core.Observability, Combined: true, K: 0},
+		{Property: core.Observability, Combined: true, K: 1},
+		{Property: core.SecuredObservability, Combined: true, K: 1},
+		{Property: core.BadDataDetectability, Combined: true, K: 0, R: 1},
+	}
+	for _, q := range queries {
+		resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%v: status = %d, body %s", q, resp.StatusCode, body)
+		}
+		got := decodeBody[VerifyResponse](t, resp)
+		want, err := direct.Verify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Result.Status != want.Status {
+			t.Errorf("%v: served %v, direct %v", q, got.Result.Status, want.Status)
+		}
+	}
+	// Three distinct structures were queried (observability twice under
+	// different budgets shares one snapshot).
+	if got := s.cache.Len(); got != 3 {
+		t.Errorf("shared cache holds %d snapshots, want 3", got)
+	}
+}
+
+// TestEnumerateRejectsStaleEncodingCheckpoint: a checkpoint journaled
+// under a different CNF encoding version must be rejected with 409, not
+// resumed against clauses with a different meaning.
+func TestEnumerateRejectsStaleEncodingCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, func(o *Options) { o.CheckpointDir = dir })
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+
+	// Journal one vector under the pre-versioned fingerprint (what an
+	// older binary would have written).
+	staleFP, err := core.CampaignFingerprint(testConfig(t), core.CheckpointKindEnumerate, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := core.OpenCheckpoint(filepath.Join(dir, "stale.ckpt"), core.CheckpointKindEnumerate, staleFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Add(core.ThreatVector{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/enumerate",
+		EnumerateRequest{Config: "grid", Query: q, RequestID: "stale"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stale-encoding checkpoint: status = %d, want 409; body %s", resp.StatusCode, body)
+	}
+
+	// A fresh ID under the current encoding still works end to end.
+	resp = postJSON(t, ts.URL+"/v1/enumerate",
+		EnumerateRequest{Config: "grid", Query: q, RequestID: "fresh"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("fresh enumerate: status = %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -319,7 +319,10 @@ func (s *Server) openRequestCheckpoint(id string, cfg *scadanet.Config, q core.Q
 	if !requestIDPattern.MatchString(id) {
 		return nil, fmt.Errorf("invalid requestId %q", id)
 	}
-	fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindEnumerate, q)
+	// The encoding version participates in the fingerprint: a checkpoint
+	// journaled under an older CNF encoding is rejected (409) rather than
+	// resumed against clauses with different meaning.
+	fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindEnumerate, q, core.EncodingVersion)
 	if err != nil {
 		return nil, err
 	}

@@ -92,6 +92,17 @@ type Options struct {
 	// AnalyzerOptions are extra options for every analyzer the service
 	// builds (policy, path bounds, tracing).
 	AnalyzerOptions []core.Option
+	// Presimplify preprocesses each structural CNF before search (unit
+	// propagation, probing, subsumption, bounded variable elimination —
+	// see core.WithPresimplify). With the shared encoding cache the cost
+	// is paid once per distinct structure, not per request.
+	Presimplify bool
+	// NoEncodingCache disables the service-wide encoding cache. By
+	// default every worker clones ready solver snapshots from one shared
+	// core.EncodingCache, so concurrent identical requests encode (and
+	// preprocess) each structure exactly once — singleflight — instead
+	// of per request.
+	NoEncodingCache bool
 	// ErrorLog receives worker panics and drain progress (default:
 	// the standard logger).
 	ErrorLog *log.Logger
@@ -137,11 +148,12 @@ func (o Options) withDefaults() Options {
 // Server is the verification service. Construct with New, mount
 // Handler on an http.Server, and call Drain exactly once on shutdown.
 type Server struct {
-	opts Options
-	reg  *obs.Registry
-	q    *queue
-	brk  *breaker
-	mux  *http.ServeMux
+	opts  Options
+	reg   *obs.Registry
+	q     *queue
+	brk   *breaker
+	mux   *http.ServeMux
+	cache *core.EncodingCache // nil when NoEncodingCache
 
 	// baseCtx is the service lifetime; cancelBase deadline-cancels every
 	// in-flight solve through the solver interrupt hook (forced drain).
@@ -189,6 +201,9 @@ func New(opts Options) (*Server, error) {
 		reg:  opts.Metrics,
 		q:    newQueue(opts.QueueDepth, opts.Metrics),
 		quit: make(chan struct{}),
+	}
+	if !opts.NoEncodingCache {
+		s.cache = core.NewEncodingCache()
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.brk = newBreaker(breakerOptions{
@@ -254,6 +269,12 @@ func (s *Server) QueueDepth() int { return s.q.depth() }
 func (s *Server) analyzerOptions(b core.QueryBudget) []core.Option {
 	opts := append([]core.Option(nil), s.opts.AnalyzerOptions...)
 	opts = append(opts, core.WithMetrics(s.reg), core.WithBudget(b))
+	if s.cache != nil {
+		opts = append(opts, core.WithEncodingCache(s.cache))
+	}
+	if s.opts.Presimplify {
+		opts = append(opts, core.WithPresimplify(true))
+	}
 	if s.opts.Faults != nil {
 		opts = append(opts, core.WithFaults(s.opts.Faults))
 	}

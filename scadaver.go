@@ -69,9 +69,18 @@ type (
 	// SolverProgress is one solver progress report (see WithProgressEvery).
 	SolverProgress = sat.Progress
 	// PhaseTimes is the per-phase time breakdown of one verification
-	// (build / encode / solve / decode).
+	// (build / encode / preprocess / solve / decode).
 	PhaseTimes = core.PhaseTimes
+	// EncodingCache shares content-addressed, pre-encoded (and
+	// optionally pre-simplified) solver snapshots across analyzers; see
+	// WithEncodingCache.
+	EncodingCache = core.EncodingCache
 )
+
+// EncodingVersion identifies the structural CNF encoding scheme; cache
+// keys and service enumeration checkpoints embed it so artifacts from
+// an older encoding are rejected rather than silently reused.
+const EncodingVersion = core.EncodingVersion
 
 // Observability: phase tracing and metrics (see internal/obs).
 type (
@@ -164,6 +173,19 @@ func WithConflictBudget(n uint64) Option { return core.WithConflictBudget(n) }
 // WithInterrupt installs a cooperative cancellation hook, polled
 // periodically during SAT search; returning true abandons the solve.
 func WithInterrupt(f func() bool) Option { return core.WithInterrupt(f) }
+
+// NewEncodingCache returns an empty cross-query encoding cache, safe to
+// share across analyzers and goroutines.
+func NewEncodingCache() *EncodingCache { return core.NewEncodingCache() }
+
+// WithEncodingCache makes the analyzer clone pre-encoded structural
+// snapshots from the shared cache instead of re-encoding per query.
+func WithEncodingCache(c *EncodingCache) Option { return core.WithEncodingCache(c) }
+
+// WithPresimplify preprocesses each CNF before search: unit propagation
+// to fixpoint, failed-literal probing, subsumption and bounded variable
+// elimination. Verdicts are unchanged; searches start smaller.
+func WithPresimplify(on bool) Option { return core.WithPresimplify(on) }
 
 // DefaultPolicy returns the paper's Section III-D security policy.
 func DefaultPolicy() *SecurityPolicy { return secpolicy.Default() }
