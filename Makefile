@@ -27,21 +27,29 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Record the reference benchmark campaign (resiliency boundary plus
-# parallel k-sweep over IEEE 14/30/57) as machine-readable JSON, so
-# successive commits can be compared number-by-number. Recorded with
-# preprocessing + the encoding cache enabled; BENCH_pr2.json is the
-# retained pre-preprocessing baseline (see EXPERIMENTS.md §P2).
+# parallel k-sweep over IEEE 14/30/57, and an IEEE-118 boundary-only
+# row) as machine-readable JSON, so successive commits can be compared
+# number-by-number. Recorded with preprocessing and the encoding cache;
+# the portfolio is deliberately left off so the reference numbers stay
+# comparable across hosts with different CPU counts (portfolio
+# escalation only pays with real parallelism — see EXPERIMENTS.md §P3
+# for the armed/ablated legs). BENCH_pr2.json is the retained
+# pre-preprocessing baseline and BENCH_pr5.json the pre-galloping-
+# boundary-search one.
 bench-record:
-	$(GO) run ./cmd/scada-bench -record BENCH_pr5.json -inputs 1 -runs 2 -maxk 4 -presimplify
+	$(GO) run ./cmd/scada-bench -record BENCH_pr6.json -inputs 1 -runs 2 -maxk 4 -presimplify
 
 # The chaos pass: the fault-tolerance suite (deterministic fault
 # injection, budget degradation, checkpoint/resume, panic isolation)
 # under the race detector, uncached so injected faults re-fire every
-# run (see DESIGN.md §9), plus the verification-service chaos smoke
-# (overload shedding, breaker, drain-resume; see DESIGN.md §10).
+# run (see DESIGN.md §9), the portfolio chaos suite (replica panics,
+# clause-exchange soundness, interrupt-safe cancellation; DESIGN.md
+# §12), plus the verification-service chaos smoke (overload shedding,
+# breaker, drain-resume; see DESIGN.md §10).
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
-	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume' ./internal/core
+	$(GO) test -race -count=1 -run 'TestPortfolio|TestVivify|TestExchange' ./internal/sat
+	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSetup|TestTracer' ./internal/obs
 	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker' ./internal/serve
 	$(GO) test -race -count=1 ./cmd/scada-served

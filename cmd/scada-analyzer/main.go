@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		keepGoing  = fs.Bool("keep-going", true, "for parallel -sweep: isolate per-query failures instead of aborting the campaign")
 		presimp    = fs.Bool("presimplify", false, "preprocess the CNF before search (unit propagation, subsumption, variable elimination)")
 		noCache    = fs.Bool("no-cache", false, "disable the cross-query encoding cache (re-encode the structure per query)")
+		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas (clause sharing, inprocessing) per hard query; 0/1 = serial. Ignored by -sweep: like the encoding cache, the portfolio may surface different (equally valid) witness vectors, and sweep output is contracted to be identical across worker counts")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -176,6 +177,14 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *presimp {
 		opts = append(opts, core.WithPresimplify(true))
+	}
+	// The portfolio is gated off for -sweep for the same witness-stability
+	// reason as the cache: UNSAT verdicts (and so resiliency indices) are
+	// bit-identical either way, but a SAT race may adopt a different —
+	// equally valid — model than serial search, and sweep output is
+	// contracted to print identical witness vectors across worker counts.
+	if *portfolio > 1 && *sweepK < 0 {
+		opts = append(opts, core.WithPortfolio(*portfolio))
 	}
 
 	analyzer, err := core.NewAnalyzer(cfg, opts...)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"scadaver/internal/atomicio"
 	"scadaver/internal/core"
@@ -54,6 +55,7 @@ func run(args []string, w io.Writer) (retErr error) {
 		bus        = fs.String("bus", "ieee57", "bus system for -fig sweep")
 		maxK       = fs.Int("maxk", 8, "largest failure budget for -fig sweep and -record")
 		record     = fs.String("record", "", "run the recorded benchmark campaign and write BENCH JSON to this file")
+		systems    = fs.String("systems", "", "for -record: comma-separated bus systems (empty = ieee14,ieee30,ieee57 plus an ieee118 boundary-only row)")
 		traceFile  = fs.String("trace", "", "write a JSONL phase trace of every verification to this file")
 		metricsOut = fs.String("metrics", "", "write campaign metrics to this file (.json extension = JSON, otherwise Prometheus text)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address while running")
@@ -63,6 +65,8 @@ func run(args []string, w io.Writer) (retErr error) {
 		keepGoing  = fs.Bool("keep-going", true, "for -fig sweep: isolate per-query failures instead of aborting the campaign")
 		presimp    = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the encoding cache)")
 		noCache    = fs.Bool("no-cache", false, "disable the per-campaign encoding cache (re-encode the structure per query)")
+		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas per hard query (0/1 = serial)")
+		noShare    = fs.Bool("portfolio-noshare", false, "disable the learnt-clause exchange between portfolio replicas (ablation)")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,10 +91,14 @@ func run(args []string, w io.Writer) (retErr error) {
 		Trace: root, Metrics: reg,
 		Budget:      core.QueryBudget{Deadline: *deadline, Retries: *retries},
 		Presimplify: *presimp, NoCache: *noCache,
+		Portfolio: *portfolio, PortfolioNoShare: *noShare,
 	}
 
 	if *record != "" {
 		opt.MaxK = *maxK
+		if *systems != "" {
+			opt.Systems = strings.Split(*systems, ",")
+		}
 		run, err := experiments.BenchRecord(opt)
 		if err != nil {
 			return err

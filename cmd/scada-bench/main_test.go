@@ -53,12 +53,14 @@ func TestRunUnknownFigure(t *testing.T) {
 	}
 }
 
-// TestRunRecord drives -record end to end on the smallest system and
-// checks the BENCH JSON artifact.
+// TestRunRecord drives -record end to end on the two smallest systems
+// (with a 2-replica portfolio armed, exercising escalation plumbing)
+// and checks the BENCH JSON artifact.
 func TestRunRecord(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var sb strings.Builder
-	err := run([]string{"-record", path, "-inputs", "1", "-runs", "1", "-maxk", "1"}, &sb)
+	err := run([]string{"-record", path, "-inputs", "1", "-runs", "1", "-maxk", "1",
+		"-systems", "ieee14,ieee30", "-portfolio", "2"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +75,8 @@ func TestRunRecord(t *testing.T) {
 	if err := json.Unmarshal(raw, &run2); err != nil {
 		t.Fatalf("record is not valid JSON: %v", err)
 	}
-	if run2.Schema != experiments.BenchSchema || len(run2.Figures) != 6 {
-		t.Fatalf("record = %+v, want schema %s with 6 figures", run2, experiments.BenchSchema)
+	if run2.Schema != experiments.BenchSchema || len(run2.Figures) != 4 {
+		t.Fatalf("record = %+v, want schema %s with 4 figures", run2, experiments.BenchSchema)
 	}
 	for _, f := range run2.Figures {
 		if f.WallMs <= 0 || f.SolveMs <= 0 || f.Queries <= 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scadaver/internal/logic"
@@ -167,7 +168,9 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 	}()
 
 	for attempt := 1; ; attempt++ {
-		expired := false
+		// expired is written by the interrupt hook, which portfolio
+		// replicas poll concurrently — it must be atomic.
+		var expired atomic.Bool
 		switch {
 		case deadline > 0:
 			deadlineAt := time.Now().Add(deadline)
@@ -176,7 +179,7 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 					return true
 				}
 				if time.Now().After(deadlineAt) {
-					expired = true
+					expired.Store(true)
 					return true
 				}
 				return false
@@ -184,12 +187,39 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 		default:
 			s.SetInterrupt(a.interrupt)
 		}
-		s.SetConflictBudget(conflicts)
 		s.SetConflictHook(hook)
 		stallsBefore := a.faults.Counts().SolverStalls
 
+		// Portfolio escalation: with a portfolio armed, the serial solver
+		// first gets a short prelude budget (the escalation threshold); a
+		// query that decides within it never pays for cloning replicas,
+		// while a hard one escalates to the portfolio with the attempt's
+		// full conflict budget. Replicas inherit the prelude's learned
+		// clauses through Clone, so the prelude work is never wasted.
+		serialConflicts := conflicts
+		escalatable := a.portfolio > 1
+		if escalatable {
+			if thr := a.portfolioThreshold(); serialConflicts == 0 || serialConflicts > thr {
+				serialConflicts = thr
+			} else {
+				// The whole attempt fits under the threshold: portfolio
+				// overhead would exceed the remaining budget.
+				escalatable = false
+			}
+		}
+		s.SetConflictBudget(serialConflicts)
+
 		a.faults.BeforeSolve()
 		status := enc.Solve(assumptions...)
+		if status == sat.Unsolved && escalatable &&
+			!(a.interrupt != nil && a.interrupt()) && !expired.Load() &&
+			a.faults.Counts().SolverStalls == stallsBefore {
+			solveSpan.Event("portfolio", obs.A("replicas", a.portfolio), obs.A("attempt", attempt))
+			s.SetConflictBudget(conflicts)
+			var pstats sat.PortfolioStats
+			status, pstats = enc.SolvePortfolio(a.portfolioOptions(), assumptions...)
+			a.recordPortfolio(q, pstats)
+		}
 		if status != sat.Unsolved {
 			return solveOutcome{status: status, attempts: attempt}
 		}
@@ -199,7 +229,7 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 		switch {
 		case a.interrupt != nil && a.interrupt():
 			return solveOutcome{status: status, attempts: attempt, reason: ReasonInterrupted}
-		case expired:
+		case expired.Load():
 			reason = ReasonDeadline
 		case a.faults.Counts().SolverStalls > stallsBefore:
 			reason = ReasonInjectedStall

@@ -53,6 +53,22 @@
 //     therefore one solver, per goroutine; only the read-only Config is
 //     shared — with deterministic, input-ordered results and
 //     context-based cancellation.
+//   - The encoding cache (WithEncodingCache / NewEncodingCache) builds
+//     each (structure, property) snapshot once, simplifies it with the
+//     decision variables frozen, and hands every query a private
+//     sat.Clone — concurrent identical requests singleflight into one
+//     encode+simplify. With the cache armed, MaxResiliencyCombined
+//     gallops up from k = 0 probing pristine clones instead of driving
+//     one accumulating incremental sweep solver.
+//   - WithPortfolio arms portfolio escalation: a query that survives a
+//     DefaultPortfolioThreshold-conflict serial prelude is re-run as a
+//     race of diversified solver replicas with clause sharing
+//     (sat.SolvePortfolio), carrying the prelude's learned clauses
+//     into every replica. Unsat and bound verdicts are identical to
+//     serial solving; a Sat witness may be a different, equally valid,
+//     minimal vector — which is why -sweep campaigns (contracted to
+//     byte-identical output across worker counts) keep both the cache
+//     and the portfolio off. WithPortfolioNoShare is the ablation knob.
 //
 // Every Result carries the per-solve sat.Stats (decisions, conflicts,
 // propagations, learned clauses, solve time) of the query that produced

@@ -201,16 +201,79 @@ func (a *Analyzer) MaxResiliency(p Property, r int, varyIEDs, varyRTUs bool) (in
 }
 
 // MaxResiliencyCombined computes the maximum combined budget k for
-// which the system is k-resilient for the property, by binary search
-// over k (resiliency is monotone: enlarging the failure budget only adds
-// candidate threat models). The search reuses one structural encoding
-// across all probed budgets (see Sweep).
+// which the system is k-resilient for the property (resiliency is
+// monotone: enlarging the failure budget only adds candidate threat
+// models).
+//
+// With an encoding cache armed, each probe solves on a pristine clone
+// of the shared structural snapshot via Verify, and the search gallops
+// up from k = 0 (doubling, then binary refinement inside the bracketed
+// octave). Real boundaries sit at small k, so galloping probes only
+// small budgets — a plain binary search over [0, #devices] opens with
+// the most expensive cardinality encodings the instance can ask for.
+// Probing on clones also keeps per-probe cost flat: an incremental
+// sweep accumulates every probed budget's (selector-guarded) cardinality
+// clauses in one solver, and on IEEE-57-sized instances the watch lists
+// grow until each probe propagates several times slower than the same
+// query on a fresh clone.
+//
+// Without a cache the probes fall back to one incremental Sweep, whose
+// shared encoding is then built once instead of once per probe.
 func (a *Analyzer) MaxResiliencyCombined(p Property, r int) (int, error) {
+	limit := len(a.fieldIEDs) + len(a.fieldRTUs)
+	if a.cache != nil {
+		resilient := func(k int) (bool, error) {
+			res, err := a.Verify(Query{Property: p, Combined: true, K: k, R: r})
+			if err != nil {
+				return false, err
+			}
+			return res.Status == sat.Unsat, nil
+		}
+		// Gallop: step k by one through the small budgets (real resiliency
+		// boundaries sit at k <= 3, where unit steps bracket the boundary
+		// with zero overshoot), then double until the property breaks
+		// (first sat probe).
+		lo := -1 // largest k known resilient (-1: none yet)
+		hi := limit
+		for k := 0; k <= limit; {
+			ok, err := resilient(k)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				hi = k - 1
+				break
+			}
+			lo = k
+			if k == limit {
+				return limit, nil
+			}
+			if k < 4 {
+				k++
+			} else {
+				k = min(2*k, limit)
+			}
+		}
+		// Refine: largest unsat k inside (lo, hi].
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			ok, err := resilient(mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo, nil
+	}
 	sw, err := a.NewSweep(p, r, 0)
 	if err != nil {
 		return 0, err
 	}
-	lo, hi := -1, len(a.fieldIEDs)+len(a.fieldRTUs)
+	lo, hi := -1, limit
 	// Invariant: resilient at lo (or lo == -1), violated at hi+1
 	// conceptually; search the largest unsat k.
 	for lo < hi {

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"scadaver/internal/core"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/synth"
+)
+
+// Example_portfolioVerification verifies a resiliency property with
+// portfolio escalation armed: queries that exceed the escalation
+// threshold race diversified solver replicas with clause sharing, while
+// easy queries never pay for the clones. Certification verdicts (UNSAT:
+// "the property holds under every k-failure") are identical to serial
+// verification, so the portfolio is safe to arm campaign-wide; only
+// SAT witness vectors may differ between runs.
+func Example_portfolioVerification() {
+	cfg, err := synth.Generate(synth.Params{
+		Bus: powergrid.IEEE14(), Seed: 41, Hierarchy: 2, SecureFraction: 0.9,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, err := core.NewAnalyzer(cfg, core.WithPortfolio(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	q := core.Query{Property: core.Observability, Combined: true, K: 1}
+	res, err := a.Verify(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v: %v\n", q, res.Status)
+	// Output: 1-resilient observability: unsat
+}

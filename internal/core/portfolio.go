@@ -1,0 +1,76 @@
+package core
+
+import (
+	"scadaver/internal/sat"
+)
+
+// DefaultPortfolioThreshold is the escalation threshold in conflicts:
+// a query whose serial prelude decides within this many conflicts never
+// pays for the portfolio (cloning N replicas costs a deep copy of the
+// clause database each), while a harder query escalates with the
+// prelude's learned clauses carried into every replica. The value is
+// tuned against the bench suite: boundary queries on IEEE-14/30 decide
+// under it, the IEEE-57/118 tail does not.
+const DefaultPortfolioThreshold = 512
+
+// WithPortfolio arms portfolio escalation: a query that exceeds the
+// escalation threshold (DefaultPortfolioThreshold conflicts) is re-run
+// as a race of n diversified solver replicas with clause sharing and
+// inprocessing (see sat.Solver.SolvePortfolio). n <= 1 keeps solving
+// purely serial.
+//
+// Verdicts stay deterministic per class: Unsat/bound verdicts (and thus
+// resiliency indices) are identical to serial solving; a Sat witness
+// may be a different — but always valid — attack vector. Campaigns that
+// contract witness stability (scada-analyzer -sweep) must therefore
+// keep the portfolio off, exactly like the encoding cache.
+func WithPortfolio(n int) Option {
+	return func(a *Analyzer) { a.portfolio = n }
+}
+
+// WithPortfolioNoShare disables the learnt-clause exchange between
+// portfolio replicas, leaving diversification only. This is the
+// ablation knob used by the benchmark methodology (EXPERIMENTS.md §P3);
+// production callers want sharing on.
+func WithPortfolioNoShare(v bool) Option {
+	return func(a *Analyzer) { a.portfolioNoShare = v }
+}
+
+// portfolioThreshold returns the serial-prelude conflict budget before
+// a query escalates to the portfolio.
+func (a *Analyzer) portfolioThreshold() uint64 {
+	if a.portfolioAfter > 0 {
+		return a.portfolioAfter
+	}
+	return DefaultPortfolioThreshold
+}
+
+// portfolioOptions assembles the solver-level options for one
+// escalation, including the chaos seam for replica faults.
+// MaxConcurrent is left at its default (GOMAXPROCS), so on a single-CPU
+// host escalation costs one clone over the serial retry instead of
+// diluting the winner N ways; chaos tests saturate it explicitly.
+func (a *Analyzer) portfolioOptions() sat.PortfolioOptions {
+	return sat.PortfolioOptions{
+		Replicas:       a.portfolio,
+		NoSharing:      a.portfolioNoShare,
+		MaxConcurrent:  a.portfolioMaxConc,
+		OnReplicaStart: a.faults.ReplicaHook(),
+	}
+}
+
+// recordPortfolio publishes one escalation's outcome: which strategy
+// won (bounded label set — the diversification matrix), exchange
+// volume, and isolated replica panics.
+func (a *Analyzer) recordPortfolio(q Query, ps sat.PortfolioStats) {
+	prop := q.Property.String()
+	a.metrics.Inc("scadaver_portfolio_escalations_total", map[string]string{"property": prop})
+	if ps.Winner >= 0 {
+		a.metrics.Inc("scadaver_portfolio_wins_total", map[string]string{"strategy": ps.Strategy})
+	}
+	a.metrics.Add("scadaver_portfolio_clauses_exported_total", nil, float64(ps.Exported))
+	a.metrics.Add("scadaver_portfolio_clauses_imported_total", nil, float64(ps.Imported))
+	if ps.Panics > 0 {
+		a.metrics.Add("scadaver_portfolio_replica_panics_total", nil, float64(ps.Panics))
+	}
+}

@@ -61,17 +61,24 @@ func registryTotals(reg *obs.Registry) (queries, conflicts, solveSec float64) {
 // BenchRecord runs the recorded benchmark campaign: for every system
 // (default IEEE 14/30/57), a resiliency-boundary campaign (the Fig. 5
 // workload on one input) and the parallel k-sweep campaign, each
-// instrumented through its own metrics registry. opt.Trace is threaded
-// through so a recorded run can also produce a full phase trace.
+// instrumented through its own metrics registry; then a boundary-only
+// row for each system in BoundaryOnly (default IEEE 118 — feasible at
+// the boundary since the portfolio, but its full k-sweep is not).
+// opt.Trace is threaded through so a recorded run can also produce a
+// full phase trace.
 func BenchRecord(opt Options) (*BenchRun, error) {
+	boundaryOnly := opt.BoundaryOnly
 	if len(opt.Systems) == 0 {
 		opt.Systems = []string{"ieee14", "ieee30", "ieee57"}
+		if boundaryOnly == nil {
+			boundaryOnly = []string{"ieee118"}
+		}
 	}
 	opt = opt.withDefaults()
 
 	run := &BenchRun{Schema: BenchSchema, Workers: core.NewRunner(opt.Workers).Workers()}
 	start := time.Now()
-	for _, sys := range opt.Systems {
+	boundary := func(sys string) error {
 		// Boundary campaign: Fig. 5 timing methodology on one input.
 		bOpt := opt
 		bOpt.Systems = []string{sys}
@@ -79,14 +86,19 @@ func BenchRecord(opt Options) (*BenchRun, error) {
 		bOpt.Metrics = obs.NewRegistry()
 		t0 := time.Now()
 		if _, err := Fig5(core.Observability, bOpt); err != nil {
-			return nil, fmt.Errorf("boundary campaign %s: %w", sys, err)
+			return fmt.Errorf("boundary campaign %s: %w", sys, err)
 		}
 		run.Figures = append(run.Figures, benchFigure("boundary", sys, time.Since(t0), bOpt.Metrics))
+		return nil
+	}
+	for _, sys := range opt.Systems {
+		if err := boundary(sys); err != nil {
+			return nil, err
+		}
 
 		// K-sweep campaign: the worker-pool reference workload.
 		reg := obs.NewRegistry()
 		kOpts := append(opt.CoreOptions(), core.WithMetrics(reg))
-		t0 = time.Now()
 		sr, err := KSweep(sys, opt.MaxK, opt.Workers, kOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("ksweep campaign %s: %w", sys, err)
@@ -96,6 +108,11 @@ func BenchRecord(opt Options) (*BenchRun, error) {
 		if int(fig.Queries) != len(sr.Queries) {
 			return nil, fmt.Errorf("ksweep %s: metrics recorded %v queries, campaign ran %d",
 				sys, fig.Queries, len(sr.Queries))
+		}
+	}
+	for _, sys := range boundaryOnly {
+		if err := boundary(sys); err != nil {
+			return nil, err
 		}
 	}
 	run.TotalWallMs = ms(time.Since(start))

@@ -51,6 +51,11 @@ type Options struct {
 	Percents []float64
 	// MaxK bounds the BenchRecord k-sweep campaigns (default 4).
 	MaxK int
+	// BoundaryOnly lists systems BenchRecord records with the boundary
+	// campaign only, skipping the k-sweep — large instances whose
+	// boundary became feasible with the portfolio but whose full sweep
+	// has not. Defaults to ieee118 when Systems is also defaulted.
+	BoundaryOnly []string
 
 	// Trace, when set, is the parent span under which every campaign
 	// verification records its query/phase spans (see internal/obs).
@@ -72,6 +77,13 @@ type Options struct {
 	// verification then re-encodes its structure from scratch (the
 	// pre-optimization behaviour, kept for A/B measurements).
 	NoCache bool
+	// Portfolio arms portfolio escalation in every campaign analyzer:
+	// queries exceeding the escalation threshold race this many
+	// diversified solver replicas (core.WithPortfolio). <= 1 = serial.
+	Portfolio int
+	// PortfolioNoShare disables the learnt-clause exchange between
+	// replicas — the ablation leg of the §P3 methodology.
+	PortfolioNoShare bool
 	// Cache is the campaign's shared encoding cache; withDefaults
 	// creates one unless NoCache is set, and all workers clone from it.
 	Cache *core.EncodingCache
@@ -95,6 +107,12 @@ func (o Options) CoreOptions() []core.Option {
 	}
 	if o.Presimplify {
 		opts = append(opts, core.WithPresimplify(true))
+	}
+	if o.Portfolio > 1 {
+		opts = append(opts, core.WithPortfolio(o.Portfolio))
+		if o.PortfolioNoShare {
+			opts = append(opts, core.WithPortfolioNoShare(true))
+		}
 	}
 	return opts
 }

@@ -22,6 +22,9 @@ func (s *Solver) Clone() *Solver {
 		clauseDecay:    s.clauseDecay,
 		maxLearned:     s.maxLearned,
 		restartBase:    s.restartBase,
+		restartGeom:    s.restartGeom,
+		inprocess:      s.inprocess,
+		geomLimit:      s.geomLimit,
 		lubyIdx:        s.lubyIdx,
 		conflictBudget: s.conflictBudget,
 		rootUnsat:      s.rootUnsat,

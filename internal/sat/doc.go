@@ -13,6 +13,35 @@
 // sums, so a SAT back-end (fed by package logic's Tseitin and
 // sequential-counter encodings) decides exactly the same fragment.
 //
+// # Preprocessing and snapshots
+//
+// Simplify runs a SatELite-style preprocessing pass in place — unit
+// propagation to fixpoint, failed-literal probing, subsumption and
+// self-subsuming resolution, and bounded variable elimination with
+// model reconstruction. Variables the caller will still assume, block
+// on, or read back must be protected with Freeze before the pass, or
+// elimination may resolve them away. Clone deep-copies a solver —
+// clause database, learned clauses, activities, saved phases, and the
+// elimination record — into an independent instance; the encoding
+// cache in package core pairs the two, simplifying a structural
+// snapshot once and handing every subsequent query a private clone.
+//
+// # Portfolio solving
+//
+// SolvePortfolio races diversified clones of the solver and returns
+// the first verdict (PortfolioOptions selects the replica count,
+// clause sharing, and concurrent-admission cap; PortfolioStats reports
+// the winner, its strategy label, and the exchange volume). Each
+// replica takes a distinct row of a fixed diversification matrix —
+// VSIDS decay, restart schedule, initial polarity — and replicas
+// export short, low-LBD learned clauses through a bounded ring that
+// the others import at their next restart. SetInprocess additionally
+// arms a light inprocessing pass at restarts (default off; portfolio
+// replicas switch it on). The losing replicas are cooperatively
+// interrupted, replica panics are isolated, and the winner's
+// statistics are merged back into the base solver. See DESIGN.md §12
+// for the soundness and determinism argument.
+//
 // # Instrumentation and control
 //
 // Stats exposes per-solver counters — decisions, conflicts,

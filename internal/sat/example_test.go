@@ -1,0 +1,50 @@
+package sat_test
+
+import (
+	"fmt"
+
+	"scadaver/internal/sat"
+)
+
+// Example_portfolio races four diversified replicas of one solver on a
+// pigeonhole instance. UNSAT verdicts are deterministic — every replica
+// proves the same formula — so the portfolio is safe for certification
+// queries; only the wall-clock (and, for SAT instances, the particular
+// model) depends on which replica wins.
+func Example_portfolio() {
+	s := sat.New()
+
+	// PHP(6,5): six pigeons, five holes — classically hard for CDCL.
+	const pigeons, holes = 6, 5
+	vars := make([][]sat.Var, pigeons)
+	for i := range vars {
+		vars[i] = make([]sat.Var, holes)
+		for j := range vars[i] {
+			vars[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ { // every pigeon sits somewhere
+		lits := make([]sat.Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = sat.PosLit(vars[i][j])
+		}
+		if err := s.AddClause(lits...); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	for j := 0; j < holes; j++ { // no hole holds two pigeons
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				if err := s.AddClause(sat.NegLit(vars[i][j]), sat.NegLit(vars[k][j])); err != nil {
+					fmt.Println(err)
+					return
+				}
+			}
+		}
+	}
+
+	status, pstats := s.SolvePortfolio(sat.PortfolioOptions{Replicas: 4})
+	fmt.Println(status, "with", pstats.Replicas, "replicas")
+	// Output: unsat with 4 replicas
+}

@@ -1,0 +1,406 @@
+package sat
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// checkNoGoroutineLeak fails the test if the goroutine count does not
+// return to (about) its starting value. Portfolio calls must join every
+// replica before returning, so any sustained growth is a leak.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, started with %d", runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPortfolioMatchesSerial is the core equivalence property: on
+// seeded random CNFs the portfolio must return the same status as a
+// serial solver on an identical instance, and any Sat model must
+// satisfy the original clauses (it may differ from the serial model).
+func TestPortfolioMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 10 + rng.Intn(30)
+		nc := 10 + rng.Intn(5*nv)
+
+		serial := New()
+		_, clauses := randomSeededCNF(t, serial, rand.New(rand.NewSource(100+seed)), nv, nc, 3)
+		want := serial.Solve()
+
+		port := New()
+		randomSeededCNF(t, port, rand.New(rand.NewSource(100+seed)), nv, nc, 3)
+		got, pst := port.SolvePortfolio(PortfolioOptions{Replicas: 3, MaxConcurrent: -1})
+		if got != want {
+			t.Fatalf("seed %d: portfolio=%v serial=%v", seed, got, want)
+		}
+		if got == Sat {
+			if pst.Winner < 0 || pst.Strategy == "" {
+				t.Fatalf("seed %d: decided race reported no winner: %+v", seed, pst)
+			}
+			if !modelSatisfies(port, clauses) {
+				t.Fatalf("seed %d: portfolio model violates original clauses", seed)
+			}
+		}
+	}
+}
+
+// TestPortfolioUnsatPigeonhole checks the hard-unsat path (many
+// conflicts, restarts, exchange traffic) against a known verdict.
+func TestPortfolioUnsatPigeonhole(t *testing.T) {
+	s := New()
+	php(t, s, 7, 6)
+	before := s.Stats()
+	status, pst := s.SolvePortfolio(PortfolioOptions{Replicas: 4, MaxConcurrent: -1})
+	if status != Unsat {
+		t.Fatalf("PHP(7,6) portfolio = %v, want unsat", status)
+	}
+	if pst.Winner < 0 {
+		t.Fatalf("no winner recorded: %+v", pst)
+	}
+	d := s.Stats().Sub(before)
+	if d.Solves != 1 {
+		t.Fatalf("Solves delta = %d, want 1 (winner's stats adopted once)", d.Solves)
+	}
+	if d.Conflicts == 0 {
+		t.Fatalf("Conflicts delta = 0, want > 0")
+	}
+}
+
+// TestPortfolioAssumptions checks that assumptions behave like in
+// serial solving: verdicts flip with the assumed branch and the solver
+// stays reusable afterwards.
+func TestPortfolioAssumptions(t *testing.T) {
+	s := New()
+	vs := newVars(s, 4)
+	mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+	mustAdd(t, s, NegLit(vs[0]), PosLit(vs[2]))
+	mustAdd(t, s, NegLit(vs[2]), PosLit(vs[3]))
+
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 2, MaxConcurrent: -1}, PosLit(vs[0])); st != Sat {
+		t.Fatalf("sat branch = %v, want sat", st)
+	}
+	if s.Value(vs[0]) != True {
+		t.Fatalf("assumption not honored in adopted model")
+	}
+	mustAdd(t, s, NegLit(vs[3]))
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 2, MaxConcurrent: -1}, PosLit(vs[0])); st != Unsat {
+		t.Fatalf("unsat branch = %v, want unsat", st)
+	}
+	// The incompatible assumption must not have poisoned the instance.
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 2, MaxConcurrent: -1}, NegLit(vs[0])); st != Sat {
+		t.Fatalf("other branch = %v, want sat", st)
+	}
+}
+
+// TestPortfolioIncrementalEnumeration enumerates all models of a small
+// instance through the portfolio (blocking each model) and checks the
+// model set equals serial enumeration — adoption must leave the solver
+// fully usable for incremental work.
+func TestPortfolioIncrementalEnumeration(t *testing.T) {
+	build := func() (*Solver, []Var) {
+		s := New()
+		vs := newVars(s, 4)
+		mustAdd(t, s, PosLit(vs[0]), PosLit(vs[1]))
+		mustAdd(t, s, NegLit(vs[2]), NegLit(vs[3]))
+		return s, vs
+	}
+	enumerate := func(s *Solver, vs []Var, portfolio bool) map[[4]bool]bool {
+		models := map[[4]bool]bool{}
+		for len(models) < 32 {
+			var st Status
+			if portfolio {
+				st, _ = s.SolvePortfolio(PortfolioOptions{Replicas: 3, MaxConcurrent: -1})
+			} else {
+				st = s.Solve()
+			}
+			if st == Unsat {
+				return models
+			}
+			if st != Sat {
+				t.Fatalf("enumeration returned %v", st)
+			}
+			var key [4]bool
+			block := make([]Lit, len(vs))
+			for i, v := range vs {
+				key[i] = s.Value(v) == True
+				block[i] = MkLit(v, key[i]) // negation of the model value
+			}
+			if models[key] {
+				t.Fatalf("model %v repeated: blocking clause ignored", key)
+			}
+			models[key] = true
+			mustAdd(t, s, block...)
+		}
+		t.Fatalf("enumeration did not terminate")
+		return nil
+	}
+
+	s1, v1 := build()
+	serialModels := enumerate(s1, v1, false)
+	s2, v2 := build()
+	portModels := enumerate(s2, v2, true)
+	if len(serialModels) != len(portModels) {
+		t.Fatalf("model counts differ: serial %d, portfolio %d", len(serialModels), len(portModels))
+	}
+	for m := range serialModels {
+		if !portModels[m] {
+			t.Fatalf("model %v found serially but not via portfolio", m)
+		}
+	}
+}
+
+// TestPortfolioReplicaPanicIsolated injects a panic into one replica:
+// the verdict must be unaffected, the panic must be counted, and no
+// goroutine may leak.
+func TestPortfolioReplicaPanicIsolated(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s := New()
+	php(t, s, 6, 5)
+	status, pst := s.SolvePortfolio(PortfolioOptions{
+		Replicas:      3,
+		MaxConcurrent: -1, // saturate: replica 1 must actually start to panic
+		OnReplicaStart: func(id int) {
+			if id == 1 {
+				panic("injected replica fault")
+			}
+		},
+	})
+	if status != Unsat {
+		t.Fatalf("verdict with panicked replica = %v, want unsat", status)
+	}
+	if pst.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", pst.Panics)
+	}
+	if pst.Winner == 1 {
+		t.Fatalf("panicked replica must never win")
+	}
+	checkNoGoroutineLeak(t, goroutines)
+}
+
+// TestPortfolioAllReplicasPanic is the degenerate chaos case: every
+// replica dies. The call must return Unsolved without adopting a
+// poisoned replica and the base solver must still solve serially.
+func TestPortfolioAllReplicasPanic(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s := New()
+	php(t, s, 5, 4)
+	status, pst := s.SolvePortfolio(PortfolioOptions{
+		Replicas:       2,
+		MaxConcurrent:  -1,
+		OnReplicaStart: func(int) { panic("injected replica fault") },
+	})
+	if status != Unsolved {
+		t.Fatalf("all-panicked race = %v, want unsolved", status)
+	}
+	if pst.Panics != 2 {
+		t.Fatalf("Panics = %d, want 2", pst.Panics)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("base solver after failed race = %v, want unsat", got)
+	}
+	checkNoGoroutineLeak(t, goroutines)
+}
+
+// TestPortfolioInterrupt: an already-fired base interrupt must stop all
+// replicas promptly with Unsolved, and clearing it must let the same
+// solver finish the job (budget-retry pattern used by internal/core).
+func TestPortfolioInterrupt(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	s := New()
+	php(t, s, 7, 6)
+	s.SetInterrupt(func() bool { return true })
+	status, pst := s.SolvePortfolio(PortfolioOptions{Replicas: 3, MaxConcurrent: -1})
+	if status != Unsolved {
+		t.Fatalf("interrupted race = %v, want unsolved", status)
+	}
+	if pst.Winner != -1 {
+		t.Fatalf("interrupted race reported winner %d", pst.Winner)
+	}
+	s.SetInterrupt(nil)
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 3, MaxConcurrent: -1}); st != Unsat {
+		t.Fatalf("resumed race = %v, want unsat", st)
+	}
+	checkNoGoroutineLeak(t, goroutines)
+}
+
+// TestPortfolioConflictBudget: replicas inherit the base conflict
+// budget, so a tiny budget on a hard instance yields Unsolved — and the
+// adopted replica's learning must survive into the retry.
+func TestPortfolioConflictBudget(t *testing.T) {
+	s := New()
+	php(t, s, 8, 7)
+	s.SetConflictBudget(5)
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 2, MaxConcurrent: -1}); st != Unsolved {
+		t.Fatalf("budgeted race = %v, want unsolved", st)
+	}
+	if got := s.Stats().Learned; got == 0 {
+		t.Fatalf("no learning adopted from an exhausted race")
+	}
+	s.SetConflictBudget(0)
+	if st, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 2, MaxConcurrent: -1}); st != Unsat {
+		t.Fatalf("unbudgeted retry = %v, want unsat", st)
+	}
+}
+
+// TestPortfolioNoSharingAblation: the ablation path (diversification
+// only) must stay sound.
+func TestPortfolioNoSharingAblation(t *testing.T) {
+	s := New()
+	php(t, s, 6, 5)
+	status, pst := s.SolvePortfolio(PortfolioOptions{Replicas: 3, NoSharing: true, MaxConcurrent: -1})
+	if status != Unsat {
+		t.Fatalf("no-sharing race = %v, want unsat", status)
+	}
+	if pst.Imported != 0 || pst.Exported != 0 {
+		t.Fatalf("sharing disabled but counters moved: %+v", pst)
+	}
+}
+
+// TestExchangeRing exercises the ring in isolation: self-filtering,
+// cursor advancement, and overrun skipping.
+func TestExchangeRing(t *testing.T) {
+	r := newExchangeRing(4)
+	var cursor uint64
+	r.publish(0, []Lit{1, 2}, 2)
+	r.publish(1, []Lit{3, 4}, 2)
+	got := r.drain(&cursor, 0)
+	if len(got) != 1 || got[0].from != 1 {
+		t.Fatalf("drain = %+v, want one clause from replica 1", got)
+	}
+	if got := r.drain(&cursor, 0); len(got) != 0 {
+		t.Fatalf("second drain not empty: %+v", got)
+	}
+	// Overrun: 6 more publishes into a cap-4 ring drop the oldest two.
+	for i := 0; i < 6; i++ {
+		r.publish(1, []Lit{Lit(10 + 2*i)}, 1)
+	}
+	got = r.drain(&cursor, 0)
+	if len(got) != 4 {
+		t.Fatalf("overrun drain = %d entries, want 4", len(got))
+	}
+	if got[0].lits[0] != Lit(14) {
+		t.Fatalf("overrun did not skip to oldest retained entry: %+v", got)
+	}
+}
+
+// TestExchangeRingConcurrent hammers the ring from several goroutines
+// under -race to catch locking mistakes.
+func TestExchangeRingConcurrent(t *testing.T) {
+	r := newExchangeRing(64)
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var cursor uint64
+			for i := 0; i < 500; i++ {
+				r.publish(id, []Lit{Lit(id), Lit(i % 7)}, 2)
+				for _, e := range r.drain(&cursor, id) {
+					if e.from == id {
+						t.Errorf("drained own clause")
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// TestPortfolioAfterSimplify: the race must compose with preprocessing
+// — replicas clone the post-Simplify solver, share clauses over the
+// same variable space, and the adopted model must cover eliminated
+// variables via reconstruction.
+func TestPortfolioAfterSimplify(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		serial := New()
+		_, clauses := randomSeededCNF(t, serial, rand.New(rand.NewSource(500+seed)), 25, 80, 3)
+		want := serial.Solve()
+
+		s := New()
+		vars, _ := randomSeededCNF(t, s, rand.New(rand.NewSource(500+seed)), 25, 80, 3)
+		// Freeze a few variables like the encoder does for named nodes.
+		for _, v := range vars[:5] {
+			s.Freeze(v)
+		}
+		s.Simplify()
+		got, _ := s.SolvePortfolio(PortfolioOptions{Replicas: 3, MaxConcurrent: -1})
+		if got != want {
+			t.Fatalf("seed %d: post-simplify portfolio=%v serial=%v", seed, got, want)
+		}
+		if got == Sat && !modelSatisfies(s, clauses) {
+			t.Fatalf("seed %d: reconstructed portfolio model violates original clauses", seed)
+		}
+	}
+}
+
+// TestStrategyMatrix pins the diversification invariants: replica 0 is
+// the baseline, names are unique within one cycle, and cycling beyond
+// the matrix still differs from the archetype.
+func TestStrategyMatrix(t *testing.T) {
+	if strategies[0].name != "baseline" || strategies[0].varDecay != 0 {
+		t.Fatalf("replica 0 must inherit the base configuration")
+	}
+	seen := map[string]bool{}
+	for i := range strategies {
+		st := strategyFor(i)
+		if seen[st.name] {
+			t.Fatalf("duplicate strategy name %q", st.name)
+		}
+		seen[st.name] = true
+	}
+	wrapped := strategyFor(len(strategies) + 1)
+	if wrapped.name != strategies[1].name {
+		t.Fatalf("cycling broken: got %q", wrapped.name)
+	}
+	if wrapped.varDecay >= strategies[1].varDecay {
+		t.Fatalf("cycled replica not nudged: %v vs %v", wrapped.varDecay, strategies[1].varDecay)
+	}
+}
+
+// TestPortfolioCappedAdmission pins the single-CPU degradation path:
+// with MaxConcurrent 1, replica 0 (the baseline) searches alone, and a
+// verdict releases the waiting replicas without ever starting them — no
+// clone, no OnReplicaStart, no N-way time slice.
+func TestPortfolioCappedAdmission(t *testing.T) {
+	s := New()
+	php(t, s, 6, 5)
+	var mu sync.Mutex
+	started := map[int]bool{}
+	status, pst := s.SolvePortfolio(PortfolioOptions{
+		Replicas:      4,
+		MaxConcurrent: 1,
+		OnReplicaStart: func(id int) {
+			mu.Lock()
+			started[id] = true
+			mu.Unlock()
+		},
+	})
+	if status != Unsat {
+		t.Fatalf("capped race = %v, want unsat", status)
+	}
+	if pst.Winner != 0 || pst.Strategy != "baseline" {
+		t.Fatalf("capped race must be won by the baseline replica: %+v", pst)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !started[0] {
+		t.Fatalf("replica 0 never started")
+	}
+	if len(started) != 1 {
+		t.Fatalf("replicas started after the verdict: %v", started)
+	}
+}

@@ -52,9 +52,32 @@ type Solver struct {
 	eliminated []bool
 	elimStack  []elimRecord
 
-	// Restart bookkeeping.
+	// Restart bookkeeping. restartGeom > 1 selects a geometric schedule
+	// (the limit grows by that factor each restart); otherwise the Luby
+	// sequence over restartBase is used. Portfolio replicas diversify
+	// both (see portfolio.go).
 	lubyIdx     int
 	restartBase int
+	restartGeom float64
+	geomLimit   int
+
+	// Portfolio seams (see portfolio.go). learnHook observes every
+	// clause learned by conflict analysis (the exchange export side);
+	// restartHook runs at the root level after each restart unwinds (the
+	// import + inprocessing side). Both are nil outside portfolio
+	// replicas; the disabled cost is one nil-check per conflict/restart.
+	learnHook   func(lits []Lit, lbd int32)
+	restartHook func()
+
+	// vivifyNext rotates clause vivification through the learned DB so
+	// successive inprocessing rounds touch different clauses.
+	vivifyNext int
+
+	// inprocess arms between-restart inprocessing (root-level database
+	// cleaning plus clause vivification, every inprocessEvery restarts)
+	// on the serial solve path. Portfolio replicas inprocess through
+	// their restartHook instead, which takes precedence.
+	inprocess bool
 
 	// Budget: 0 = unlimited.
 	conflictBudget uint64
@@ -134,6 +157,16 @@ func (s *Solver) SetInterrupt(f func() bool) { s.interrupt = f }
 // solves at reproducible points. A nil hook disables the seam; the
 // disabled cost is one nil-check per conflict.
 func (s *Solver) SetConflictHook(f func(conflicts uint64) bool) { s.conflictHook = f }
+
+// SetInprocess arms (or disarms) between-restart inprocessing on the
+// serial solve path: every inprocessEvery restarts the solver removes
+// root-satisfied clauses and vivifies a bounded rotation of its learned
+// DB (see vivify.go). Inprocessing is deterministic — the same solve
+// runs the same rounds — and equisatisfiable, so verdicts never change;
+// long solves keep shrinking their clause database instead of paying
+// ever-longer propagations. Portfolio replicas inprocess through their
+// restart hook instead; this knob only affects plain Solve calls.
+func (s *Solver) SetInprocess(v bool) { s.inprocess = v }
 
 // SetProgress installs a progress probe fired from inside Solve every
 // `every` conflicts, so long searches (multi-second unsat proofs in
@@ -301,6 +334,29 @@ func (s *Solver) propagate() *clause {
 			}
 			c := w.c
 			if c.deleted {
+				continue
+			}
+			if len(c.lits) == 2 {
+				// Binary fast path: the blocker is the other literal (attach
+				// keeps this invariant — binary clauses never move watches),
+				// and it is not True (checked above), so the clause is unit
+				// or conflicting without scanning the literal array. 95% of
+				// the grid encodings' clauses have <= 3 literals, so this
+				// skips the watch-move machinery for the bulk of the
+				// propagation traffic.
+				kept = append(kept, w)
+				if s.value(w.blocker) == False {
+					conflict = c
+					s.qhead = len(s.trail)
+					continue
+				}
+				if c.lits[0] != w.blocker {
+					// Reason clauses carry the implied literal at slot 0
+					// (analyze relies on it).
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				}
+				s.stats.Propagations++
+				s.uncheckedEnqueue(w.blocker, c)
 				continue
 			}
 			// Ensure the false watched literal is at position 1.
@@ -509,6 +565,9 @@ func (s *Solver) computeLBD(lits []Lit) int32 {
 
 func (s *Solver) record(lits []Lit) {
 	if len(lits) == 1 {
+		if s.learnHook != nil {
+			s.learnHook(lits, 1)
+		}
 		s.uncheckedEnqueue(lits[0], nil)
 		return
 	}
@@ -517,6 +576,10 @@ func (s *Solver) record(lits []Lit) {
 	s.stats.Learned++
 	s.attach(c)
 	s.bumpClause(c)
+	if s.learnHook != nil {
+		// The clause owns lits from here on; exporters must copy.
+		s.learnHook(c.lits, c.lbd)
+	}
 	s.uncheckedEnqueue(lits[0], c)
 }
 
@@ -609,6 +672,21 @@ func luby(i int) int {
 	}
 }
 
+// nextRestartLimit advances the restart schedule and returns the number
+// of conflicts allowed before the next restart: geometric growth when
+// restartGeom > 1, the Luby sequence over restartBase otherwise.
+func (s *Solver) nextRestartLimit() int {
+	if s.restartGeom > 1 {
+		if s.geomLimit < s.restartBase {
+			s.geomLimit = s.restartBase
+		} else {
+			s.geomLimit = int(float64(s.geomLimit)*s.restartGeom) + 1
+		}
+		return s.geomLimit
+	}
+	return s.restartBase * luby(s.lubyIdx+1)
+}
+
 // interruptPollInterval is how many search-loop iterations pass between
 // polls of the interrupt hook: frequent enough for sub-millisecond
 // cancellation latency, rare enough that the indirect call never shows
@@ -635,7 +713,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 
 	var conflicts uint64
-	restartLimit := s.restartBase * luby(s.lubyIdx+1)
+	restartLimit := s.nextRestartLimit()
 	conflictsAtRestart := 0
 	sinceInterruptPoll := 0
 
@@ -683,9 +761,31 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			// Restart; assumptions are re-enqueued on the next descent.
 			s.lubyIdx++
 			s.stats.Restarts++
-			restartLimit = s.restartBase * luby(s.lubyIdx+1)
+			restartLimit = s.nextRestartLimit()
 			conflictsAtRestart = 0
 			s.cancelUntil(0)
+			if s.restartHook != nil {
+				// Portfolio import + inprocessing runs at the root. It may
+				// add clauses and root units, or discover root-level unsat.
+				s.restartHook()
+				if s.rootUnsat {
+					return Unsat
+				}
+				if s.propagate() != nil {
+					s.rootUnsat = true
+					return Unsat
+				}
+			} else if s.inprocess && s.stats.Restarts%inprocessEvery == 0 {
+				s.simplifyRoots()
+				s.vivifyRound(vivifyClausesPerRound)
+				if s.rootUnsat {
+					return Unsat
+				}
+				if s.propagate() != nil {
+					s.rootUnsat = true
+					return Unsat
+				}
+			}
 			continue
 		}
 		if len(s.learned) > s.maxLearned+len(s.trail) {

@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 )
 
-func mustAdd(t *testing.T, s *Solver, lits ...Lit) {
+func mustAdd(t testing.TB, s *Solver, lits ...Lit) {
 	t.Helper()
 	if err := s.AddClause(lits...); err != nil {
 		t.Fatalf("AddClause(%v): %v", lits, err)

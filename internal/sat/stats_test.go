@@ -11,7 +11,7 @@ import (
 // php adds the pigeonhole principle PHP(pigeons, holes) to s: every
 // pigeon sits in some hole, no two pigeons share a hole. Unsatisfiable
 // (and hard for CDCL) whenever pigeons > holes.
-func php(t *testing.T, s *Solver, pigeons, holes int) {
+func php(t testing.TB, s *Solver, pigeons, holes int) {
 	t.Helper()
 	vars := make([][]Var, pigeons)
 	for i := range vars {
