@@ -49,8 +49,8 @@ bench-record:
 chaos:
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
 	$(GO) test -race -count=1 -run 'TestPortfolio|TestVivify|TestExchange' ./internal/sat
-	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio' ./internal/core
-	$(GO) test -race -count=1 -run 'TestSetup|TestTracer' ./internal/obs
+	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio|TestFlight' ./internal/core
+	$(GO) test -race -count=1 -run 'TestSetup|TestTracer|TestFlight' ./internal/obs
 	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker' ./internal/serve
 	$(GO) test -race -count=1 ./cmd/scada-served
 

@@ -70,7 +70,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		traceFile  = fs.String("trace", "", "write a JSONL phase trace of every verification to this file")
 		metricsOut = fs.String("metrics", "", "write verification metrics to this file (.json extension = JSON, otherwise Prometheus text)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
-		progress   = fs.Uint64("progress", 0, "emit a solver progress trace event every N conflicts (0 = off; requires -trace)")
+		progress   = fs.Uint64("progress", 0, "solver progress cadence in conflicts: trace events with -trace, live counter updates with -watch (0 = default)")
+		watch      = fs.Duration("watch", 0, "print a live progress line per in-flight query to stderr every interval (0 = off)")
 		deadline   = fs.Duration("deadline", 0, "per-query wall-clock deadline; exhausted queries degrade to UNSOLVED (0 = none)")
 		retries    = fs.Int("retries", 0, "extra attempts per query after a budget-exhausted solve, with escalating budgets")
 		checkpoint = fs.String("checkpoint", "", "resumable checkpoint file for -sweep campaigns and threat enumeration")
@@ -160,6 +161,12 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *progress > 0 {
 		opts = append(opts, core.WithProgressEvery(*progress))
+	}
+	if *watch > 0 {
+		qreg := obs.NewQueryRegistry(0, 0)
+		opts = append(opts, core.WithQueryRegistry(qreg))
+		stopWatch := obs.WatchProgress(os.Stderr, qreg, *watch)
+		defer stopWatch()
 	}
 	budget := core.QueryBudget{Deadline: *deadline, Retries: *retries}
 	if budget.Enabled() {

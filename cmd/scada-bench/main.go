@@ -67,6 +67,7 @@ func run(args []string, w io.Writer) (retErr error) {
 		noCache    = fs.Bool("no-cache", false, "disable the per-campaign encoding cache (re-encode the structure per query)")
 		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas per hard query (0/1 = serial)")
 		noShare    = fs.Bool("portfolio-noshare", false, "disable the learnt-clause exchange between portfolio replicas (ablation)")
+		watch      = fs.Duration("watch", 0, "print a live progress line per in-flight query to stderr every interval (0 = off)")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +93,11 @@ func run(args []string, w io.Writer) (retErr error) {
 		Budget:      core.QueryBudget{Deadline: *deadline, Retries: *retries},
 		Presimplify: *presimp, NoCache: *noCache,
 		Portfolio: *portfolio, PortfolioNoShare: *noShare,
+	}
+	if *watch > 0 {
+		opt.Queries = obs.NewQueryRegistry(0, 0)
+		stopWatch := obs.WatchProgress(os.Stderr, opt.Queries, *watch)
+		defer stopWatch()
 	}
 
 	if *record != "" {

@@ -15,6 +15,8 @@
 //	POST /v1/verify     one resiliency query        → JSON result
 //	POST /v1/sweep      combined budgets k = 0..K   → JSON results
 //	POST /v1/enumerate  threat vectors              → JSONL stream (resumable by requestId)
+//	GET  /v1/queries    live + recent query introspection → JSON
+//	GET  /v1/queries/{id}/watch  one query's progress → JSONL stream
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (drain + breaker + load signals)
 //	GET  /metrics       Prometheus text exposition
@@ -118,6 +120,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		brkThreshold = fs.Float64("breaker-threshold", 0.5, "unsolved/panic rate that opens the breaker")
 		brkCooldown  = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before probing")
 		ckptDir      = fs.String("checkpoint-dir", "", "directory for resumable /v1/enumerate checkpoints (empty = disabled)")
+		sloThresh    = fs.Duration("slo", 0, "latency SLO threshold: slower requests count scadaver_slo_breach_total and slow queries log their flight record (0 = disabled)")
+		queryHistory = fs.Int("query-history", 0, "completed queries retained by GET /v1/queries (0 = default 64)")
 		presimp      = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the shared encoding cache)")
 		noCache      = fs.Bool("no-cache", false, "disable the service-wide encoding cache (re-encode the structure per request)")
 		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
@@ -153,6 +157,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		CheckpointDir:    *ckptDir,
+		SLOThreshold:     *sloThresh,
+		QueryHistory:     *queryHistory,
 		Presimplify:      *presimp,
 		NoEncodingCache:  *noCache,
 	})

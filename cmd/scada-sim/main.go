@@ -35,6 +35,7 @@ import (
 
 	"scadaver/internal/attacksim"
 	"scadaver/internal/core"
+	"scadaver/internal/obs"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/version"
 )
@@ -71,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		outage       = fs.Duration("outage", 5*time.Second, "DoS burst duration")
 		horizon      = fs.Duration("horizon", 10*time.Second, "DoS scenario horizon")
 		step         = fs.Duration("step", time.Second, "sampling step")
+		metricsOut   = fs.String("metrics", "", "write run metrics (build info) to this file (.json extension = JSON, otherwise Prometheus text)")
 		showVer      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +85,13 @@ func run(args []string, out io.Writer) error {
 	if *configPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-config is required")
+	}
+	if *metricsOut != "" {
+		_, _, closeObs, err := obs.Setup("scada-sim", "", *metricsOut, "")
+		if err != nil {
+			return err
+		}
+		defer closeObs() //nolint:errcheck // metrics export is best-effort
 	}
 
 	f, err := os.Open(*configPath)

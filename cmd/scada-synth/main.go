@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"scadaver/internal/obs"
 	"scadaver/internal/powergrid"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/synth"
@@ -38,6 +39,7 @@ func run(args []string) error {
 		k2         = fs.Int("k2", 1, "RTU failure budget written into the config")
 		r          = fs.Int("r", 1, "corrupted-measurement budget written into the config")
 		outPath    = fs.String("o", "-", "output file ('-' = stdout)")
+		metricsOut = fs.String("metrics", "", "write run metrics (build info) to this file (.json extension = JSON, otherwise Prometheus text)")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +48,13 @@ func run(args []string) error {
 	if *showVer {
 		fmt.Println(version.String())
 		return nil
+	}
+	if *metricsOut != "" {
+		_, _, closeObs, err := obs.Setup("scada-synth", "", *metricsOut, "")
+		if err != nil {
+			return err
+		}
+		defer closeObs() //nolint:errcheck // metrics export is best-effort
 	}
 
 	sys, err := powergrid.ByName(*bus)

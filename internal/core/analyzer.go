@@ -317,9 +317,13 @@ type Analyzer struct {
 	cache       *EncodingCache
 	encFP       string
 
-	// Observability (all optional; nil = disabled).
+	// Observability (all optional; nil = disabled). qs is the live
+	// registry entry of the query currently being verified (analyzers
+	// are single-goroutine, so one slot suffices); see flight.go.
 	trace         *obs.Span
 	metrics       *obs.Registry
+	queries       *obs.QueryRegistry
+	qs            *obs.QueryState
 	progressEvery uint64
 
 	// Derived, computed once.
@@ -414,6 +418,13 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	start := time.Now()
 	qspan := a.startQuerySpan(q)
 	defer qspan.End()
+	qs := a.beginQuery(q, "build")
+	defer func() {
+		if r := recover(); r != nil {
+			a.panicQuery(qs, r)
+			panic(r)
+		}
+	}()
 
 	var ph PhaseTimes
 	var enc *logic.Encoder
@@ -435,6 +446,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		enc, built, entry, err = a.snapshot(q)
 		if err != nil {
 			sp.End()
+			a.completeQuery(qs, qspan, "error", err.Error())
 			return nil, err
 		}
 		ph.Build = time.Since(t0)
@@ -443,6 +455,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		}
 		sp.End()
 
+		qs.SetPhase("encode")
 		sp = qspan.Start("encode")
 		t0 = time.Now()
 		assumptions = append(assumptions, a.budgetFormula(q))
@@ -456,6 +469,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		ph.Build = time.Since(t0)
 		sp.End()
 
+		qs.SetPhase("encode")
 		sp = qspan.Start("encode")
 		t0 = time.Now()
 		enc.Assert(a.budgetFormula(q))
@@ -464,6 +478,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		sp.End()
 
 		if a.presimplify {
+			qs.SetPhase("preprocess")
 			sp = qspan.Start("preprocess")
 			t0 = time.Now()
 			enc.Simplify()
@@ -472,13 +487,14 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		}
 	}
 
+	qs.SetPhase("solve")
 	sp = qspan.Start("solve")
 	a.armProgress(enc, sp)
 	t0 := time.Now()
 	out := a.solveBudgeted(q, enc, sp, assumptions...)
 	status := out.status
 	ph.Solve = time.Since(t0)
-	enc.Solver().SetProgress(0, nil)
+	a.disarmProgress(enc)
 	stats := enc.Solver().Stats()
 	if built {
 		// The builder query carries the snapshot's one-time preprocessing
@@ -497,6 +513,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		FailureReason: out.reason,
 	}
 	if status == sat.Sat {
+		qs.SetPhase("decode")
 		sp = qspan.Start("decode")
 		t0 = time.Now()
 		v := a.extractVector(q, enc)
@@ -509,6 +526,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	res.Duration = time.Since(start)
 	qspan.Annotate(obs.A("status", status.String()))
 	a.recordMetrics(res)
+	a.completeQuery(qs, qspan, status.String(), res.FailureReason)
 	return res, nil
 }
 
@@ -543,12 +561,17 @@ func (a *Analyzer) startQuerySpan(q Query) *obs.Span {
 }
 
 // armProgress wires the solver's progress probe to "progress" events on
-// the given solve span, so long searches report conflicts/decisions/
-// propagations/restarts and the learnt-DB size while they run. Callers
-// must clear the probe (SetProgress(0, nil)) after the solve so a probe
-// never outlives its span on a reused solver.
+// the given solve span and to the live query registry entry, so long
+// searches report conflicts/decisions/propagations/restarts and the
+// learnt-DB size while they run. With a registry armed it also installs
+// the solver event hook feeding the flight recorder (restarts, DB
+// reductions). Callers must clear both via disarmProgress after the
+// solve so a probe never outlives its span on a reused solver. With
+// neither tracing nor a registry armed nothing is installed, keeping
+// the disabled cost at the solver's usual nil-checks.
 func (a *Analyzer) armProgress(enc *logic.Encoder, solveSpan *obs.Span) {
-	if solveSpan == nil {
+	qs := a.qs
+	if solveSpan == nil && qs == nil {
 		return
 	}
 	every := a.progressEvery
@@ -556,6 +579,10 @@ func (a *Analyzer) armProgress(enc *logic.Encoder, solveSpan *obs.Span) {
 		every = DefaultProgressEvery
 	}
 	enc.Solver().SetProgress(every, func(p sat.Progress) {
+		qs.Progress(p.Conflicts, p.Decisions, p.Propagations, p.Restarts, p.Reduces, p.LearntDB)
+		if solveSpan == nil {
+			return
+		}
 		solveSpan.Event("progress",
 			obs.A("conflicts", p.Conflicts),
 			obs.A("decisions", p.Decisions),
@@ -563,6 +590,22 @@ func (a *Analyzer) armProgress(enc *logic.Encoder, solveSpan *obs.Span) {
 			obs.A("restarts", p.Restarts),
 			obs.A("learntDB", p.LearntDB))
 	})
+	if qs != nil {
+		enc.Solver().SetEventHook(func(e sat.Event) {
+			// Restarts fire far more often than the progress probe's
+			// cadence, so piggyback the hot counters on each event: the
+			// live view then tracks conflicts at restart granularity
+			// even when the probe cadence is coarse.
+			qs.Progress(e.Conflicts, e.Decisions, e.Propagations, e.Restarts, e.Reduces, e.LearntDB)
+			qs.Record(e.Kind.String(), fmt.Sprintf("learnt=%d", e.LearntDB), e.Conflicts)
+		})
+	}
+}
+
+// disarmProgress clears the probe and event hook armed by armProgress.
+func (a *Analyzer) disarmProgress(enc *logic.Encoder) {
+	enc.Solver().SetProgress(0, nil)
+	enc.Solver().SetEventHook(nil)
 }
 
 // recordMetrics aggregates one finished verification into the metrics

@@ -168,6 +168,7 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 	}()
 
 	for attempt := 1; ; attempt++ {
+		a.qs.SetAttempt(attempt)
 		// expired is written by the interrupt hook, which portfolio
 		// replicas poll concurrently — it must be atomic.
 		var expired atomic.Bool
@@ -215,6 +216,16 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 			!(a.interrupt != nil && a.interrupt()) && !expired.Load() &&
 			a.faults.Counts().SolverStalls == stallsBefore {
 			solveSpan.Event("portfolio", obs.A("replicas", a.portfolio), obs.A("attempt", attempt))
+			a.qs.Record("escalate", fmt.Sprintf("replicas=%d", a.portfolio), s.Stats().Conflicts)
+			if a.qs != nil {
+				// Publish the racing lineup before the race resolves so a
+				// watcher sees which strategies are in flight.
+				lineup := make([]obs.ReplicaSnapshot, a.portfolio)
+				for i := range lineup {
+					lineup[i] = obs.ReplicaSnapshot{ID: i, Strategy: sat.StrategyName(i)}
+				}
+				a.qs.SetReplicas(lineup)
+			}
 			s.SetConflictBudget(conflicts)
 			var pstats sat.PortfolioStats
 			status, pstats = enc.SolvePortfolio(a.portfolioOptions(), assumptions...)
@@ -238,13 +249,17 @@ func (a *Analyzer) solveBudgeted(q Query, enc *logic.Encoder, solveSpan *obs.Spa
 			a.metrics.Inc("scadaver_queries_unsolved_total", map[string]string{
 				"property": q.Property.String(), "reason": reason,
 			})
-			return solveOutcome{status: status, attempts: attempt, reason: reason}
+			// The metric label above stays the bare reason; only the
+			// Result carries the flight-record suffix.
+			a.qs.Record("exhausted", reason, s.Stats().Conflicts)
+			return solveOutcome{status: status, attempts: attempt, reason: a.flightReason(reason, solveSpan)}
 		}
 
 		a.metrics.Inc("scadaver_retries_total", map[string]string{
 			"property": q.Property.String(), "reason": reason,
 		})
 		solveSpan.Event("retry", obs.A("attempt", attempt), obs.A("reason", reason))
+		a.qs.Record("retry", reason, s.Stats().Conflicts)
 		if deadline > 0 {
 			deadline = time.Duration(float64(deadline) * escalate)
 		}

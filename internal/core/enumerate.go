@@ -75,7 +75,7 @@ func (a *Analyzer) EnumerateThreatsResumable(q Query, max int, ck *Checkpoint) (
 // aborts the enumeration and is returned with the vectors found so far;
 // the checkpoint keeps every discovered vector, so the same enumeration
 // resumes where the stream broke. A nil emit disables streaming.
-func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit func(ThreatVector) error) ([]ThreatVector, error) {
+func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit func(ThreatVector) error) (out []ThreatVector, err error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
@@ -84,11 +84,33 @@ func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit
 	}
 	span := a.startEnumerateSpan(q)
 	defer span.End()
+	// The whole enumeration is one registry entry: iterated solves
+	// share its progress counters, and checkpoint flushes land in its
+	// flight recorder.
+	qs := a.beginQuery(q, "enumerate")
+	var unsolvedReason string
+	defer func() {
+		switch {
+		case err != nil:
+			a.completeQuery(qs, span, "error", err.Error())
+		case unsolvedReason != "":
+			a.completeQuery(qs, span, "unsolved", unsolvedReason)
+		default:
+			a.completeQuery(qs, span, "done", "")
+		}
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			a.panicQuery(qs, r)
+			panic(r)
+		}
+	}()
 	enc, err := a.enumEncoder(q)
 	if err != nil {
 		return nil, err
 	}
-	var out []ThreatVector
+	a.armProgress(enc, span)
+	defer a.disarmProgress(enc)
 	seen := map[string]bool{}
 	defer func() { span.Annotate(obs.A("vectors", len(out))) }()
 
@@ -120,6 +142,7 @@ func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit
 		if sv.status != sat.Sat {
 			if sv.status == sat.Unsolved {
 				span.Annotate(obs.A("unsolved", sv.reason))
+				unsolvedReason = sv.reason
 			}
 			break
 		}
@@ -132,6 +155,9 @@ func (a *Analyzer) EnumerateThreatsStream(q Query, max int, ck *Checkpoint, emit
 				// valid and the entry is retried on the next Add.
 				a.metrics.Inc("scadaver_checkpoint_errors_total", nil)
 				span.Event("checkpoint-error", obs.A("error", err.Error()))
+				qs.Record("checkpoint-error", err.Error(), 0)
+			} else if ck != nil {
+				qs.Record("checkpoint", fmt.Sprintf("vectors=%d", len(out)), 0)
 			}
 			if err := emit(v); err != nil {
 				return out, err

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scadaver/internal/faultinject"
+	"scadaver/internal/obs"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/sat"
+)
+
+// TestFlightVerifyRegisters: a verified query appears in the registry's
+// completed ring with its identity, final phase and status, and the
+// analyzer's current-query slot is cleared.
+func TestFlightVerifyRegisters(t *testing.T) {
+	cfg := synthConfig(t, powergrid.Case5(), 7, 1)
+	qreg := obs.NewQueryRegistry(8, 8)
+	a, err := NewAnalyzer(cfg, WithQueryRegistry(qreg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Property: Observability, K: 1, Combined: true}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.qs != nil {
+		t.Fatal("current-query slot not cleared after Verify")
+	}
+	if n := len(qreg.Active()); n != 0 {
+		t.Fatalf("active = %d after completion", n)
+	}
+	comp := qreg.Completed()
+	if len(comp) != 1 {
+		t.Fatalf("completed = %d entries, want 1", len(comp))
+	}
+	got := comp[0]
+	if got.Property != "observability" || got.Budget != "k=1" {
+		t.Fatalf("identity: %+v", got)
+	}
+	if got.Status != res.Status.String() {
+		t.Fatalf("status %q, result says %q", got.Status, res.Status)
+	}
+	if !got.Done || got.Fingerprint == "" {
+		t.Fatalf("completion fields: done=%v fingerprint=%q", got.Done, got.Fingerprint)
+	}
+}
+
+// TestFlightExhaustionAppendsContext: with a registry armed, budget
+// exhaustion appends the flight record to FailureReason (prefixed by
+// the bare reason) and marks the exhaustion in the event ring. The
+// bare-constant contract without a registry is covered by
+// TestBudgetConflictExhaustion.
+func TestFlightExhaustionAppendsContext(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	probe, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findConflictHeavyQuery(t, probe, 8)
+
+	qreg := obs.NewQueryRegistry(8, 8)
+	a, err := NewAnalyzer(cfg,
+		WithQueryRegistry(qreg),
+		WithBudget(QueryBudget{Conflicts: 1, Retries: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsolved {
+		t.Fatalf("status = %v, want Unsolved", res.Status)
+	}
+	if !strings.HasPrefix(res.FailureReason, ReasonConflicts) {
+		t.Fatalf("reason %q does not start with the bare constant", res.FailureReason)
+	}
+	if !strings.Contains(res.FailureReason, "[flight:") {
+		t.Fatalf("reason %q carries no flight context", res.FailureReason)
+	}
+	comp := qreg.Completed()
+	if len(comp) != 1 {
+		t.Fatalf("completed = %d", len(comp))
+	}
+	var kinds []string
+	for _, ev := range comp[0].Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "retry") || !strings.Contains(joined, "exhausted") {
+		t.Fatalf("flight events = %v, want retry + exhausted", kinds)
+	}
+}
+
+// TestFlightInjectedStall: a fault-injected stall surfaces in the
+// registry with the stall reason plus flight context.
+func TestFlightInjectedStall(t *testing.T) {
+	cfg := synthConfig(t, powergrid.IEEE14(), 41, 2)
+	probe, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := findConflictHeavyQuery(t, probe, 8)
+
+	qreg := obs.NewQueryRegistry(8, 8)
+	a, err := NewAnalyzer(cfg,
+		WithQueryRegistry(qreg),
+		WithFaults(faultinject.New(1).StallSolverAfter(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsolved {
+		t.Fatalf("status = %v, want Unsolved", res.Status)
+	}
+	if !strings.HasPrefix(res.FailureReason, ReasonInjectedStall) {
+		t.Fatalf("reason = %q", res.FailureReason)
+	}
+	comp := qreg.Completed()
+	if len(comp) != 1 || comp[0].FailureReason != res.FailureReason {
+		t.Fatalf("registry reason %+v vs result %q", comp, res.FailureReason)
+	}
+}
+
+// TestFlightEnumerationRegisters: one registry entry spans a whole
+// enumeration, completes as done, and records checkpoint flushes.
+func TestFlightEnumerationRegisters(t *testing.T) {
+	cfg := synthConfig(t, powergrid.Case5(), 7, 1)
+	qreg := obs.NewQueryRegistry(8, 32)
+	a, err := NewAnalyzer(cfg, WithQueryRegistry(qreg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(filepath.Join(t.TempDir(), "enum.jsonl"), CheckpointKindEnumerate, "fp-flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := a.EnumerateThreatsResumable(Query{Property: Observability, K: 1, Combined: true}, 4, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := qreg.Completed()
+	if len(comp) != 1 {
+		t.Fatalf("completed = %d entries, want 1 for the whole enumeration", len(comp))
+	}
+	got := comp[0]
+	if got.Phase != "enumerate" || got.Status != "done" {
+		t.Fatalf("enumeration entry: %+v", got)
+	}
+	if len(vs) > 0 {
+		var flushes int
+		for _, ev := range got.Events {
+			if ev.Kind == "checkpoint" {
+				flushes++
+			}
+		}
+		if flushes != len(vs) {
+			t.Fatalf("checkpoint events = %d, vectors = %d", flushes, len(vs))
+		}
+	}
+}
+
+// TestFlightSweepRegisters: every sweep iteration is its own registry
+// entry (phase/decode visible per query).
+func TestFlightSweepRegisters(t *testing.T) {
+	cfg := synthConfig(t, powergrid.Case5(), 7, 1)
+	qreg := obs.NewQueryRegistry(16, 8)
+	a, err := NewAnalyzer(cfg, WithQueryRegistry(qreg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := a.NewSweep(Observability, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.VerifyRange(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qreg.Completed()); got != 3 {
+		t.Fatalf("completed = %d entries, want 3 (k=0..2)", got)
+	}
+}
+
+// TestFlightNilRegistryZeroChange: without a registry the analyzer's
+// behavior is bit-identical — no registration, bare failure reasons —
+// which the budget/chaos suites pin exhaustively; here we just pin that
+// no hook state leaks into the solver.
+func TestFlightNilRegistryZeroChange(t *testing.T) {
+	cfg := synthConfig(t, powergrid.Case5(), 7, 1)
+	a, err := NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.queries != nil || a.qs != nil {
+		t.Fatal("registry state set without WithQueryRegistry")
+	}
+	res, err := a.Verify(Query{Property: Observability, K: 1, Combined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureReason != "" && strings.Contains(res.FailureReason, "[flight:") {
+		t.Fatalf("flight context leaked without a registry: %q", res.FailureReason)
+	}
+}

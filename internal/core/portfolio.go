@@ -63,6 +63,9 @@ func (a *Analyzer) portfolioOptions() sat.PortfolioOptions {
 // won (bounded label set — the diversification matrix), exchange
 // volume, and isolated replica panics.
 func (a *Analyzer) recordPortfolio(q Query, ps sat.PortfolioStats) {
+	if a.qs != nil && len(ps.PerReplica) > 0 {
+		a.qs.SetReplicas(replicaSnapshots(ps))
+	}
 	prop := q.Property.String()
 	a.metrics.Inc("scadaver_portfolio_escalations_total", map[string]string{"property": prop})
 	if ps.Winner >= 0 {

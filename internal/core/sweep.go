@@ -119,6 +119,13 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	start := time.Now()
 	qspan := s.a.startQuerySpan(q)
 	defer qspan.End()
+	qs := s.a.beginQuery(q, "encode")
+	defer func() {
+		if r := recover(); r != nil {
+			s.a.panicQuery(qs, r)
+			panic(r)
+		}
+	}()
 	before := s.enc.Solver().Stats()
 
 	// The structure was built once in NewSweep, so a sweep query has no
@@ -135,13 +142,14 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	// The budget is passed as an assumption, not asserted: only its
 	// sequential counter is added to the instance, and the next budget
 	// does not have to be compatible with this one.
+	qs.SetPhase("solve")
 	sp = qspan.Start("solve")
 	s.a.armProgress(s.enc, sp)
 	t0 = time.Now()
 	out := s.a.solveBudgeted(q, s.enc, sp, budget)
 	status := out.status
 	ph.Solve = time.Since(t0)
-	s.enc.Solver().SetProgress(0, nil)
+	s.a.disarmProgress(s.enc)
 	stats := s.enc.Solver().Stats().Sub(before)
 	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts),
 		obs.A("attempts", out.attempts))
@@ -155,6 +163,7 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 		FailureReason: out.reason,
 	}
 	if status == sat.Sat {
+		qs.SetPhase("decode")
 		sp = qspan.Start("decode")
 		t0 = time.Now()
 		v := s.a.extractVector(q, s.enc)
@@ -167,5 +176,6 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	res.Duration = time.Since(start)
 	qspan.Annotate(obs.A("status", status.String()))
 	s.a.recordMetrics(res)
+	s.a.completeQuery(qs, qspan, status.String(), res.FailureReason)
 	return res, nil
 }

@@ -63,6 +63,10 @@ type Options struct {
 	// Metrics, when set, aggregates counters and phase histograms from
 	// every analyzer the campaign fans out, across all workers.
 	Metrics *obs.Registry
+	// Queries, when set, mirrors every campaign verification into the
+	// live query registry (core.WithQueryRegistry) — the scada-bench
+	// -watch mode renders progress lines from it.
+	Queries *obs.QueryRegistry
 	// Budget bounds every individual verification (per-attempt deadline,
 	// conflict cap, retries with escalation); the zero value imposes no
 	// bounds. Exhausted queries degrade to Unsolved results instead of
@@ -98,6 +102,9 @@ func (o Options) CoreOptions() []core.Option {
 	}
 	if o.Metrics != nil {
 		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	if o.Queries != nil {
+		opts = append(opts, core.WithQueryRegistry(o.Queries))
 	}
 	if o.Budget.Enabled() {
 		opts = append(opts, core.WithBudget(o.Budget))

@@ -1,0 +1,15 @@
+package obs
+
+import "scadaver/internal/version"
+
+// RecordBuildInfo publishes the scadaver_build_info gauge (value 1,
+// labels version + go) so any scrape of the registry identifies the
+// binary that produced it. A nil registry is a no-op, matching the
+// package contract.
+func RecordBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	v, g := version.Fields()
+	r.SetGauge("scadaver_build_info", map[string]string{"version": v, "go": g}, 1)
+}

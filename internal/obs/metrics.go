@@ -280,11 +280,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	var b strings.Builder
-	lastType := "" // metric name of the last emitted # TYPE line
+	// Dedupe # TYPE lines by (name, kind), not name alone: a gauge that
+	// shares its name with the preceding counter still needs its own
+	// "# TYPE ... gauge" line under the promtext rules.
+	lastType := ""
 	typeLine := func(name, kind string) {
-		if name != lastType {
+		if key := name + " " + kind; key != lastType {
 			fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
-			lastType = name
+			lastType = key
 		}
 	}
 	for _, c := range snap.Counters {
@@ -337,17 +340,26 @@ func promLabelSet(labels map[string]string, extraKey, extraVal string) string {
 	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteByte('{')
+	// Label values are escaped by promEscape alone; %q would re-escape
+	// the backslashes it introduces (`\n` becoming `\\n`), which the
+	// promtext parser reads as a literal backslash + n.
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, promEscape(labels[k]))
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(labels[k]))
+		b.WriteByte('"')
 	}
 	if extraKey != "" {
 		if len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,158 @@
+package obs
+
+// Satellite coverage for the Prometheus text exposition fixes (label
+// escaping, gauge # TYPE emission) and histogram edge cases (+Inf
+// accounting, zero-observation omission, Snapshot determinism under
+// concurrent Observe).
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// Per the promtext rules, label values escape backslash to \\ and
+// newline to \n — exactly once. The old %q rendering double-escaped
+// both, which a Prometheus scraper reads back as literal '\' 'n'.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m", map[string]string{"v": "a\\b\nc\"d"})
+	got := promText(t, r)
+	want := `m{v="a\\b\nc\"d"} 1` + "\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("escaped series not found.\nwant line: %q\ngot:\n%s", want, got)
+	}
+	if strings.Contains(got, `\\\\`) || strings.Contains(got, `\\n`) {
+		t.Fatalf("double-escaped label value:\n%s", got)
+	}
+}
+
+// A gauge sharing its name with the preceding counter still needs its
+// own # TYPE line; the old dedupe keyed on name alone and skipped it.
+func TestWritePrometheusGaugeTypeLine(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("scadaver_thing", map[string]string{"kind": "counter"})
+	r.SetGauge("scadaver_thing", map[string]string{"kind": "gauge"}, 2)
+	got := promText(t, r)
+	for _, want := range []string{
+		"# TYPE scadaver_thing counter\n",
+		"# TYPE scadaver_thing gauge\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// Every # TYPE line must appear once per (name, kind) even across many
+// series of the same metric.
+func TestWritePrometheusTypeLineDeduped(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m", map[string]string{"a": "1"})
+	r.Inc("m", map[string]string{"a": "2"})
+	got := promText(t, r)
+	if n := strings.Count(got, "# TYPE m counter"); n != 1 {
+		t.Fatalf("# TYPE emitted %d times, want 1:\n%s", n, got)
+	}
+}
+
+func TestHistogramInfBucketAccounting(t *testing.T) {
+	r := NewRegistry()
+	top := DefBuckets[len(DefBuckets)-1]
+	// One observation beyond the top finite bucket, one exactly on it
+	// (le is inclusive), one tiny.
+	r.Observe("h", nil, top*10)
+	r.Observe("h", nil, top)
+	r.Observe("h", nil, DefBuckets[0]/2)
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	h := snap.Histograms[0]
+	if h.Count != 3 {
+		t.Fatalf("count = %d, want 3", h.Count)
+	}
+	// The top finite cumulative bucket holds 2; only +Inf holds all 3.
+	if got := h.Buckets[len(h.Buckets)-1].Count; got != 2 {
+		t.Fatalf("top finite bucket = %d, want 2", got)
+	}
+	text := promText(t, r)
+	if !strings.Contains(text, `h_bucket{le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket line wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "h_count 3") {
+		t.Fatalf("missing h_count:\n%s", text)
+	}
+}
+
+// A histogram series only exists once observed: a registry that never
+// saw an Observe exports no histogram lines at all.
+func TestHistogramZeroObservationOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("requests", nil)
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 0 {
+		t.Fatalf("histograms = %+v, want none", snap.Histograms)
+	}
+	text := promText(t, r)
+	if strings.Contains(text, "_bucket") || strings.Contains(text, "histogram") {
+		t.Fatalf("zero-observation histogram leaked into:\n%s", text)
+	}
+}
+
+// Snapshot must be deterministic (sorted series) and internally
+// consistent while Observe runs concurrently: cumulative buckets never
+// exceed the count, and two snapshots of the same quiesced registry
+// are identical.
+func TestSnapshotDeterminismUnderConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.ObserveDuration("h", map[string]string{"w": string(rune('a' + g))},
+					time.Duration(i%100)*time.Millisecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		for _, h := range snap.Histograms {
+			var prev uint64
+			for _, bk := range h.Buckets {
+				if bk.Count < prev {
+					t.Fatalf("cumulative buckets decreased: %+v", h.Buckets)
+				}
+				prev = bk.Count
+			}
+			if prev > h.Count {
+				t.Fatalf("finite buckets (%d) exceed count (%d)", prev, h.Count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("snapshots of a quiesced registry differ")
+	}
+}

@@ -59,6 +59,7 @@ func Setup(rootName, traceFile, metricsFile, pprofAddr string) (*Span, *Registry
 	var reg *Registry
 	if metricsFile != "" {
 		reg = NewRegistry()
+		RecordBuildInfo(reg)
 		closers = append(closers, func() error {
 			f, err := os.Create(metricsFile)
 			if err != nil {

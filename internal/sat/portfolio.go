@@ -81,7 +81,27 @@ type PortfolioStats struct {
 	Exported uint64 // learned clauses exported, summed over live replicas
 	Vivified uint64 // clauses strengthened by inprocessing, summed
 	Panics   int    // replicas lost to a panic (isolated, never propagated)
+	// PerReplica breaks the race down replica by replica for the live
+	// query registry; index i describes replica i.
+	PerReplica []ReplicaStats
 }
+
+// ReplicaStats is one replica's view of a portfolio race.
+type ReplicaStats struct {
+	ID        int
+	Strategy  string
+	Status    Status
+	Conflicts uint64
+	Imported  uint64
+	Exported  uint64
+	Winner    bool
+	Panicked  bool
+}
+
+// StrategyName returns the diversification strategy replica i would be
+// assigned, so callers can publish the racing lineup before the race
+// resolves.
+func StrategyName(i int) string { return strategyFor(i).name }
 
 // strategy is one row of the diversification matrix. Zero-valued knobs
 // mean "keep the base solver's setting".
@@ -338,6 +358,7 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 			// single-goroutine.
 			r.SetConflictHook(s.conflictHook)
 			r.SetProgress(s.progressEvery, s.progress)
+			r.SetEventHook(s.eventHook)
 		}
 		inproc := 0
 		var cursor uint64
@@ -432,15 +453,23 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 	wg.Wait()
 
 	pst := PortfolioStats{Replicas: opts.Replicas, Winner: -1}
+	pst.PerReplica = make([]ReplicaStats, opts.Replicas)
 	for i, r := range replicas {
+		rep := ReplicaStats{ID: i, Strategy: strategyFor(i).name, Status: statuses[i], Panicked: panicked[i]}
 		if panicked[i] {
 			pst.Panics++
+			pst.PerReplica[i] = rep
 			continue
 		}
 		if r == nil {
+			pst.PerReplica[i] = rep
 			continue // released without starting: nothing to account
 		}
 		rs := r.Stats()
+		rep.Conflicts = rs.Conflicts
+		rep.Imported = rs.ImportedClauses
+		rep.Exported = rs.ExportedClauses
+		pst.PerReplica[i] = rep
 		pst.Imported += rs.ImportedClauses
 		pst.Exported += rs.ExportedClauses
 		pst.Vivified += rs.VivifiedClauses
@@ -451,6 +480,7 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 		status = statuses[pick]
 		pst.Winner = pick
 		pst.Strategy = strategyFor(pick).name
+		pst.PerReplica[pick].Winner = true
 	} else {
 		pick = -1
 		for i := range replicas {

@@ -95,6 +95,11 @@ type Solver struct {
 	progressEvery uint64
 	progressNext  uint64
 
+	// Event hook: fired on rare search transitions (restarts, DB
+	// reductions) for the flight recorder (see SetEventHook). The
+	// disabled cost is one nil-check per restart/reduction.
+	eventHook func(Event)
+
 	rootUnsat bool
 	stats     Stats
 }
@@ -183,6 +188,32 @@ func (s *Solver) SetProgress(every uint64, f func(Progress)) {
 	s.progress = f
 	s.progressEvery = every
 	s.progressNext = s.stats.Conflicts + every
+}
+
+// SetEventHook installs a hook fired on coarse search transitions —
+// each restart and each learned-DB reduction — with the cumulative
+// counters at that point. Events are orders of magnitude rarer than
+// conflicts, so the hook may do slightly more work than a progress
+// probe (e.g. append to a mutex-guarded ring), but it still runs on
+// the solving goroutine and must not call back into the solver. A nil
+// hook disables the seam; the disabled cost is one nil-check per
+// restart and per reduction.
+func (s *Solver) SetEventHook(f func(Event)) { s.eventHook = f }
+
+// fireEvent delivers a solver event to the hook, if armed.
+func (s *Solver) fireEvent(kind EventKind) {
+	if s.eventHook == nil {
+		return
+	}
+	s.eventHook(Event{
+		Kind:         kind,
+		Conflicts:    s.stats.Conflicts,
+		Decisions:    s.stats.Decisions,
+		Propagations: s.stats.Propagations,
+		Restarts:     s.stats.Restarts,
+		Reduces:      s.stats.Reduces,
+		LearntDB:     len(s.learned),
+	})
 }
 
 // progressSnapshot builds the probe's view of the search.
@@ -611,6 +642,7 @@ func (s *Solver) reduceDB() {
 	}
 	s.learned = kept
 	s.cleanWatches()
+	s.fireEvent(EventReduce)
 }
 
 // cleanWatches drops watchers of deleted clauses and shrinks watch lists
@@ -764,6 +796,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			restartLimit = s.nextRestartLimit()
 			conflictsAtRestart = 0
 			s.cancelUntil(0)
+			s.fireEvent(EventRestart)
 			if s.restartHook != nil {
 				// Portfolio import + inprocessing runs at the root. It may
 				// add clauses and root units, or discover root-level unsat.

@@ -200,6 +200,43 @@ type Progress struct {
 	Level        int // current decision level
 }
 
+// EventKind classifies a coarse solver event delivered to the event
+// hook (Solver.SetEventHook).
+type EventKind uint8
+
+// The event kinds: a search restart and a learned-DB reduction sweep.
+const (
+	EventRestart EventKind = iota + 1
+	EventReduce
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventRestart:
+		return "restart"
+	case EventReduce:
+		return "reduce"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a coarse solver event (restart, DB reduction) delivered to
+// the event hook with the cumulative counters at the point it fired.
+// Unlike the per-N-conflicts Progress probe, events are rare and mark
+// qualitative search transitions, which makes them the right grain for
+// a bounded flight recorder.
+type Event struct {
+	Kind         EventKind
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+	Reduces      uint64
+	LearntDB     int // learned-DB size after the event
+}
+
 // Sub returns the counter difference st - prev: the work performed
 // between the two snapshots. The absolute instance-size fields (MaxVars,
 // Clauses) keep their current values rather than being subtracted.

@@ -9,11 +9,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -371,4 +373,174 @@ func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// findStallableQuery probes the test config for a query that needs a
+// few conflicts to decide, so an injected solver stall actually bites.
+func findStallableQuery(t testing.TB, minConflicts uint64) core.Query {
+	t.Helper()
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Property{core.Observability, core.SecuredObservability} {
+		for k := 1; k <= 3; k++ {
+			q := core.Query{Property: p, Combined: true, K: k}
+			res, err := a.Verify(q)
+			if err != nil {
+				continue
+			}
+			if res.Stats.Conflicts >= minConflicts {
+				return q
+			}
+		}
+	}
+	t.Skip("test config has no conflict-requiring query to stall")
+	return core.Query{}
+}
+
+// queriesSnapshot fetches GET /v1/queries.
+func queriesSnapshot(t testing.TB, base string) QueriesResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/queries status = %d", resp.StatusCode)
+	}
+	var qr QueriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr
+}
+
+// TestChaosStalledQueryWatch injects a solver stall plus per-solve
+// delays and drives one verification through the service: while the
+// query is in flight, /v1/queries shows a live row whose conflict count
+// freezes (the stall signature); once the budget is exhausted, the
+// completed row and the client-visible FailureReason both carry the
+// stall diagnosis with the flight-record dump appended.
+func TestChaosStalledQueryWatch(t *testing.T) {
+	q := findStallableQuery(t, 3)
+	faults := faultinject.New(5).StallSolverAfter(2).DelaySolves(400 * time.Millisecond)
+	_, ts := newTestServer(t, func(o *Options) {
+		o.Faults = faults
+		o.DefaultBudget = core.QueryBudget{Deadline: 8 * time.Second, Retries: 1}
+		o.AnalyzerOptions = []core.Option{core.WithProgressEvery(1)}
+	})
+
+	type reply struct {
+		code int
+		body VerifyResponse
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+		var vr VerifyResponse
+		json.NewDecoder(resp.Body).Decode(&vr) //nolint:errcheck // asserted via code below
+		resp.Body.Close()
+		replies <- reply{code: resp.StatusCode, body: vr}
+	}()
+
+	// The live row must appear, then its conflict count must freeze:
+	// two consecutive polls with conflicts > 0 and no movement, which
+	// only happens while the stalled solver sits in an injected delay.
+	var sawLive bool
+	var prev uint64
+	waitFor(t, 10*time.Second, func() bool {
+		qr := queriesSnapshot(t, ts.URL)
+		if len(qr.Active) == 0 {
+			return false
+		}
+		row := qr.Active[0]
+		sawLive = true
+		if row.Phase != "solve" {
+			return false
+		}
+		frozen := row.Conflicts > 0 && row.Conflicts == prev
+		prev = row.Conflicts
+		return frozen
+	})
+	if !sawLive {
+		t.Fatal("stalled query never appeared in /v1/queries")
+	}
+
+	got := <-replies
+	if got.code != http.StatusOK {
+		t.Fatalf("verify status = %d", got.code)
+	}
+	res := got.body.Result
+	if res == nil || res.Status.String() != "unsolved" {
+		t.Fatalf("result = %+v, want unsolved", res)
+	}
+	if !strings.HasPrefix(res.FailureReason, core.ReasonInjectedStall) ||
+		!strings.Contains(res.FailureReason, "[flight:") {
+		t.Fatalf("FailureReason = %q, want stall diagnosis + flight dump", res.FailureReason)
+	}
+
+	qr := queriesSnapshot(t, ts.URL)
+	if len(qr.Completed) != 1 {
+		t.Fatalf("completed = %d rows, want 1", len(qr.Completed))
+	}
+	row := qr.Completed[0]
+	if row.FailureReason != res.FailureReason {
+		t.Fatalf("registry reason %q != result reason %q", row.FailureReason, res.FailureReason)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range row.Events {
+		kinds[ev.Kind] = true
+	}
+	if !kinds["retry"] || !kinds["exhausted"] {
+		t.Fatalf("flight events %v, want retry + exhausted", row.Events)
+	}
+}
+
+// TestChaosOverloadQueryRegistryBounded drives 4x queue-capacity load
+// at a tiny QueryHistory and asserts the introspection plane stays
+// bounded: the completed ring never exceeds the configured history and
+// no query is left dangling as active once the burst drains.
+func TestChaosOverloadQueryRegistryBounded(t *testing.T) {
+	faults := faultinject.New(1).DelaySolves(20 * time.Millisecond)
+	s, ts := newTestServer(t, func(o *Options) {
+		o.QueueDepth = 4
+		o.Workers = 2
+		o.Faults = faults
+		o.QueryHistory = 4
+		o.BreakerThreshold = 1.0
+	})
+
+	const load = 4 * 4
+	q := core.Query{Property: core.Observability, Combined: true, K: 0}
+	var wg sync.WaitGroup
+	var served int64
+	var mu sync.Mutex
+	for i := 0; i < load; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				served++
+				mu.Unlock()
+			}
+			qr := queriesSnapshot(t, ts.URL)
+			if n := len(qr.Completed); n > 4 {
+				t.Errorf("completed ring grew to %d under load, bound is 4", n)
+			}
+		}()
+	}
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("overload burst served nothing")
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(s.Queries().Active()) == 0 })
+	if n := len(s.Queries().Completed()); n == 0 || n > 4 {
+		t.Fatalf("completed ring = %d after burst, want 1..4", n)
+	}
 }

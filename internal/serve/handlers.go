@@ -96,13 +96,27 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(errorBody{Error: msg}) //nolint:errcheck // client gone
 }
 
-// respond writes one JSON response and accounts the request metrics.
-func (s *Server) respond(w http.ResponseWriter, route string, start time.Time, code int, body any) {
+// account records one finished request into the per-route metrics —
+// request count, latency histogram — and the SLO breach counter when a
+// threshold is armed and exceeded. Every handler exit path funnels
+// through it, streaming responses included.
+func (s *Server) account(route string, start time.Time, codeLabel string) {
+	elapsed := time.Since(start)
 	s.reg.Inc("scadaver_http_requests_total", map[string]string{
-		"route": route, "code": strconv.Itoa(code),
+		"route": route, "code": codeLabel,
 	})
 	s.reg.ObserveDuration("scadaver_http_request_seconds",
-		map[string]string{"route": route}, time.Since(start))
+		map[string]string{"route": route}, elapsed)
+	if t := s.opts.SLOThreshold; t > 0 && elapsed > t {
+		s.reg.Inc("scadaver_slo_breach_total", map[string]string{"route": route})
+		s.opts.ErrorLog.Printf("serve: SLO breach route=%s code=%s dur=%s threshold=%s",
+			route, codeLabel, elapsed, t)
+	}
+}
+
+// respond writes one JSON response and accounts the request metrics.
+func (s *Server) respond(w http.ResponseWriter, route string, start time.Time, code int, body any) {
+	s.account(route, start, strconv.Itoa(code))
 	if msg, ok := body.(error); ok {
 		writeJSONError(w, code, msg.Error())
 		return
@@ -431,21 +445,13 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	code, cerr := s.classify(j)
 	if cerr == nil {
 		s.brk.Record(false)
-		s.reg.Inc("scadaver_http_requests_total", map[string]string{
-			"route": route, "code": strconv.Itoa(http.StatusOK),
-		})
-		s.reg.ObserveDuration("scadaver_http_request_seconds",
-			map[string]string{"route": route}, time.Since(start))
+		s.account(route, start, strconv.Itoa(http.StatusOK))
 		return
 	}
 	if streamed {
 		// The status line is out; the truncated stream (no trailer) is
 		// the error signal. Metrics still record the true outcome.
-		s.reg.Inc("scadaver_http_requests_total", map[string]string{
-			"route": route, "code": strconv.Itoa(code) + "-truncated",
-		})
-		s.reg.ObserveDuration("scadaver_http_request_seconds",
-			map[string]string{"route": route}, time.Since(start))
+		s.account(route, start, strconv.Itoa(code)+"-truncated")
 		return
 	}
 	s.respond(w, route, start, code, cerr)

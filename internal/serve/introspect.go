@@ -1,0 +1,129 @@
+package serve
+
+// Live query introspection: GET /v1/queries renders the registry's
+// active and recently-completed queries, and GET /v1/queries/{id}/watch
+// streams JSONL progress snapshots of one query until it completes.
+// Both routes bypass the admission pipeline — they are how an operator
+// looks inside the service exactly when it is shedding load — and both
+// are bounded: the queries table by the registry's rings, a watch by
+// the snapshot cadence and the server's request timeout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"scadaver/internal/obs"
+)
+
+// QueriesResponse is the GET /v1/queries body: in-flight queries in id
+// order and completed ones newest first (bounded by QueryHistory).
+type QueriesResponse struct {
+	Active    []obs.QuerySnapshot `json:"active"`
+	Completed []obs.QuerySnapshot `json:"completed"`
+}
+
+// Watch cadence bounds: the snapshot interval a client may request.
+const (
+	defaultWatchInterval = 200 * time.Millisecond
+	minWatchInterval     = 50 * time.Millisecond
+	maxWatchInterval     = 5 * time.Second
+)
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	s.respond(w, "queries", start, http.StatusOK, QueriesResponse{
+		Active:    s.queries.Active(),
+		Completed: s.queries.Completed(),
+	})
+}
+
+// handleQueryWatch streams JSONL QuerySnapshot lines for one query
+// until it completes, the client disconnects, or the watch outlives the
+// server's request timeout (a hard bound against orphaned streams).
+// The final line has done=true; an id that is neither active nor in the
+// completed ring is a 404.
+func (s *Server) handleQueryWatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const route = "watch"
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.respond(w, route, start, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		return
+	}
+	interval := defaultWatchInterval
+	if v := r.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			s.respond(w, route, start, http.StatusBadRequest, fmt.Errorf("bad interval %q", v))
+			return
+		}
+		interval = min(max(d, minWatchInterval), maxWatchInterval)
+	}
+	snap, ok := s.queries.Get(id)
+	if !ok {
+		s.respond(w, route, start, http.StatusNotFound, fmt.Errorf("unknown query %d", id))
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	giveUp := time.NewTimer(s.opts.RequestTimeout)
+	defer giveUp.Stop()
+	codeLabel := strconv.Itoa(http.StatusOK)
+	for {
+		if err := enc.Encode(snap); err != nil {
+			codeLabel += "-truncated" // client gone mid-stream
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if snap.Done {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			codeLabel += "-truncated"
+			s.account(route, start, codeLabel)
+			return
+		case <-giveUp.C:
+			codeLabel += "-timeout"
+			s.account(route, start, codeLabel)
+			return
+		case <-time.After(interval):
+		}
+		snap, ok = s.queries.Get(id)
+		if !ok {
+			// Evicted from the completed ring between snapshots under
+			// churn; the stream simply ends without a done line.
+			codeLabel += "-evicted"
+			break
+		}
+	}
+	s.account(route, start, codeLabel)
+}
+
+// flightLine renders a flight-event ring as one compact line for the
+// slow-query log.
+func flightLine(events []obs.FlightEvent, dropped uint64) string {
+	var b strings.Builder
+	if dropped > 0 {
+		fmt.Fprintf(&b, "+%d earlier", dropped)
+	}
+	for _, ev := range events {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s@%d", ev.Kind, ev.Conflicts)
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, "(%s)", ev.Detail)
+		}
+	}
+	return b.String()
+}

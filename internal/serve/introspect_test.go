@@ -1,0 +1,215 @@
+package serve
+
+// End-to-end coverage for the query-introspection control plane:
+// /v1/queries, /v1/queries/{id}/watch, the per-route latency histogram,
+// the SLO breach counter, and the build-info gauge.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/faultinject"
+	"scadaver/internal/obs"
+)
+
+func getBody(t testing.TB, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestQueriesEndpoint: a served verification shows up in GET
+// /v1/queries as a completed entry carrying its identity, and the new
+// instrumentation (request histogram, build info) is on /metrics.
+func TestQueriesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	q := core.Query{Property: core.Observability, Combined: true, K: 1}
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status = %d", resp.StatusCode)
+	}
+
+	code, body := getBody(t, ts.URL+"/v1/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/queries status = %d", code)
+	}
+	var qr QueriesResponse
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatalf("bad body %q: %v", body, err)
+	}
+	if len(qr.Active) != 0 {
+		t.Fatalf("active = %+v, want none at rest", qr.Active)
+	}
+	if len(qr.Completed) != 1 {
+		t.Fatalf("completed = %d entries, want 1", len(qr.Completed))
+	}
+	got := qr.Completed[0]
+	if got.Property != "observability" || got.Budget != "k=1" || !got.Done {
+		t.Fatalf("completed entry: %+v", got)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`scadaver_http_request_seconds_bucket{route="verify",le="+Inf"} 1`,
+		`scadaver_http_request_seconds_count{route="verify"} 1`,
+		"scadaver_build_info{",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestQueryWatchStreams: watching a live slow query yields at least one
+// in-flight snapshot and terminates with a done=true line.
+func TestQueryWatchStreams(t *testing.T) {
+	s, ts := newTestServer(t, func(o *Options) {
+		o.Faults = faultinject.New(3).DelaySolves(300 * time.Millisecond)
+		o.AnalyzerOptions = []core.Option{core.WithProgressEvery(1)}
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		q := core.Query{Property: core.Observability, Combined: true, K: 1}
+		resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}()
+
+	var id uint64
+	waitFor(t, 5*time.Second, func() bool {
+		if act := s.Queries().Active(); len(act) > 0 {
+			id = act[0].ID
+			return true
+		}
+		return false
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/queries/" + strconv.FormatUint(id, 10) + "/watch?interval=60ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	var snaps []obs.QuerySnapshot
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var snap obs.QuerySnapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("bad watch line %q: %v", sc.Bytes(), err)
+		}
+		if snap.ID != id {
+			t.Fatalf("watch streamed query %d, want %d", snap.ID, id)
+		}
+		snaps = append(snaps, snap)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("watch streamed no snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done || last.Status == "" {
+		t.Fatalf("final watch line not terminal: %+v", last)
+	}
+	for _, snap := range snaps[:len(snaps)-1] {
+		if snap.Done {
+			t.Fatal("done line was not the final line")
+		}
+	}
+	<-done
+}
+
+// TestQueryWatchErrors pins the watch input contract: non-numeric id →
+// 400, bad interval → 400, unknown id → 404.
+func TestQueryWatchErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/queries/bogus/watch", http.StatusBadRequest},
+		{"/v1/queries/1/watch?interval=fast", http.StatusBadRequest},
+		{"/v1/queries/999/watch", http.StatusNotFound},
+	} {
+		code, body := getBody(t, ts.URL+tc.path)
+		if code != tc.want {
+			t.Fatalf("%s = %d (%s), want %d", tc.path, code, body, tc.want)
+		}
+	}
+}
+
+// TestSLOBreachCounter: with an unmeetable threshold every request
+// breaches, the counter and threshold gauge export, and the slow-query
+// log threshold reaches the registry.
+func TestSLOBreachCounter(t *testing.T) {
+	s, ts := newTestServer(t, func(o *Options) {
+		o.SLOThreshold = time.Nanosecond
+	})
+	if got := s.Queries().SlowThreshold(); got != time.Nanosecond {
+		t.Fatalf("slow-query threshold = %v", got)
+	}
+	q := core.Query{Property: core.Observability, Combined: true, K: 0}
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`scadaver_slo_breach_total{route="verify"} 1`,
+		"scadaver_slo_threshold_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestQueryHistoryBounded: the completed ring honors QueryHistory even
+// when many more queries than the bound are served.
+func TestQueryHistoryBounded(t *testing.T) {
+	_, ts := newTestServer(t, func(o *Options) {
+		o.QueryHistory = 3
+	})
+	q := core.Query{Property: core.Observability, Combined: true, K: 0}
+	for i := 0; i < 8; i++ {
+		resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	code, body := getBody(t, ts.URL+"/v1/queries")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/queries status = %d", code)
+	}
+	var qr QueriesResponse
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Completed) != 3 {
+		t.Fatalf("completed = %d entries, want history bound 3", len(qr.Completed))
+	}
+}

@@ -76,6 +76,17 @@ type Options struct {
 	// (default 1s).
 	RetryAfter time.Duration
 
+	// QueryHistory bounds how many completed queries GET /v1/queries
+	// retains (default obs.DefaultQueryHistory). Active queries are
+	// bounded by the worker pool, so the introspection plane's memory
+	// is fixed regardless of load.
+	QueryHistory int
+	// SLOThreshold arms latency SLO accounting: requests slower than
+	// this increment scadaver_slo_breach_total{route}, and queries over
+	// it are written to the slow-query log with their flight record
+	// (and traced, when tracing is on). 0 disables both.
+	SLOThreshold time.Duration
+
 	// Breaker tuning; zero values select the defaults documented on
 	// breakerOptions.
 	BreakerWindow     int
@@ -172,6 +183,10 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *core.EncodingCache // nil when NoEncodingCache
 
+	// queries is the live query registry behind GET /v1/queries and the
+	// per-query flight recorders; every worker analyzer reports into it.
+	queries *obs.QueryRegistry
+
 	// baseCtx is the service lifetime; cancelBase deadline-cancels every
 	// in-flight solve through the solver interrupt hook (forced drain).
 	baseCtx    context.Context
@@ -239,6 +254,19 @@ func New(opts Options) (*Server, error) {
 	s.reg.SetGauge("scadaver_breaker_open", nil, 0)
 	s.reg.SetGauge("scadaver_queue_depth", nil, 0)
 	s.reg.SetGauge("scadaver_inflight", nil, 0)
+	obs.RecordBuildInfo(s.reg)
+
+	s.queries = obs.NewQueryRegistry(opts.QueryHistory, 0)
+	if t := opts.SLOThreshold; t > 0 {
+		s.reg.SetGauge("scadaver_slo_threshold_seconds", nil, t.Seconds())
+		s.queries.SetSlowQueryLog(t, func(snap obs.QuerySnapshot) {
+			s.opts.ErrorLog.Printf(
+				"serve: slow query id=%d property=%s budget=%s status=%s dur=%s attempts=%d conflicts=%d flight=[%s]",
+				snap.ID, snap.Property, snap.Budget, snap.Status,
+				time.Duration(snap.ElapsedNanos), snap.Attempt, snap.Conflicts,
+				flightLine(snap.Events, snap.EventsDropped))
+		})
+	}
 
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -258,6 +286,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	// Introspection routes bypass admission: an operator must be able
+	// to see what the service is doing precisely when it is overloaded.
+	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
+	s.mux.HandleFunc("GET /v1/queries/{id}/watch", s.handleQueryWatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -281,11 +313,15 @@ func (s *Server) Inflight() int64 { return s.inflight.Load() }
 // QueueDepth reports the current admission-queue occupancy.
 func (s *Server) QueueDepth() int { return s.q.depth() }
 
+// Queries exposes the live query registry (never nil after New).
+func (s *Server) Queries() *obs.QueryRegistry { return s.queries }
+
 // analyzerOptions assembles the per-request analyzer options: the
 // service-wide extras, metrics, the fault plan, and the derived budget.
 func (s *Server) analyzerOptions(b core.QueryBudget) []core.Option {
 	opts := append([]core.Option(nil), s.opts.AnalyzerOptions...)
-	opts = append(opts, core.WithMetrics(s.reg), core.WithBudget(b))
+	opts = append(opts, core.WithMetrics(s.reg), core.WithBudget(b),
+		core.WithQueryRegistry(s.queries))
 	if s.cache != nil {
 		opts = append(opts, core.WithEncodingCache(s.cache))
 	}

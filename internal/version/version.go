@@ -10,6 +10,25 @@ import (
 	"strings"
 )
 
+// Fields returns the module version and Go toolchain version as
+// separate values, for the scadaver_build_info metric labels. Missing
+// build information degrades to "unknown" rather than empty labels.
+func Fields() (version, goVersion string) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", "unknown"
+	}
+	version = info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	goVersion = info.GoVersion
+	if goVersion == "" {
+		goVersion = "unknown"
+	}
+	return version, goVersion
+}
+
 // String renders the binary's version as a single line, e.g.
 //
 //	scadaver (devel) rev 1a2b3c4d5e6f (2026-08-06T10:00:00Z, dirty) go1.22.1
