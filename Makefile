@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-record chaos verify
+.PHONY: all build vet test race lint bench bench-record chaos chaos-cluster verify
 
 all: build
 
@@ -46,13 +46,20 @@ bench-record:
 # clause-exchange soundness, interrupt-safe cancellation; DESIGN.md
 # §12), plus the verification-service chaos smoke (overload shedding,
 # breaker, drain-resume; see DESIGN.md §10).
-chaos:
+chaos: chaos-cluster
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
 	$(GO) test -race -count=1 -run 'TestPortfolio|TestVivify|TestExchange' ./internal/sat
 	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio|TestFlight' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSetup|TestTracer|TestFlight' ./internal/obs
-	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker|TestHandoff|TestRetryAfter' ./internal/serve
 	$(GO) test -race -count=1 ./cmd/scada-served
+
+# The multi-node chaos suite (DESIGN.md §14): a coordinator over real
+# member nodes, race-enabled — a member killed mid-enumeration must
+# yield the identical vector set via checkpoint-carrying handoff, and a
+# partitioned member must not stop /v1/verify or breach queue bounds.
+chaos-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
 
 # The pre-merge gate: static checks, full build, race-enabled tests,
 # the config lint, and the chaos pass. The observability layer and the

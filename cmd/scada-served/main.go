@@ -27,10 +27,21 @@
 // a sustained unsolved/panic rate opens a breaker that turns /readyz
 // unready; SIGTERM drains gracefully — stop accepting, finish or
 // deadline-cancel in-flight solves, then exit.
+//
+// Clustering (see internal/cluster and DESIGN.md §14): with
+// -coordinator the process fronts a fleet of member nodes instead of
+// solving itself — it consistent-hashes campaigns across the members
+// named by -member NAME=URL (or joining at runtime via
+// POST /v1/cluster/join), fails requests over when a member dies, and
+// carries in-flight enumeration checkpoints to the new owner. A member
+// started with -join URL announces itself to that coordinator once it
+// is listening, advertising -advertise (default: its bound address).
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"scadaver/internal/cluster"
 	"scadaver/internal/core"
 	"scadaver/internal/scadanet"
 	"scadaver/internal/serve"
@@ -127,6 +139,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
+	var members memberFlags
+	fs.Var(&members, "member", "NAME=URL of a cluster member (repeatable; coordinator mode)")
+	var (
+		coordMode = fs.Bool("coordinator", false, "run as a cluster coordinator fronting -member nodes instead of solving locally")
+		replicas  = fs.Int("replicas", 2, "coordinator replica-walk depth for failover ordering")
+		attempts  = fs.Int("attempts", 3, "coordinator forward attempts per request before giving up")
+		heartbeat = fs.Duration("heartbeat", time.Second, "coordinator member health-probe cadence")
+		joinURL   = fs.String("join", "", "coordinator URL to announce this member to once listening")
+		advertise = fs.String("advertise", "", "URL this member advertises when joining (default: its bound address)")
+		nodeName  = fs.String("node-name", "", "member name used when joining (default: derived from the bound address)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,13 +157,19 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		fmt.Fprintln(out, version.String())
 		return nil
 	}
-	if len(configs) == 0 {
+	if len(configs) == 0 && !*coordMode {
 		fs.Usage()
 		return fmt.Errorf("at least one -config is required")
 	}
 	named, err := loadConfigs(configs)
 	if err != nil {
 		return err
+	}
+	if *coordMode {
+		return runCoordinator(coordinatorParams{
+			addr: *addr, members: members, configs: named,
+			replicas: *replicas, attempts: *attempts, heartbeat: *heartbeat,
+		}, out, ready)
 	}
 
 	srv, err := serve.New(serve.Options{
@@ -179,6 +208,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	if *joinURL != "" {
+		name, adv := *nodeName, *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		if name == "" {
+			name = "node-" + strings.NewReplacer(":", "-", ".", "-").Replace(ln.Addr().String())
+		}
+		go announceJoin(ctx, *joinURL, cluster.Member{Name: name, URL: adv}, out)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
@@ -210,4 +250,116 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintln(out, "scada-served: drained, exiting")
 	return nil
+}
+
+// memberFlags collects repeated -member NAME=URL values.
+type memberFlags []cluster.Member
+
+func (m *memberFlags) String() string {
+	names := make([]string, len(*m))
+	for i, mem := range *m {
+		names[i] = mem.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func (m *memberFlags) Set(v string) error {
+	name, memberURL, ok := strings.Cut(v, "=")
+	if !ok || name == "" || memberURL == "" {
+		return fmt.Errorf("bad -member %q: want NAME=URL", v)
+	}
+	*m = append(*m, cluster.Member{Name: name, URL: memberURL})
+	return nil
+}
+
+type coordinatorParams struct {
+	addr      string
+	members   []cluster.Member
+	configs   map[string]*scadanet.Config
+	replicas  int
+	attempts  int
+	heartbeat time.Duration
+}
+
+// runCoordinator serves the cluster coordinator until SIGTERM/SIGINT.
+// Configs are optional here: they only enable checkpoint-carrying
+// handoff fingerprints — without them a failover restarts the campaign
+// on the new owner.
+func runCoordinator(p coordinatorParams, out io.Writer, ready chan<- string) error {
+	coord, err := cluster.New(cluster.Options{
+		Members:           p.members,
+		Configs:           p.configs,
+		Replicas:          p.replicas,
+		Attempts:          p.attempts,
+		HeartbeatInterval: p.heartbeat,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	fmt.Fprintf(out, "scada-served: coordinating %d member(s) on %s\n", len(p.members), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "scada-served: coordinator shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-errCh
+	fmt.Fprintln(out, "scada-served: coordinator exited")
+	return nil
+}
+
+// announceJoin registers this member with the coordinator, retrying
+// until it succeeds or the process is shutting down — the coordinator
+// may well start after its members.
+func announceJoin(ctx context.Context, coordURL string, m cluster.Member, out io.Writer) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		fmt.Fprintf(out, "scada-served: join announce: %v\n", err)
+		return
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimSuffix(coordURL, "/")+"/v1/cluster/join", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(out, "scada-served: join announce: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Fprintf(out, "scada-served: joined cluster at %s as %s\n", coordURL, m.Name)
+				return
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		fmt.Fprintf(out, "scada-served: join announce failed (%v), retrying\n", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
 }

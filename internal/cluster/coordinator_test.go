@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/obs"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/serve"
+	"scadaver/internal/synth"
+)
+
+func testConfig(t testing.TB) *scadanet.Config {
+	t.Helper()
+	cfg, err := synth.Generate(synth.Params{Bus: powergrid.Case5(), Seed: 7, Hierarchy: 2, SecureFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// newMember starts one real verification-service node and returns its
+// handle, URL and metrics registry.
+func newMember(t testing.TB, cfg *scadanet.Config, mutate func(*serve.Options)) (*serve.Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts := serve.Options{
+		Configs:       map[string]*scadanet.Config{"grid": cfg},
+		QueueDepth:    8,
+		Workers:       2,
+		DefaultBudget: core.QueryBudget{Deadline: 5 * time.Second},
+		Metrics:       reg,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck
+	})
+	return srv, ts, reg
+}
+
+func postJSON(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t testing.TB, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// newTestCoordinator wires a coordinator over the given member URLs.
+func newTestCoordinator(t testing.TB, members []Member, mutate func(*Options)) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	opts := Options{
+		Members:           members,
+		HeartbeatInterval: time.Hour, // tests that need probing set their own cadence
+		RetryBackoff:      time.Millisecond,
+		MaxRetryBackoff:   5 * time.Millisecond,
+		Configs:           map[string]*scadanet.Config{"grid": testConfig(t)},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+func TestCoordinatorForwardsVerify(t *testing.T) {
+	cfg := testConfig(t)
+	_, m1, _ := newMember(t, cfg, nil)
+	_, m2, _ := newMember(t, cfg, nil)
+	_, coord := newTestCoordinator(t, []Member{
+		{Name: "m1", URL: m1.URL}, {Name: "m2", URL: m2.URL}}, nil)
+
+	req := serve.VerifyRequest{Config: "grid",
+		Query: core.Query{Property: core.Observability, Combined: true, K: 0}}
+	direct := decodeBody[serve.VerifyResponse](t, postJSON(t, m1.URL+"/v1/verify", req))
+	via := postJSON(t, coord.URL+"/v1/verify", req)
+	if via.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(via.Body)
+		t.Fatalf("coordinator verify = %d, body %s", via.StatusCode, raw)
+	}
+	got := decodeBody[serve.VerifyResponse](t, via)
+	if got.Resilient != direct.Resilient {
+		t.Fatalf("coordinator verdict %v != direct member verdict %v", got.Resilient, direct.Resilient)
+	}
+}
+
+// TestCoordinatorFailoverKeepsServing kills one member outright and
+// asserts every verify still succeeds: keys owned by the dead member
+// fail over to the survivor within the attempt budget.
+func TestCoordinatorFailoverKeepsServing(t *testing.T) {
+	cfg := testConfig(t)
+	_, m1, _ := newMember(t, cfg, nil)
+	_, m2, _ := newMember(t, cfg, nil)
+	reg := obs.NewRegistry()
+	c, coord := newTestCoordinator(t, []Member{
+		{Name: "m1", URL: m1.URL}, {Name: "m2", URL: m2.URL}},
+		func(o *Options) { o.Metrics = reg })
+	m2.Close() // node killed; the coordinator has not probed it yet
+
+	// Pick a query whose key routes to the dead member first, so the
+	// request must fail over to survive.
+	query := core.Query{Property: core.Observability, Combined: true, K: 0}
+	routed := false
+	for k := 0; k <= 2 && !routed; k++ {
+		query.K = k
+		key := routingKey("verify", "grid", query)
+		routed = c.candidates(key)[0].Name == "m2"
+	}
+	if !routed {
+		t.Fatal("no k in 0..2 routes to m2 first; the ring test fixture needs a new key")
+	}
+	resp := postJSON(t, coord.URL+"/v1/verify", serve.VerifyRequest{Config: "grid", Query: query})
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("verify routed to a dead member = %d, body %s", resp.StatusCode, raw)
+	}
+	resp.Body.Close()
+	if reg.Counter("scadaver_cluster_failovers_total", nil) == 0 {
+		t.Fatal("request succeeded without counting a failover")
+	}
+}
+
+func TestCoordinatorJoinLeaveMembers(t *testing.T) {
+	cfg := testConfig(t)
+	_, m1, _ := newMember(t, cfg, nil)
+	_, m2, _ := newMember(t, cfg, nil)
+	_, coord := newTestCoordinator(t, []Member{{Name: "m1", URL: m1.URL}}, nil)
+
+	type membersBody struct {
+		Members []memberInfo `json:"members"`
+	}
+	got := decodeBody[membersBody](t, mustGet(t, coord.URL+"/v1/cluster/members"))
+	if len(got.Members) != 1 || got.Members[0].Name != "m1" {
+		t.Fatalf("seed membership = %+v, want [m1]", got.Members)
+	}
+
+	resp := postJSON(t, coord.URL+"/v1/cluster/join", Member{Name: "m2", URL: m2.URL})
+	joined := decodeBody[membersBody](t, resp)
+	if resp.StatusCode != http.StatusOK || len(joined.Members) != 2 {
+		t.Fatalf("join = %d with %d members, want 200 with 2", resp.StatusCode, len(joined.Members))
+	}
+
+	// A bad join is rejected.
+	bad := postJSON(t, coord.URL+"/v1/cluster/join", Member{Name: "", URL: "not a url"})
+	io.Copy(io.Discard, bad.Body) //nolint:errcheck
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty-name join = %d, want 400", bad.StatusCode)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, coord.URL+"/v1/cluster/members/m2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := decodeBody[membersBody](t, delResp)
+	if delResp.StatusCode != http.StatusOK || len(left.Members) != 1 {
+		t.Fatalf("leave = %d with %d members, want 200 with 1", delResp.StatusCode, len(left.Members))
+	}
+}
+
+// TestCoordinatorReadyzNamesDownMember runs real probing: with one
+// member killed, /readyz stays ready (a live member remains) and the
+// Reasons name exactly which member is down.
+func TestCoordinatorReadyzNamesDownMember(t *testing.T) {
+	cfg := testConfig(t)
+	_, m1, _ := newMember(t, cfg, nil)
+	_, m2, _ := newMember(t, cfg, nil)
+	_, coord := newTestCoordinator(t, []Member{
+		{Name: "m1", URL: m1.URL}, {Name: "m2", URL: m2.URL}},
+		func(o *Options) {
+			o.HeartbeatInterval = 10 * time.Millisecond
+			o.Detector = DetectorOptions{Window: 8, Expected: 10 * time.Millisecond}
+		})
+	m2.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		body := decodeBody[clusterReadyz](t, mustGet(t, coord.URL+"/readyz"))
+		if !body.Ready {
+			return false
+		}
+		for _, reason := range body.Reasons {
+			if strings.Contains(reason, "m2") {
+				return true
+			}
+		}
+		return false
+	})
+	body := decodeBody[clusterReadyz](t, mustGet(t, coord.URL+"/readyz"))
+	for _, reason := range body.Reasons {
+		if strings.Contains(reason, "m1") {
+			t.Fatalf("readyz blames the healthy member: %v", body.Reasons)
+		}
+	}
+
+	m1.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		resp, err := http.Get(coord.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+}
+
+func mustGet(t testing.TB, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// State is a failure detector's verdict on one member.
+type State int
+
+const (
+	// StateAlive: heartbeats are arriving on cadence.
+	StateAlive State = iota
+	// StateSuspect: the current silence is unlikely under the observed
+	// heartbeat distribution (phi past the suspect threshold). A suspect
+	// member is deprioritized for routing but not abandoned.
+	StateSuspect
+	// StateDead: the silence is overwhelming evidence of failure (phi
+	// past the dead threshold). A dead member is routed to only as a
+	// last resort.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// DetectorOptions tunes a Detector; zero values select the defaults
+// noted per field.
+type DetectorOptions struct {
+	// Window bounds how many heartbeat inter-arrival intervals inform
+	// the distribution (default 32).
+	Window int
+	// Expected is the prior inter-arrival interval assumed until the
+	// window holds real samples — normally the probe cadence
+	// (default 1s).
+	Expected time.Duration
+	// SuspectPhi and DeadPhi are the suspicion thresholds (defaults 1
+	// and 8): phi = 1 means the silence had probability 10^-1 under the
+	// observed distribution, phi = 8 means 10^-8.
+	SuspectPhi float64
+	DeadPhi    float64
+	// Now overrides the clock in tests.
+	Now func() time.Time
+}
+
+// Detector is a phi-accrual-style failure detector for one member.
+// Each successful health probe is a heartbeat; Phi reports how
+// surprising the current silence is — -log10 of the probability that a
+// healthy member would stay silent this long, under a normal model of
+// its observed inter-arrival intervals. Unlike a fixed timeout, the
+// verdict adapts: a member probed every 100ms is suspected after a few
+// hundred milliseconds of silence, one probed every 10s is given the
+// slack its cadence has earned.
+type Detector struct {
+	opts DetectorOptions
+
+	mu        sync.Mutex
+	intervals []float64 // seconds, ring buffer
+	next      int
+	n         int
+	last      time.Time
+}
+
+// NewDetector returns a detector primed with a heartbeat at "now": a
+// brand-new member starts alive and earns suspicion only by silence.
+func NewDetector(opts DetectorOptions) *Detector {
+	if opts.Window <= 0 {
+		opts.Window = 32
+	}
+	if opts.Expected <= 0 {
+		opts.Expected = time.Second
+	}
+	if opts.SuspectPhi <= 0 {
+		opts.SuspectPhi = 1
+	}
+	if opts.DeadPhi <= 0 {
+		opts.DeadPhi = 8
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Detector{
+		opts:      opts,
+		intervals: make([]float64, opts.Window),
+		last:      opts.Now(),
+	}
+}
+
+// Heartbeat records one arrival (a successful probe).
+func (d *Detector) Heartbeat() {
+	now := d.opts.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.intervals[d.next] = now.Sub(d.last).Seconds()
+	d.next = (d.next + 1) % len(d.intervals)
+	if d.n < len(d.intervals) {
+		d.n++
+	}
+	d.last = now
+}
+
+// Phi returns the current suspicion level: -log10 P(silence >= observed
+// silence) under a normal fit of the recorded inter-arrival intervals.
+// 0 means the member just heartbeat; each unit is another factor of 10
+// of improbability.
+func (d *Detector) Phi() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	silence := d.opts.Now().Sub(d.last).Seconds()
+	if silence <= 0 {
+		return 0
+	}
+	mean, std := d.fit()
+	// P(X >= t) for X ~ N(mean, std), via the complementary error
+	// function. Guard the underflow: erfc saturates at 0 well before
+	// float64 runs out, and -log10(0) would be +Inf.
+	p := 0.5 * math.Erfc((silence-mean)/(std*math.Sqrt2))
+	if p < 1e-30 {
+		return 30
+	}
+	return -math.Log10(p)
+}
+
+// fit returns the mean and (floored) standard deviation of the
+// recorded intervals, falling back to the Expected prior while the
+// window is still sparse. Callers hold d.mu.
+func (d *Detector) fit() (mean, std float64) {
+	prior := d.opts.Expected.Seconds()
+	if d.n < 3 {
+		return prior, prior / 4
+	}
+	var sum float64
+	for i := 0; i < d.n; i++ {
+		sum += d.intervals[i]
+	}
+	mean = sum / float64(d.n)
+	var sq float64
+	for i := 0; i < d.n; i++ {
+		delta := d.intervals[i] - mean
+		sq += delta * delta
+	}
+	std = math.Sqrt(sq / float64(d.n))
+	// A floor on the deviation keeps a metronomic prober from declaring
+	// death over one lost tick: with a tiny observed std the normal
+	// model would put phi through the roof a few milliseconds past the
+	// mean.
+	if floor := mean / 4; std < floor {
+		std = floor
+	}
+	if std < 1e-3 {
+		std = 1e-3
+	}
+	return mean, std
+}
+
+// State maps Phi onto the three routing states.
+func (d *Detector) State() State {
+	phi := d.Phi()
+	switch {
+	case phi >= d.opts.DeadPhi:
+		return StateDead
+	case phi >= d.opts.SuspectPhi:
+		return StateSuspect
+	default:
+		return StateAlive
+	}
+}
+
+// LastHeartbeat returns the arrival time of the most recent heartbeat.
+func (d *Detector) LastHeartbeat() time.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the detector deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestDetector(clk *fakeClock) *Detector {
+	return NewDetector(DetectorOptions{
+		Window:   16,
+		Expected: time.Second,
+		Now:      clk.now,
+	})
+}
+
+func TestDetectorStaysAliveOnCadence(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	d := newTestDetector(clk)
+	for i := 0; i < 20; i++ {
+		clk.advance(time.Second)
+		d.Heartbeat()
+		if s := d.State(); s != StateAlive {
+			t.Fatalf("beat %d: state = %s, want alive (phi %.2f)", i, s, d.Phi())
+		}
+	}
+	// Right after a heartbeat, suspicion is zero.
+	if phi := d.Phi(); phi != 0 {
+		t.Fatalf("phi immediately after a heartbeat = %.3f, want 0", phi)
+	}
+}
+
+func TestDetectorAccruesSuspicionThroughStates(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	d := newTestDetector(clk)
+	for i := 0; i < 20; i++ {
+		clk.advance(time.Second)
+		d.Heartbeat()
+	}
+	// Silence begins. Phi must be monotone in the silence and cross
+	// alive → suspect → dead.
+	var prev float64
+	sawSuspect := false
+	for i := 0; i < 200; i++ {
+		clk.advance(100 * time.Millisecond)
+		phi := d.Phi()
+		if phi < prev {
+			t.Fatalf("phi decreased during silence: %.3f after %.3f", phi, prev)
+		}
+		prev = phi
+		if d.State() == StateSuspect {
+			sawSuspect = true
+		}
+		if d.State() == StateDead {
+			if !sawSuspect {
+				t.Fatal("detector jumped alive → dead without passing suspect")
+			}
+			// Recovery: a heartbeat resets suspicion immediately.
+			d.Heartbeat()
+			if s := d.State(); s != StateAlive {
+				t.Fatalf("state after recovery heartbeat = %s, want alive", s)
+			}
+			return
+		}
+	}
+	t.Fatalf("detector never declared death after 20s of silence (phi %.2f)", prev)
+}
+
+// TestDetectorAdaptsToCadence is the phi-accrual property a fixed
+// timeout lacks: the same absolute silence is damning for a fast
+// prober and unremarkable for a slow one.
+func TestDetectorAdaptsToCadence(t *testing.T) {
+	clkFast := &fakeClock{t: time.Unix(1000, 0)}
+	fast := NewDetector(DetectorOptions{Window: 16, Expected: 100 * time.Millisecond, Now: clkFast.now})
+	for i := 0; i < 20; i++ {
+		clkFast.advance(100 * time.Millisecond)
+		fast.Heartbeat()
+	}
+	clkSlow := &fakeClock{t: time.Unix(1000, 0)}
+	slow := NewDetector(DetectorOptions{Window: 16, Expected: 10 * time.Second, Now: clkSlow.now})
+	for i := 0; i < 20; i++ {
+		clkSlow.advance(10 * time.Second)
+		slow.Heartbeat()
+	}
+	clkFast.advance(2 * time.Second)
+	clkSlow.advance(2 * time.Second)
+	if s := fast.State(); s != StateDead {
+		t.Fatalf("100ms-cadence member 2s silent = %s, want dead (phi %.2f)", s, fast.Phi())
+	}
+	if s := slow.State(); s != StateAlive {
+		t.Fatalf("10s-cadence member 2s silent = %s, want alive (phi %.2f)", s, slow.Phi())
+	}
+}
+
+func TestDetectorFreshStartsAlive(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	d := newTestDetector(clk)
+	if s := d.State(); s != StateAlive {
+		t.Fatalf("fresh detector = %s, want alive", s)
+	}
+	// With no heartbeats at all, the prior still accrues to death.
+	clk.advance(time.Minute)
+	if s := d.State(); s != StateDead {
+		t.Fatalf("never-heartbeating member after 1m = %s, want dead (phi %.2f)", s, d.Phi())
+	}
+}

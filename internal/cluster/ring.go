@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is
+// hashed onto the ring at vnodes points; a key is owned by the first
+// member point at or after the key's hash. Membership changes move only
+// the keys adjacent to the changed member's points — on average 1/n of
+// the keyspace — which is what makes failover cheap: a dying member's
+// campaigns land on its ring successors and everyone else's routing is
+// untouched.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing returns an empty ring placing each member at vnodes points
+// (default 64; higher smooths the load split at the cost of a larger
+// sorted index).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, members: map[string]bool{}}
+}
+
+// ringHash is the ring's point function. sha256 rather than a cheap
+// mixer: placement happens once per membership change, and an even
+// split matters more than hashing speed.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add places a member on the ring; it reports false if the member was
+// already present.
+func (r *Ring) Add(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		r.points = append(r.points, ringPoint{
+			hash:   ringHash(member + "#" + string(buf[:])),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return true
+}
+
+// Remove takes a member off the ring; it reports false if the member
+// was not present.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the membership in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners walks the ring clockwise from the key's hash and returns up to
+// n distinct members in replica order: the first is the key's owner,
+// the rest are its failover successors. The order is deterministic for
+// a given membership, so every coordinator decision — and every retry —
+// agrees on where a campaign lives and where it fails over to.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}

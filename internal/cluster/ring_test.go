@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnersReplicaWalk(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	owners := r.Owners("campaign-1", 3)
+	if len(owners) != 3 {
+		t.Fatalf("Owners walk returned %d members, want 3", len(owners))
+	}
+	distinct := map[string]bool{}
+	for _, o := range owners {
+		distinct[o] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("replica walk repeated a member: %v", owners)
+	}
+	// Deterministic: the same key always walks the same order.
+	for i := 0; i < 10; i++ {
+		again := r.Owners("campaign-1", 3)
+		for j := range owners {
+			if again[j] != owners[j] {
+				t.Fatalf("walk %d differs: %v vs %v", i, again, owners)
+			}
+		}
+	}
+	// Asking past the membership clamps.
+	if got := r.Owners("campaign-1", 99); len(got) != 3 {
+		t.Fatalf("Owners(99) = %d members, want 3", len(got))
+	}
+}
+
+func TestRingBalancesKeys(t *testing.T) {
+	r := NewRing(128)
+	members := []string{"m1", "m2", "m3", "m4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; the ring is badly unbalanced (%v)",
+				m, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing property: removing
+// one of n members reassigns only the keys it owned, never reshuffles
+// survivors' keys among themselves.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"a", "b", "c", "d"} {
+		r.Add(m)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	if !r.Remove("c") {
+		t.Fatal("Remove(c) reported not present")
+	}
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if before[i] == "c" {
+			if after == "c" {
+				t.Fatalf("key-%d still owned by the removed member", i)
+			}
+			continue
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member changed owner", moved)
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	r := NewRing(0) // default vnodes
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if !r.Add("a") || r.Add("a") {
+		t.Fatal("Add should report true once, false on duplicate")
+	}
+	if r.Remove("missing") {
+		t.Fatal("Remove of an absent member reported true")
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Fatalf("single-member ring owner = %q, want a", got)
+	}
+	if got := len(r.Members()); got != 1 || r.Size() != 1 {
+		t.Fatalf("membership = %d members, size %d; want 1, 1", got, r.Size())
+	}
+}

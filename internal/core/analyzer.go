@@ -137,8 +137,15 @@ func (v ThreatVector) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
+// Key returns a canonical identity for the vector, for deduplication
+// across streams: a resumed enumeration replays its checkpointed
+// vectors, so a relay that stitches two streams (the cluster
+// coordinator failing an enumeration over to a new owner) drops lines
+// whose Key it has already forwarded.
+func (v ThreatVector) Key() string { return v.String() }
+
 // key returns a canonical identity for deduplication.
-func (v ThreatVector) key() string { return v.String() }
+func (v ThreatVector) key() string { return v.Key() }
 
 // PhaseTimes splits one verification into its pipeline phases: building
 // the logical model (structure formulas), encoding the query-specific

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -119,32 +120,57 @@ func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
 	}
 	defer f.Close()
 
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("read checkpoint %s: %w", path, err)
-		}
+	hdr, loaded, err := scanCheckpoint(f, path)
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
 		return c, nil // empty file: treat as a fresh checkpoint
 	}
-	var hdr checkpointHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: malformed header: %w", path, err)
-	}
-	if hdr.Schema != CheckpointSchema || hdr.Kind != kind || hdr.Fingerprint != fingerprint {
+	if hdr.Kind != kind || hdr.Fingerprint != fingerprint {
 		return nil, fmt.Errorf(
 			"%w: %s has schema=%q kind=%q fingerprint=%.12s…, campaign wants schema=%q kind=%q fingerprint=%.12s…",
 			ErrCheckpointMismatch, path,
 			hdr.Schema, hdr.Kind, hdr.Fingerprint,
 			CheckpointSchema, kind, fingerprint)
 	}
-	// A malformed FINAL line is a torn write: the writer (or the whole
-	// machine) died mid-line. Every complete entry before it is still
-	// good, so the torn tail is dropped and the campaign resumes from
-	// the last complete entry — the next flush rewrites the file whole.
-	// A malformed entry in the MIDDLE is a different animal: later
-	// entries prove the writer kept going, so the file is corrupt, and
-	// resuming would silently skip work; refuse to guess.
+	c.loaded = loaded
+	c.entries = append(c.entries, c.loaded...)
+	return c, nil
+}
+
+// scanCheckpoint reads one checkpoint stream: the header line, then
+// every complete entry. A nil header (with nil error) means the stream
+// was empty. The schema is validated here; kind and fingerprint are the
+// caller's to check, because importers learn them FROM the header while
+// campaigns enforce them AGAINST it.
+//
+// A malformed FINAL line is a torn write: the writer (or the whole
+// machine, or a mid-transfer network connection) died mid-line. Every
+// complete entry before it is still good, so the torn tail is dropped
+// and the campaign resumes from the last complete entry — the next
+// flush rewrites the file whole. A malformed entry in the MIDDLE is a
+// different animal: later entries prove the writer kept going, so the
+// stream is corrupt, and resuming would silently skip work; refuse to
+// guess.
+func scanCheckpoint(r io.Reader, name string) (*checkpointHeader, []json.RawMessage, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("read checkpoint %s: %w", name, err)
+		}
+		return nil, nil, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint %s: malformed header: %w", name, err)
+	}
+	if hdr.Schema != CheckpointSchema {
+		return nil, nil, fmt.Errorf("%w: %s has schema %q, want %q",
+			ErrCheckpointMismatch, name, hdr.Schema, CheckpointSchema)
+	}
+	var loaded []json.RawMessage
 	var torn bool
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -152,7 +178,7 @@ func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
 			continue
 		}
 		if torn {
-			return nil, fmt.Errorf("checkpoint %s: malformed entry %d", path, len(c.loaded)+1)
+			return nil, nil, fmt.Errorf("checkpoint %s: malformed entry %d", name, len(loaded)+1)
 		}
 		entry := make(json.RawMessage, len(line))
 		copy(entry, line)
@@ -160,12 +186,101 @@ func OpenCheckpoint(path, kind, fingerprint string) (*Checkpoint, error) {
 			torn = true
 			continue
 		}
-		c.loaded = append(c.loaded, entry)
+		loaded = append(loaded, entry)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("read checkpoint %s: %w", path, err)
+		return nil, nil, fmt.Errorf("read checkpoint %s: %w", name, err)
 	}
-	c.entries = append(c.entries, c.loaded...)
+	return &hdr, loaded, nil
+}
+
+// WriteTo serializes the checkpoint in its on-disk JSONL form — the
+// fingerprint-bound header line, then one line per entry — so a
+// checkpoint can travel over a network connection exactly as it sits on
+// disk. This is the export half of cross-node checkpoint handoff; the
+// import half is ImportCheckpoint. A nil checkpoint writes nothing.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	if c == nil {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hdr, err := json.Marshal(checkpointHeader{
+		Schema: CheckpointSchema, Kind: c.kind, Fingerprint: c.fingerprint,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	m, err := w.Write(append(hdr, '\n'))
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range c.entries {
+		m, err := w.Write(append([]byte(e), '\n'))
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Fingerprint returns the campaign fingerprint the checkpoint is bound
+// to (empty for a nil checkpoint).
+func (c *Checkpoint) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	return c.fingerprint
+}
+
+// NewTransferCheckpoint builds an in-memory, path-less checkpoint from
+// entries already serialized in checkpoint form. It never touches disk
+// (Add and Flush fail on the empty path), existing purely to be
+// WriteTo-serialized: a coordinator that journaled a stream's entries
+// hands them to a new owner by serializing a transfer checkpoint into a
+// PUT body. Entries are used as-is; the caller keeps ownership.
+func NewTransferCheckpoint(kind, fingerprint string, entries []json.RawMessage) *Checkpoint {
+	return &Checkpoint{kind: kind, fingerprint: fingerprint, entries: entries}
+}
+
+// ImportCheckpoint materializes a checkpoint received over the wire
+// (the body of a handoff PUT) at path. The stream must carry the
+// current schema and the given kind — anything else is
+// ErrCheckpointMismatch — while the fingerprint is taken from the
+// stream's own header: the campaign that later opens the file enforces
+// fingerprint identity, so a foreign-fingerprint import surfaces as a
+// conflict at use, with the on-disk evidence intact. A torn final line
+// (the transfer connection died mid-entry) is dropped exactly like a
+// torn local write; the complete prefix still resumes. The file is
+// written atomically, and an existing file at path bound to a
+// DIFFERENT fingerprint is never clobbered — that is also
+// ErrCheckpointMismatch.
+func ImportCheckpoint(path, kind string, r io.Reader) (*Checkpoint, error) {
+	hdr, loaded, err := scanCheckpoint(r, "import")
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, fmt.Errorf("%w: import stream is empty", ErrCheckpointMismatch)
+	}
+	if hdr.Kind != kind {
+		return nil, fmt.Errorf("%w: import has kind %q, want %q", ErrCheckpointMismatch, hdr.Kind, kind)
+	}
+	if existing, err := OpenCheckpoint(path, kind, hdr.Fingerprint); err != nil {
+		return nil, err
+	} else if len(existing.Entries()) > len(loaded) {
+		// The resident journal is already ahead of the transferred one
+		// (e.g. a retry raced a slower handoff); keep the longer record.
+		return existing, nil
+	}
+	c := &Checkpoint{path: path, kind: kind, fingerprint: hdr.Fingerprint, loaded: loaded}
+	c.entries = append(c.entries, loaded...)
+	if err := c.Flush(); err != nil {
+		return nil, fmt.Errorf("import checkpoint: %w", err)
+	}
 	return c, nil
 }
 

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+)
+
+// transferFixture builds a small enumerate checkpoint with n vector
+// entries and returns it with its fingerprint.
+func transferFixture(t *testing.T, dir string, n int) (*Checkpoint, string) {
+	t.Helper()
+	cfg := synthConfig(t, powergrid.Case5(), 7, 2)
+	q := Query{Property: Observability, Combined: true, K: 2}
+	fp, err := CampaignFingerprint(cfg, CheckpointKindEnumerate, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(filepath.Join(dir, "src.ckpt"), CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ck.Add(ThreatVector{IEDs: []scadanet.DeviceID{scadanet.DeviceID(i + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen so Entries() exposes the journaled records, like a real
+	// exporter serving its on-disk checkpoint.
+	ck, err = OpenCheckpoint(filepath.Join(dir, "src.ckpt"), CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck, fp
+}
+
+func TestCheckpointWriteToRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	src, fp := transferFixture(t, dir, 3)
+
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 { // header + 3 entries
+		t.Fatalf("serialized checkpoint has %d lines, want 4", got)
+	}
+
+	imported, err := ImportCheckpoint(filepath.Join(dir, "dst.ckpt"), CheckpointKindEnumerate, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Fingerprint() != fp {
+		t.Fatalf("imported fingerprint %q != source %q", imported.Fingerprint(), fp)
+	}
+	if len(imported.Entries()) != 3 {
+		t.Fatalf("imported %d entries, want 3", len(imported.Entries()))
+	}
+
+	// The imported file must open for the same campaign and carry the
+	// same entries, byte for byte.
+	reopened, err := OpenCheckpoint(filepath.Join(dir, "dst.ckpt"), CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range reopened.Entries() {
+		if !bytes.Equal(e, src.Entries()[i]) {
+			t.Fatalf("entry %d differs after round trip: %s != %s", i, e, src.Entries()[i])
+		}
+	}
+}
+
+func TestImportCheckpointTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	src, fp := transferFixture(t, dir, 3)
+
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A mid-transfer kill: the stream ends partway through the final
+	// entry. The complete prefix must import; the torn tail is dropped.
+	raw := buf.Bytes()
+	cut := raw[:len(raw)-7]
+	imported, err := ImportCheckpoint(filepath.Join(dir, "dst.ckpt"), CheckpointKindEnumerate, bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imported.Entries()) != 2 {
+		t.Fatalf("torn import recovered %d entries, want 2", len(imported.Entries()))
+	}
+	// The materialized file is whole again: reopening finds the same
+	// complete prefix, no torn line.
+	reopened, err := OpenCheckpoint(filepath.Join(dir, "dst.ckpt"), CheckpointKindEnumerate, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reopened.Entries()) != 2 {
+		t.Fatalf("reopened torn import has %d entries, want 2", len(reopened.Entries()))
+	}
+}
+
+func TestImportCheckpointRejectsForeignKindAndSchema(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := transferFixture(t, dir, 1)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ImportCheckpoint(filepath.Join(dir, "a.ckpt"), CheckpointKindCampaign, bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("foreign-kind import: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := ImportCheckpoint(filepath.Join(dir, "b.ckpt"), CheckpointKindEnumerate, strings.NewReader(`{"schema":"bogus/9","kind":"enumerate","fingerprint":"x"}`+"\n")); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("foreign-schema import: err = %v, want ErrCheckpointMismatch", err)
+	}
+	if _, err := ImportCheckpoint(filepath.Join(dir, "c.ckpt"), CheckpointKindEnumerate, strings.NewReader("")); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("empty import: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestImportCheckpointNeverClobbersForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := transferFixture(t, dir, 2)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A resident checkpoint at the destination path bound to a different
+	// campaign: the import must refuse, leaving the resident intact.
+	other := NewTransferCheckpoint(CheckpointKindEnumerate, "feedfeed", []json.RawMessage{json.RawMessage(`{"ieds":[9]}`)})
+	var otherBuf bytes.Buffer
+	if _, err := other.WriteTo(&otherBuf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dst.ckpt")
+	if _, err := ImportCheckpoint(path, CheckpointKindEnumerate, &otherBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportCheckpoint(path, CheckpointKindEnumerate, bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("import over a foreign-fingerprint file: err = %v, want ErrCheckpointMismatch", err)
+	}
+	resident, err := OpenCheckpoint(path, CheckpointKindEnumerate, "feedfeed")
+	if err != nil {
+		t.Fatalf("resident checkpoint was damaged by the refused import: %v", err)
+	}
+	if len(resident.Entries()) != 1 {
+		t.Fatalf("resident entries = %d, want 1", len(resident.Entries()))
+	}
+}
+
+func TestImportCheckpointKeepsLongerResident(t *testing.T) {
+	dir := t.TempDir()
+	src, fp := transferFixture(t, dir, 3)
+	var full bytes.Buffer
+	if _, err := src.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dst.ckpt")
+	if _, err := ImportCheckpoint(path, CheckpointKindEnumerate, bytes.NewReader(full.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale, shorter transfer of the same campaign arrives late: the
+	// resident (longer) journal wins.
+	short := NewTransferCheckpoint(CheckpointKindEnumerate, fp, src.Entries()[:1])
+	var shortBuf bytes.Buffer
+	if _, err := short.WriteTo(&shortBuf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportCheckpoint(path, CheckpointKindEnumerate, &shortBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries()) != 3 {
+		t.Fatalf("late short import truncated the journal to %d entries, want 3 kept", len(got.Entries()))
+	}
+}

@@ -50,6 +50,11 @@ type Faults struct {
 	streamDelay time.Duration // slow client: per-item stall (0 = off)
 	dropAfter   int64         // mid-stream disconnect after N items (< 0 = off)
 
+	// Network-level faults (see transport.go), allocated on first arm so
+	// a plan without them carries no extra state.
+	netOnce  sync.Once
+	netState *netFaults
+
 	rngMu sync.Mutex
 	rng   uint64
 
@@ -269,10 +274,12 @@ func (fw *faultyWriter) Write(p []byte) (int, error) {
 // Counts reports how many times each fault actually fired, for chaos
 // tests to assert the plan was exercised.
 type Counts struct {
-	SolverStalls uint64
-	Panics       uint64
-	WriteFaults  uint64
-	StreamFaults uint64
+	SolverStalls    uint64
+	Panics          uint64
+	WriteFaults     uint64
+	StreamFaults    uint64
+	RefusedConnects uint64
+	ResponseCuts    uint64
 }
 
 // Counts returns the current injection counters.
@@ -280,10 +287,15 @@ func (f *Faults) Counts() Counts {
 	if f == nil {
 		return Counts{}
 	}
-	return Counts{
+	c := Counts{
 		SolverStalls: f.stalls.Load(),
 		Panics:       f.panics.Load(),
 		WriteFaults:  f.writeFaults.Load(),
 		StreamFaults: f.streamFaults.Load(),
 	}
+	if n := f.netState; n != nil {
+		c.RefusedConnects = n.refused.Load()
+		c.ResponseCuts = n.cuts.Load()
+	}
+	return c
 }

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network-level faults, for chaos-testing the cluster coordinator's
+// forwarding path: refused connections (a member process is gone), a
+// static partition (every connection to one host fails), injected
+// forward latency, and a partial-response cut (the member died while
+// its response body was in flight). Like every other fault in the
+// package they are deterministic and counter-based, armed on the same
+// *Faults plan, and nil-is-off: Transport returns its input unchanged
+// when no network fault is armed.
+
+// netFaults holds the transport-fault state, separate from the embedded
+// value fields so Transport can cheaply detect "nothing armed".
+type netFaults struct {
+	mu           sync.Mutex
+	refusedHosts map[string]bool
+
+	failConnect  map[uint64]bool // forward indices whose connect fails
+	forwardDelay time.Duration
+	cutAfter     int64 // partial-response cut: body bytes before the cut
+	cutArmed     atomic.Bool
+
+	forwardIdx atomic.Uint64
+	refused    atomic.Uint64
+	cuts       atomic.Uint64
+}
+
+func (f *Faults) net() *netFaults {
+	f.netOnce.Do(func() { f.netState = &netFaults{} })
+	return f.netState
+}
+
+// FailConnects arms counter-based connection failures: across every
+// request sent through Transport, the forwards with the given global
+// 0-based indices fail with ErrInjected before reaching the network —
+// the coordinator sees a connection refused. Later forwards succeed
+// again (transient, not latched).
+func (f *Faults) FailConnects(indices ...uint64) *Faults {
+	n := f.net()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failConnect == nil {
+		n.failConnect = map[uint64]bool{}
+	}
+	for _, i := range indices {
+		n.failConnect[i] = true
+	}
+	return f
+}
+
+// RefuseHost arms a partition: every request to the given host:port
+// fails with ErrInjected until HealHost lifts it. This models a network
+// partition between the coordinator and one member — the member is
+// alive, the path to it is not.
+func (f *Faults) RefuseHost(host string) *Faults {
+	n := f.net()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.refusedHosts == nil {
+		n.refusedHosts = map[string]bool{}
+	}
+	n.refusedHosts[host] = true
+	return f
+}
+
+// HealHost lifts a RefuseHost partition.
+func (f *Faults) HealHost(host string) *Faults {
+	n := f.net()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.refusedHosts, host)
+	return f
+}
+
+// DelayForwards arms injected forward latency: every request sent
+// through Transport sleeps d before going out, modeling a slow or
+// congested network path. 0 disarms.
+func (f *Faults) DelayForwards(d time.Duration) *Faults {
+	n := f.net()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.forwardDelay = d
+	return f
+}
+
+// CutResponseOnce arms a one-shot partial-response cut: the next
+// response body read through Transport fails with ErrInjected once n
+// bytes have been delivered, as if the sender died mid-response. The
+// fault fires once — the retry (or the failover target) streams clean —
+// which is exactly the shape a handoff chaos test wants.
+func (f *Faults) CutResponseOnce(n int64) *Faults {
+	nf := f.net()
+	nf.mu.Lock()
+	nf.cutAfter = n
+	nf.mu.Unlock()
+	nf.cutArmed.Store(true)
+	return f
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the plan's
+// network faults. With a nil plan the base transport is returned
+// untouched, so the production path pays nothing.
+func (f *Faults) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if f == nil {
+		return base
+	}
+	return &faultyTransport{f: f, base: base}
+}
+
+type faultyTransport struct {
+	f    *Faults
+	base http.RoundTripper
+}
+
+func (ft *faultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := ft.f.net()
+	idx := n.forwardIdx.Add(1) - 1
+
+	n.mu.Lock()
+	refused := n.refusedHosts[req.URL.Host] || n.failConnect[idx]
+	delay := n.forwardDelay
+	n.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if refused {
+		n.refused.Add(1)
+		return nil, fmt.Errorf("faultinject: connect %s: %w", req.URL.Host, ErrInjected)
+	}
+	resp, err := ft.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if n.cutArmed.CompareAndSwap(true, false) {
+		n.mu.Lock()
+		after := n.cutAfter
+		n.mu.Unlock()
+		resp.Body = &cutBody{rc: resp.Body, remaining: after, counter: &n.cuts}
+	}
+	return resp, nil
+}
+
+// cutBody delivers at most remaining bytes, then fails the read with
+// ErrInjected — the reader sees a connection that died mid-body, not a
+// clean EOF.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+	counter   *atomic.Uint64
+	cut       bool
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.cut {
+		return 0, ErrInjected
+	}
+	if c.remaining <= 0 {
+		c.cut = true
+		c.counter.Add(1)
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

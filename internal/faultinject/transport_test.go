@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newEchoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportNilPlanPassesThrough(t *testing.T) {
+	var f *Faults
+	if got := f.Transport(http.DefaultTransport); got != http.DefaultTransport {
+		t.Fatal("nil plan must return the base transport unchanged")
+	}
+}
+
+func TestTransportFailConnects(t *testing.T) {
+	ts := newEchoServer(t, "ok")
+	f := New(1).FailConnects(1) // the second forward fails
+	client := &http.Client{Transport: f.Transport(nil)}
+
+	for i, wantErr := range []bool{false, true, false} {
+		resp, err := client.Get(ts.URL)
+		if wantErr {
+			if err == nil || !errors.Is(err, ErrInjected) {
+				t.Fatalf("forward %d: err = %v, want ErrInjected", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("forward %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+	if got := f.Counts().RefusedConnects; got != 1 {
+		t.Fatalf("RefusedConnects = %d, want 1", got)
+	}
+}
+
+func TestTransportRefuseAndHealHost(t *testing.T) {
+	ts := newEchoServer(t, "ok")
+	host := strings.TrimPrefix(ts.URL, "http://")
+	f := New(1).RefuseHost(host)
+	client := &http.Client{Transport: f.Transport(nil)}
+
+	if _, err := client.Get(ts.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned host: err = %v, want ErrInjected", err)
+	}
+	f.HealHost(host)
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("healed host: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportDelayForwards(t *testing.T) {
+	ts := newEchoServer(t, "ok")
+	f := New(1).DelayForwards(30 * time.Millisecond)
+	client := &http.Client{Transport: f.Transport(nil)}
+
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("forward returned in %v, want >= 30ms injected latency", elapsed)
+	}
+}
+
+func TestTransportCutResponseOnce(t *testing.T) {
+	const body = "0123456789abcdef"
+	ts := newEchoServer(t, body)
+	f := New(1).CutResponseOnce(4)
+	client := &http.Client{Transport: f.Transport(nil)}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut response read error = %v, want ErrInjected", err)
+	}
+	if len(got) > 4 {
+		t.Fatalf("cut response delivered %d bytes, bound is 4", len(got))
+	}
+
+	// One-shot: the retry streams clean.
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(got) != body {
+		t.Fatalf("post-cut response = %q, %v; want full body", got, err)
+	}
+	if c := f.Counts().ResponseCuts; c != 1 {
+		t.Fatalf("ResponseCuts = %d, want 1", c)
+	}
+}

@@ -178,6 +178,9 @@ func TestChaosBreakerOpensOnDegradedSolver(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable || !body.BreakerOpen {
 		t.Fatalf("readyz with open breaker = %d %+v", resp.StatusCode, body)
 	}
+	if len(body.Reasons) != 1 || body.Reasons[0] != "breaker open" {
+		t.Fatalf("open-breaker readyz reasons = %v, want [breaker open]", body.Reasons)
+	}
 
 	// After the cooldown the service advertises ready again so the next
 	// request can run the half-open probe.

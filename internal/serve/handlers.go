@@ -48,19 +48,27 @@ type VerifyResponse struct {
 }
 
 // SweepRequest is the body of POST /v1/sweep: verify every combined
-// budget k = 0..MaxK of the property on one incremental solver.
+// budget k = 0..MaxK of the property on one incremental solver. A
+// RequestID (with a checkpoint directory configured) makes the sweep
+// resumable: each finished budget is journaled, and a retry of the same
+// ID — on this node, or on a node the checkpoint was handed off to —
+// re-solves only the budgets the journal does not already hold.
 type SweepRequest struct {
-	Config   string        `json:"config"`
-	Property core.Property `json:"property"`
-	MaxK     int           `json:"maxK"`
-	R        int           `json:"r,omitempty"`
-	KL       int           `json:"kl,omitempty"`
-	Budget   BudgetSpec    `json:"budget"`
+	Config    string        `json:"config"`
+	Property  core.Property `json:"property"`
+	MaxK      int           `json:"maxK"`
+	R         int           `json:"r,omitempty"`
+	KL        int           `json:"kl,omitempty"`
+	RequestID string        `json:"requestId,omitempty"`
+	Budget    BudgetSpec    `json:"budget"`
 }
 
-// SweepResponse is the body of a successful POST /v1/sweep.
+// SweepResponse is the body of a successful POST /v1/sweep. Resumed
+// counts the budgets recovered from the request's checkpoint rather
+// than solved.
 type SweepResponse struct {
 	Results []*core.Result `json:"results"`
+	Resumed int            `json:"resumed,omitempty"`
 }
 
 // EnumerateRequest is the body of POST /v1/enumerate. The response is
@@ -262,6 +270,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.respond(w, route, start, http.StatusBadRequest, err)
 		return
 	}
+	// The sweep fingerprint covers everything that shapes the campaign —
+	// property, budgets, range — so a requestId reused for a different
+	// sweep conflicts (409) instead of resuming the wrong one.
+	ck, err := s.openRequestCheckpoint(req.RequestID, cfg, core.CheckpointKindCampaign,
+		req.Property, req.R, req.KL, req.MaxK)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, core.ErrCheckpointMismatch) {
+			code = http.StatusConflict
+		}
+		s.respond(w, route, start, code, err)
+		return
+	}
+	resumed := len(ck.Entries())
 
 	var results []*core.Result
 	run := func(ctx context.Context) error {
@@ -276,7 +298,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		results, err = sw.VerifyRange(req.MaxK, nil)
+		results, err = sw.VerifyRange(req.MaxK, ck)
 		return err
 	}
 	j, release, ok := s.admit(w, r, route, s.requestDeadline(budget, req.MaxK+1), run)
@@ -297,7 +319,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.brk.Record(anyUnsolved(results))
-	s.respond(w, route, start, http.StatusOK, SweepResponse{Results: results})
+	s.respond(w, route, start, http.StatusOK, SweepResponse{Results: results, Resumed: resumed})
 }
 
 func anyUnsolved(results []*core.Result) bool {
@@ -322,11 +344,11 @@ func anyInterrupted(results []*core.Result) bool {
 // checkpoint path is <CheckpointDir>/<RequestID>.ckpt and nothing else.
 var requestIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
-// openRequestCheckpoint opens the resumable checkpoint for one
-// enumeration request ID, fingerprinted over the configuration and
-// query so an ID reused for a different campaign is rejected instead of
-// silently resumed.
-func (s *Server) openRequestCheckpoint(id string, cfg *scadanet.Config, q core.Query) (*core.Checkpoint, error) {
+// openRequestCheckpoint opens the resumable checkpoint for one request
+// ID, fingerprinted over the configuration and the campaign-shaping
+// extras so an ID reused for a different campaign is rejected instead
+// of silently resumed.
+func (s *Server) openRequestCheckpoint(id string, cfg *scadanet.Config, kind string, extra ...any) (*core.Checkpoint, error) {
 	if id == "" || s.opts.CheckpointDir == "" {
 		return nil, nil
 	}
@@ -336,12 +358,11 @@ func (s *Server) openRequestCheckpoint(id string, cfg *scadanet.Config, q core.Q
 	// The encoding version participates in the fingerprint: a checkpoint
 	// journaled under an older CNF encoding is rejected (409) rather than
 	// resumed against clauses with different meaning.
-	fp, err := core.CampaignFingerprint(cfg, core.CheckpointKindEnumerate, q, core.EncodingVersion)
+	fp, err := core.CampaignFingerprint(cfg, kind, append(extra, core.EncodingVersion)...)
 	if err != nil {
 		return nil, err
 	}
-	ck, err := core.OpenCheckpoint(filepath.Join(s.opts.CheckpointDir, id+".ckpt"),
-		core.CheckpointKindEnumerate, fp)
+	ck, err := core.OpenCheckpoint(filepath.Join(s.opts.CheckpointDir, id+".ckpt"), kind, fp)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +392,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if maxVectors <= 0 || maxVectors > s.opts.MaxEnumerate {
 		maxVectors = s.opts.MaxEnumerate
 	}
-	ck, err := s.openRequestCheckpoint(req.RequestID, cfg, req.Query)
+	ck, err := s.openRequestCheckpoint(req.RequestID, cfg, core.CheckpointKindEnumerate, req.Query)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, core.ErrCheckpointMismatch) {
@@ -464,14 +485,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // readyzBody is the /readyz response, exposing the load signals an
-// operator (or autoscaler) steers by.
+// operator (or autoscaler) steers by. Reasons names each dependency
+// that is holding readiness down — an unready probe an operator cannot
+// diagnose from its body is a page, not a signal.
 type readyzBody struct {
-	Ready       bool  `json:"ready"`
-	Draining    bool  `json:"draining"`
-	BreakerOpen bool  `json:"breakerOpen"`
-	QueueDepth  int   `json:"queueDepth"`
-	QueueCap    int   `json:"queueCap"`
-	Inflight    int64 `json:"inflight"`
+	Ready       bool     `json:"ready"`
+	Reasons     []string `json:"reasons,omitempty"`
+	Draining    bool     `json:"draining"`
+	BreakerOpen bool     `json:"breakerOpen"`
+	QueueDepth  int      `json:"queueDepth"`
+	QueueCap    int      `json:"queueCap"`
+	Inflight    int64    `json:"inflight"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -482,6 +506,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		QueueDepth:  s.q.depth(),
 		QueueCap:    s.q.capacity(),
 		Inflight:    s.inflight.Load(),
+	}
+	if body.Draining {
+		body.Reasons = append(body.Reasons, "drain in progress")
+	}
+	if body.BreakerOpen {
+		body.Reasons = append(body.Reasons, "breaker open")
 	}
 	code := http.StatusOK
 	if !body.Ready {

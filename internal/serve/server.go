@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -73,7 +74,11 @@ type Options struct {
 	// (default 64).
 	MaxSweepK int
 	// RetryAfter is the Retry-After hint attached to shed responses
-	// (default 1s).
+	// (default 1s). The header value is this duration rounded up to
+	// whole seconds plus up to 50% random jitter (also rounded up), so a
+	// cohort of simultaneously-shed clients does not re-stampede the
+	// queue on the very same second: with RetryAfter = 4s the header is
+	// uniformly one of 4..6.
 	RetryAfter time.Duration
 
 	// QueryHistory bounds how many completed queries GET /v1/queries
@@ -290,6 +295,11 @@ func (s *Server) routes() {
 	// to see what the service is doing precisely when it is overloaded.
 	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
 	s.mux.HandleFunc("GET /v1/queries/{id}/watch", s.handleQueryWatch)
+	// Checkpoint transfer also bypasses admission: it is cheap journal
+	// I/O, and a cluster handoff must be able to land a checkpoint on a
+	// node precisely while the fleet is degraded.
+	s.mux.HandleFunc("GET /v1/checkpoints/{id}", s.handleCheckpointExport)
+	s.mux.HandleFunc("PUT /v1/checkpoints/{id}", s.handleCheckpointImport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", s.reg.Handler())
@@ -429,15 +439,25 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, route string, dea
 	return j, release, true
 }
 
-// shed rejects a request at admission with a Retry-After hint and
-// accounts for it; shed requests never reach the worker pool and never
-// feed the breaker window.
+// retryAfterSeconds derives one shed response's Retry-After value: the
+// configured hint rounded up to seconds, plus up to 50% jitter. Without
+// the jitter, every client shed by the same burst would retry on the
+// same second and re-create the burst it was shed from.
+func (s *Server) retryAfterSeconds() int {
+	base := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+	jitter := (base + 1) / 2
+	return base + rand.IntN(jitter+1)
+}
+
+// shed rejects a request at admission with a jittered Retry-After hint
+// and accounts for it; shed requests never reach the worker pool and
+// never feed the breaker window.
 func (s *Server) shed(w http.ResponseWriter, route string, code int, reason string) {
 	s.reg.Inc("scadaver_shed_total", map[string]string{"reason": reason})
 	s.reg.Inc("scadaver_http_requests_total", map[string]string{
 		"route": route, "code": strconv.Itoa(code),
 	})
-	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	writeJSONError(w, code, "overloaded: "+reason)
 }
 

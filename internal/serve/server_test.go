@@ -301,6 +301,9 @@ func TestHealthzAndReadyz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !body.Ready || body.Draining || body.BreakerOpen {
 		t.Fatalf("readyz = %d %+v", resp.StatusCode, body)
 	}
+	if len(body.Reasons) != 0 {
+		t.Fatalf("ready probe carries unready reasons %v", body.Reasons)
+	}
 	if body.QueueCap != 8 {
 		t.Fatalf("queueCap = %d, want 8", body.QueueCap)
 	}
@@ -360,6 +363,9 @@ func TestDrainShedsAndTurnsUnready(t *testing.T) {
 	body := decodeBody[readyzBody](t, resp)
 	if resp.StatusCode != http.StatusServiceUnavailable || !body.Draining {
 		t.Fatalf("readyz after drain = %d %+v", resp.StatusCode, body)
+	}
+	if len(body.Reasons) != 1 || body.Reasons[0] != "drain in progress" {
+		t.Fatalf("draining readyz reasons = %v, want [drain in progress]", body.Reasons)
 	}
 
 	q := core.Query{Property: core.Observability, Combined: true, K: 0}

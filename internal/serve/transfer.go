@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"scadaver/internal/core"
+)
+
+// Checkpoint transfer: the member half of the cluster's
+// checkpoint-carrying handoff protocol (see internal/cluster and
+// DESIGN.md §14). GET serves a request's journal exactly as it sits on
+// disk; PUT materializes a journal received from another node, so an
+// in-flight enumeration or sweep resumes here instead of restarting.
+// Both routes bypass admission: they are bounded journal I/O, not
+// solver work, and a handoff must land precisely while the fleet is
+// degraded.
+
+// checkpointImportBody is the JSON response of a successful PUT
+// /v1/checkpoints/{id}.
+type checkpointImportBody struct {
+	Entries     int    `json:"entries"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// checkpointPath validates a transfer request's ID and resolves its
+// journal path, or writes the error response and returns "".
+func (s *Server) checkpointPath(w http.ResponseWriter, route string, start time.Time, id string) string {
+	if s.opts.CheckpointDir == "" {
+		s.respond(w, route, start, http.StatusNotFound,
+			fmt.Errorf("checkpointing is disabled on this node"))
+		return ""
+	}
+	if !requestIDPattern.MatchString(id) {
+		s.respond(w, route, start, http.StatusBadRequest, fmt.Errorf("invalid requestId %q", id))
+		return ""
+	}
+	return filepath.Join(s.opts.CheckpointDir, id+".ckpt")
+}
+
+func (s *Server) handleCheckpointExport(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const route = "checkpoint-export"
+	path := s.checkpointPath(w, route, start, r.PathValue("id"))
+	if path == "" {
+		return
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		s.respond(w, route, start, http.StatusNotFound,
+			fmt.Errorf("no checkpoint for requestId %q", r.PathValue("id")))
+		return
+	}
+	if err != nil {
+		s.respond(w, route, start, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	n, err := io.Copy(w, f)
+	code := strconv.Itoa(http.StatusOK)
+	if err != nil {
+		code += "-truncated"
+	}
+	s.account(route, start, code)
+	s.reg.Add("scadaver_checkpoint_export_bytes_total", nil, float64(n))
+}
+
+func (s *Server) handleCheckpointImport(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	const route = "checkpoint-import"
+	path := s.checkpointPath(w, route, start, r.PathValue("id"))
+	if path == "" {
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = core.CheckpointKindEnumerate
+	}
+	if kind != core.CheckpointKindEnumerate && kind != core.CheckpointKindCampaign {
+		s.respond(w, route, start, http.StatusBadRequest, fmt.Errorf("unknown checkpoint kind %q", kind))
+		return
+	}
+	// The body is bounded like any request body; a checkpoint journal is
+	// at most a few hundred entries. A torn final line — the sending
+	// node died mid-transfer — imports its complete prefix (see
+	// core.ImportCheckpoint); a foreign fingerprint is only detected
+	// when a campaign opens the journal, and conflicts there.
+	ck, err := core.ImportCheckpoint(path, kind, http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, core.ErrCheckpointMismatch) {
+			code = http.StatusConflict
+		}
+		s.respond(w, route, start, code, err)
+		return
+	}
+	s.reg.Inc("scadaver_checkpoint_imports_total", nil)
+	s.respond(w, route, start, http.StatusOK, checkpointImportBody{
+		Entries:     len(ck.Entries()),
+		Fingerprint: ck.Fingerprint(),
+	})
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"scadaver/internal/core"
+	"scadaver/internal/faultinject"
+	"scadaver/internal/powergrid"
+	"scadaver/internal/scadanet"
+	"scadaver/internal/synth"
+)
+
+// TestRetryAfterJitterBounds pins the documented Retry-After contract:
+// with RetryAfter = 4s the header is an integer in [4, 6], and across
+// many shed responses more than one value occurs — synchronized shed
+// clients must not all be told the same second.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s, _ := newTestServer(t, func(o *Options) { o.RetryAfter = 4 * time.Second })
+
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		rec := httptest.NewRecorder()
+		s.shed(rec, "verify", http.StatusTooManyRequests, "queue")
+		raw := rec.Header().Get("Retry-After")
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			t.Fatalf("Retry-After %q is not an integer: %v", raw, err)
+		}
+		if v < 4 || v > 6 {
+			t.Fatalf("Retry-After = %d, documented bounds are [4, 6]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("200 shed responses all carried the same Retry-After %v; jitter is dead", seen)
+	}
+}
+
+// TestSweepCheckpointResume exercises the resumable sweep: a first
+// request journals every budget, and a retry of the same requestId
+// recovers them all (Resumed = maxK+1) instead of re-solving.
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, func(o *Options) { o.CheckpointDir = dir })
+	req := SweepRequest{Config: "grid", Property: core.Observability, MaxK: 3, RequestID: "sweep-1"}
+
+	first := decodeBody[SweepResponse](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if len(first.Results) != 4 || first.Resumed != 0 {
+		t.Fatalf("first sweep: %d results, resumed %d; want 4, 0", len(first.Results), first.Resumed)
+	}
+	second := decodeBody[SweepResponse](t, postJSON(t, ts.URL+"/v1/sweep", req))
+	if second.Resumed != 4 {
+		t.Fatalf("retried sweep resumed %d budgets, want 4", second.Resumed)
+	}
+	for k, res := range second.Results {
+		if res == nil || res.Status != first.Results[k].Status {
+			t.Fatalf("budget %d: resumed status differs from the original", k)
+		}
+	}
+
+	// The same ID for a different sweep shape is a conflict, not a
+	// silent resume.
+	req.MaxK = 2
+	resp := postJSON(t, ts.URL+"/v1/sweep", req)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reshaped sweep with reused requestId = %d, want 409", resp.StatusCode)
+	}
+}
+
+// exportCheckpoint fetches one node's journal for a request ID.
+func exportCheckpoint(t testing.TB, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/checkpoints/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("checkpoint export = %d, body %s", resp.StatusCode, raw)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// importCheckpoint lands a journal on a node and returns the response.
+func importCheckpoint(t testing.TB, base, id string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/checkpoints/"+id, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHandoffResumeAcrossWorkerCounts moves a partial enumeration
+// journal from a 4-worker node to a 1-worker node over HTTP and asserts
+// the receiving node resumes it to the identical full vector set.
+func TestHandoffResumeAcrossWorkerCounts(t *testing.T) {
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q, Max: 32, RequestID: "handoff-wc"}
+
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("test topology yields only %d vectors", len(want))
+	}
+
+	// Node A (4 workers): the stream drops after 2 vectors, leaving a
+	// partial journal.
+	dirA := t.TempDir()
+	faults := faultinject.New(1).DropStreamAfter(2)
+	_, tsA := newTestServer(t, func(o *Options) {
+		o.CheckpointDir = dirA
+		o.Workers = 4
+		o.Faults = faults
+	})
+	if _, trailer := enumerateVectors(t, tsA.URL, req); trailer != nil {
+		t.Fatalf("dropped stream still delivered a trailer %+v", trailer)
+	}
+
+	// Hand the journal to node B (1 worker) and resume there.
+	dirB := t.TempDir()
+	_, tsB := newTestServer(t, func(o *Options) {
+		o.CheckpointDir = dirB
+		o.Workers = 1
+	})
+	resp := importCheckpoint(t, tsB.URL, req.RequestID, exportCheckpoint(t, tsA.URL, req.RequestID))
+	body := decodeBody[checkpointImportBody](t, resp)
+	if resp.StatusCode != http.StatusOK || body.Entries == 0 {
+		t.Fatalf("import = %d %+v, want 200 with entries", resp.StatusCode, body)
+	}
+
+	vectors, trailer := enumerateVectors(t, tsB.URL, req)
+	if trailer == nil || !trailer.Done || trailer.Resumed == 0 {
+		t.Fatalf("handed-off enumeration did not resume (trailer %+v)", trailer)
+	}
+	got, wantKeys := vectorKeys(vectors), vectorKeys(want)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("resumed node streamed %d distinct vectors, want %d", len(got), len(wantKeys))
+	}
+	for k := range wantKeys {
+		if !got[k] {
+			t.Fatalf("resumed node is missing vector %s", k)
+		}
+	}
+}
+
+// TestHandoffForeignFingerprintConflicts lands a journal for a
+// DIFFERENT configuration on a node, then asks that node to resume the
+// requestId against its own config: the fingerprint mismatch must be a
+// 409, never a silent resume of foreign work.
+func TestHandoffForeignFingerprintConflicts(t *testing.T) {
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q, Max: 8, RequestID: "handoff-foreign"}
+
+	// Node A serves a different topology, so its journal is fingerprinted
+	// over a foreign campaign.
+	otherCfg, err := synth.Generate(synth.Params{Bus: powergrid.IEEE14(), Seed: 3, Hierarchy: 2, SecureFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA := t.TempDir()
+	_, tsA := newTestServer(t, func(o *Options) {
+		o.Configs = map[string]*scadanet.Config{"grid": otherCfg}
+		o.CheckpointDir = dirA
+	})
+	if _, trailer := enumerateVectors(t, tsA.URL, req); trailer == nil {
+		t.Fatal("seed enumeration on node A did not finish")
+	}
+
+	dirB := t.TempDir()
+	_, tsB := newTestServer(t, func(o *Options) { o.CheckpointDir = dirB })
+	resp := importCheckpoint(t, tsB.URL, req.RequestID, exportCheckpoint(t, tsA.URL, req.RequestID))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("import of a foreign journal = %d; imports land, use conflicts", resp.StatusCode)
+	}
+
+	resp = postJSON(t, tsB.URL+"/v1/enumerate", req)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resume against a foreign-fingerprint journal = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHandoffTornTransferRecovers kills the transfer mid-line (the
+// sending node died while the PUT body was in flight) and asserts the
+// receiving node imports the complete prefix and resumes it to the full
+// vector set.
+func TestHandoffTornTransferRecovers(t *testing.T) {
+	q := core.Query{Property: core.Observability, Combined: true, K: 2}
+	req := EnumerateRequest{Config: "grid", Query: q, Max: 32, RequestID: "handoff-torn"}
+
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.EnumerateThreats(q, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirA := t.TempDir()
+	_, tsA := newTestServer(t, func(o *Options) { o.CheckpointDir = dirA })
+	if _, trailer := enumerateVectors(t, tsA.URL, req); trailer == nil {
+		t.Fatal("seed enumeration did not finish")
+	}
+	journal := exportCheckpoint(t, tsA.URL, req.RequestID)
+
+	// Tear the journal mid-final-line, as a killed connection would.
+	lines := strings.Count(string(journal), "\n")
+	if lines < 3 {
+		t.Fatalf("journal has only %d lines; need >= 3 to tear meaningfully", lines)
+	}
+	torn := journal[:len(journal)-5]
+
+	dirB := t.TempDir()
+	_, tsB := newTestServer(t, func(o *Options) { o.CheckpointDir = dirB })
+	resp := importCheckpoint(t, tsB.URL, req.RequestID, torn)
+	body := decodeBody[checkpointImportBody](t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("torn import = %d, want 200 with the complete prefix", resp.StatusCode)
+	}
+	if body.Entries != lines-2 { // header + torn final entry dropped
+		t.Fatalf("torn import kept %d entries, want %d", body.Entries, lines-2)
+	}
+
+	vectors, trailer := enumerateVectors(t, tsB.URL, req)
+	if trailer == nil || !trailer.Done {
+		t.Fatalf("resume after torn import did not finish (trailer %+v)", trailer)
+	}
+	got, wantKeys := vectorKeys(vectors), vectorKeys(want)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("torn-import resume streamed %d distinct vectors, want %d", len(got), len(wantKeys))
+	}
+}
+
+// TestCheckpointTransferValidation pins the transfer endpoints' error
+// contract: disabled checkpointing and unknown journals are 404, bad
+// ids 400, bad kinds 400.
+func TestCheckpointTransferValidation(t *testing.T) {
+	_, tsOff := newTestServer(t, nil) // no CheckpointDir
+	resp, err := http.Get(tsOff.URL + "/v1/checkpoints/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export with checkpointing disabled = %d, want 404", resp.StatusCode)
+	}
+
+	_, ts := newTestServer(t, func(o *Options) { o.CheckpointDir = t.TempDir() })
+	resp, err = http.Get(ts.URL + "/v1/checkpoints/absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export of an absent journal = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/checkpoints/..%2Fevil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("export with a traversal id = %d, want 400", resp.StatusCode)
+	}
+
+	r := importCheckpoint(t, ts.URL, "ok-id", []byte(`{"schema":"scadaver-checkpoint/1","kind":"enumerate","fingerprint":"aa"}`+"\n"))
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("minimal import = %d, want 200", r.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/checkpoints/ok-id?kind=bogus", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("import with unknown kind = %d, want 400", r.StatusCode)
+	}
+}
