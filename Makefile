@@ -33,21 +33,28 @@ bench:
 # the portfolio is deliberately left off so the reference numbers stay
 # comparable across hosts with different CPU counts (portfolio
 # escalation only pays with real parallelism — see EXPERIMENTS.md §P3
-# for the armed/ablated legs). BENCH_pr2.json is the retained
-# pre-preprocessing baseline and BENCH_pr5.json the pre-galloping-
-# boundary-search one.
+# for the armed/ablated legs). -certify adds a ksweep-certify row per
+# system (the §R3 certification-overhead ablation) while leaving the
+# base rows uncertified and comparable to earlier records.
+# BENCH_pr2.json is the retained pre-preprocessing baseline,
+# BENCH_pr5.json the pre-galloping-boundary-search one, and
+# BENCH_pr6.json the last pre-certification record.
 bench-record:
-	$(GO) run ./cmd/scada-bench -record BENCH_pr6.json -inputs 1 -runs 2 -maxk 4 -presimplify
+	$(GO) run ./cmd/scada-bench -record BENCH_pr9.json -inputs 1 -runs 2 -maxk 4 -presimplify -certify
 
 # The chaos pass: the fault-tolerance suite (deterministic fault
 # injection, budget degradation, checkpoint/resume, panic isolation)
 # under the race detector, uncached so injected faults re-fire every
 # run (see DESIGN.md §9), the portfolio chaos suite (replica panics,
 # clause-exchange soundness, interrupt-safe cancellation; DESIGN.md
-# §12), plus the verification-service chaos smoke (overload shedding,
-# breaker, drain-resume; see DESIGN.md §10).
+# §12), the verification-service chaos smoke (overload shedding,
+# breaker, drain-resume; see DESIGN.md §10), plus the certification
+# chaos suite (DESIGN.md §15): the TestChaos patterns below include
+# TestChaosCertify* — injected verdict flips, corrupted witnesses and
+# truncated proof streams must be caught, quarantined and corrected at
+# the core, service and cluster boundaries.
 chaos: chaos-cluster
-	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio ./internal/sat/drat
 	$(GO) test -race -count=1 -run 'TestPortfolio|TestVivify|TestExchange' ./internal/sat
 	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio|TestFlight' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSetup|TestTracer|TestFlight' ./internal/obs

@@ -77,6 +77,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		checkpoint = fs.String("checkpoint", "", "resumable checkpoint file for -sweep campaigns and threat enumeration")
 		keepGoing  = fs.Bool("keep-going", true, "for parallel -sweep: isolate per-query failures instead of aborting the campaign")
 		presimp    = fs.Bool("presimplify", false, "preprocess the CNF before search (unit propagation, subsumption, variable elimination)")
+		certify    = fs.Bool("certify", false, "certify every verdict: proof-log the solve and check it in-process (DRAT), audit sat models against a pristine re-encode, and quarantine+re-solve on divergence")
 		noCache    = fs.Bool("no-cache", false, "disable the cross-query encoding cache (re-encode the structure per query)")
 		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas (clause sharing, inprocessing) per hard query; 0/1 = serial. Ignored by -sweep: like the encoding cache, the portfolio may surface different (equally valid) witness vectors, and sweep output is contracted to be identical across worker counts")
 		showVer    = fs.Bool("version", false, "print version and exit")
@@ -184,6 +185,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *presimp {
 		opts = append(opts, core.WithPresimplify(true))
+	}
+	if *certify {
+		opts = append(opts, core.WithCertification(true))
 	}
 	// The portfolio is gated off for -sweep for the same witness-stability
 	// reason as the cache: UNSAT verdicts (and so resiliency indices) are

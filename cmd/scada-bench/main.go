@@ -64,6 +64,7 @@ func run(args []string, w io.Writer) (retErr error) {
 		checkpoint = fs.String("checkpoint", "", "for -fig sweep: stream finished queries to this resumable checkpoint file")
 		keepGoing  = fs.Bool("keep-going", true, "for -fig sweep: isolate per-query failures instead of aborting the campaign")
 		presimp    = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the encoding cache)")
+		certify    = fs.Bool("certify", false, "certify every verdict (proof-logged solves, in-process DRAT checking, sat-model audits); the §R3 overhead ablation")
 		noCache    = fs.Bool("no-cache", false, "disable the per-campaign encoding cache (re-encode the structure per query)")
 		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas per hard query (0/1 = serial)")
 		noShare    = fs.Bool("portfolio-noshare", false, "disable the learnt-clause exchange between portfolio replicas (ablation)")
@@ -91,7 +92,7 @@ func run(args []string, w io.Writer) (retErr error) {
 		Inputs: *inputs, Runs: *runs, Workers: *workers,
 		Trace: root, Metrics: reg,
 		Budget:      core.QueryBudget{Deadline: *deadline, Retries: *retries},
-		Presimplify: *presimp, NoCache: *noCache,
+		Presimplify: *presimp, NoCache: *noCache, Certify: *certify,
 		Portfolio: *portfolio, PortfolioNoShare: *noShare,
 	}
 	if *watch > 0 {

@@ -135,6 +135,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		sloThresh    = fs.Duration("slo", 0, "latency SLO threshold: slower requests count scadaver_slo_breach_total and slow queries log their flight record (0 = disabled)")
 		queryHistory = fs.Int("query-history", 0, "completed queries retained by GET /v1/queries (0 = default 64)")
 		presimp      = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the shared encoding cache)")
+		certify      = fs.Bool("certify", false, "certify every verdict (proof-logged solves checked in-process, sat-model audits, quarantine on divergence); responses carry certified/proofClauses/auditMs attestation")
 		noCache      = fs.Bool("no-cache", false, "disable the service-wide encoding cache (re-encode the structure per request)")
 		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
 		showVersion  = fs.Bool("version", false, "print version and exit")
@@ -190,6 +191,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		QueryHistory:     *queryHistory,
 		Presimplify:      *presimp,
 		NoEncodingCache:  *noCache,
+		Certify:          *certify,
 	})
 	if err != nil {
 		return err

@@ -287,3 +287,82 @@ func TestClusterChaosPartitionFailover(t *testing.T) {
 		t.Fatal("the partition refused no connections; the test exercised nothing")
 	}
 }
+
+// TestClusterChaosCertifiedCorruptMember routes a verification through
+// the coordinator to a certifying member whose solver is armed to flip
+// its first verdict, and asserts the full certification story survives
+// the relay: the member quarantines the lie, re-solves pristinely, and
+// the coordinator hands the client the correct verdict with the
+// certified attestation intact (member bodies are relayed verbatim).
+func TestClusterChaosCertifiedCorruptMember(t *testing.T) {
+	cfg := testConfig(t)
+	a, err := core.NewAnalyzer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: the largest budget whose pristine verdict is Unsat,
+	// so the flip manufactures a spurious threat vector.
+	var q core.Query
+	var want *core.Result
+	for k := 0; k <= 8; k++ {
+		probe := core.Query{Property: core.Observability, Combined: true, K: k}
+		res, err := a.Verify(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Resilient() {
+			q, want = probe, res
+		}
+	}
+	if want == nil {
+		t.Fatal("test config has no resilient budget within k <= 8")
+	}
+
+	// One member only, so the ring routes the query to the corrupted
+	// certifying node by construction.
+	faults := faultinject.New(1).FlipVerdict(0)
+	_, m1, m1reg := newMember(t, cfg, func(o *serve.Options) {
+		o.Certify = true
+		o.Faults = faults
+	})
+	_, coord := newTestCoordinator(t, []Member{{Name: "m1", URL: m1.URL}}, nil)
+
+	resp := postJSON(t, coord.URL+"/v1/verify", serve.VerifyRequest{Config: "grid", Query: q})
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("verify through coordinator = %d, body %s", resp.StatusCode, raw)
+	}
+	vr := decodeBody[serve.VerifyResponse](t, resp)
+	if got := faults.Counts().VerdictFlips; got != 1 {
+		t.Fatalf("verdict flips = %d, want exactly 1 — the corruption never fired", got)
+	}
+	res := vr.Result
+	if res == nil {
+		t.Fatal("coordinator relayed no result")
+	}
+	if res.Status != want.Status || vr.Resilient != want.Resilient() {
+		t.Fatalf("client saw (%v, resilient=%v), ground truth (%v, resilient=%v) — the flipped verdict escaped the cluster",
+			res.Status, vr.Resilient, want.Status, want.Resilient())
+	}
+	if !res.Quarantined {
+		t.Fatal("the flipped verdict was not quarantined on the member")
+	}
+	if !vr.Certified || !res.Certified {
+		t.Fatalf("attestation lost across the relay (response %v, result %v): %s",
+			vr.Certified, res.Certified, res.CertifyError)
+	}
+	if res.CertifyError == "" {
+		t.Fatal("quarantined result carries no audit-failure cause")
+	}
+	if vr.ProofClauses == 0 {
+		t.Fatal("certified Unsat verdict relayed zero proof clauses")
+	}
+	pl := map[string]string{"property": q.Property.String()}
+	if got := m1reg.Counter("scadaver_certify_quarantine_total", pl); got != 1 {
+		t.Fatalf("member quarantine counter = %v, want 1", got)
+	}
+	if got := m1reg.Counter("scadaver_certify_divergence_total", pl); got != 1 {
+		t.Fatalf("member divergence counter = %v, want 1", got)
+	}
+}

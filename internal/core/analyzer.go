@@ -199,6 +199,23 @@ type Result struct {
 	// ReasonConflicts, ReasonInterrupted, ...); empty for decided
 	// queries.
 	FailureReason string `json:"failureReason,omitempty"`
+
+	// Certification attestation (WithCertification; see certify.go).
+	// Certified reports the verdict was independently checked: a Sat
+	// model re-validated against a pristine re-encode and the direct
+	// evaluator, an Unsat answer replayed through the DRAT proof
+	// checker. Quarantined is set when the first audit diverged and the
+	// pristine quarantine re-solve produced the reported verdict;
+	// CertifyError then records the divergence (and the quarantine's
+	// own failure, if any). ProofClauses counts derived clause
+	// additions the checker accepted on this query's solver (cumulative
+	// across a Sweep's shared solver); Audit is the certification
+	// overhead, outside the solve phase.
+	Certified    bool          `json:"certified,omitempty"`
+	Quarantined  bool          `json:"quarantined,omitempty"`
+	CertifyError string        `json:"certifyError,omitempty"`
+	ProofClauses uint64        `json:"proofClauses,omitempty"`
+	Audit        time.Duration `json:"auditNanos,omitempty"`
 }
 
 // Resilient reports whether the system satisfies the queried resiliency
@@ -207,20 +224,29 @@ func (r *Result) Resilient() bool { return r.Status == sat.Unsat }
 
 // String summarizes the result.
 func (r *Result) String() string {
+	var s string
 	switch r.Status {
 	case sat.Sat:
-		return fmt.Sprintf("%v: VIOLATED — threat vector %v (%.2fms)",
+		s = fmt.Sprintf("%v: VIOLATED — threat vector %v (%.2fms)",
 			r.Query, r.Vector, float64(r.Duration.Microseconds())/1000)
 	case sat.Unsat:
-		return fmt.Sprintf("%v: HOLDS (%v, %.2fms)",
+		s = fmt.Sprintf("%v: HOLDS (%v, %.2fms)",
 			r.Query, r.Status, float64(r.Duration.Microseconds())/1000)
+	default:
+		reason := r.FailureReason
+		if reason == "" {
+			reason = "budget exhausted"
+		}
+		s = fmt.Sprintf("%v: UNSOLVED — %s after %d attempt(s) (%.2fms)",
+			r.Query, reason, max(r.Attempts, 1), float64(r.Duration.Microseconds())/1000)
 	}
-	reason := r.FailureReason
-	if reason == "" {
-		reason = "budget exhausted"
+	if r.Certified {
+		s += " [certified]"
 	}
-	return fmt.Sprintf("%v: UNSOLVED — %s after %d attempt(s) (%.2fms)",
-		r.Query, reason, max(r.Attempts, 1), float64(r.Duration.Microseconds())/1000)
+	if r.Quarantined {
+		s += " [quarantined]"
+	}
+	return s
 }
 
 // Option configures an Analyzer.
@@ -323,6 +349,13 @@ type Analyzer struct {
 	presimplify bool
 	cache       *EncodingCache
 	encFP       string
+
+	// Verdict certification (see certify.go). proofSink is the pending
+	// proof writer the next newEncoder call arms on its fresh solver;
+	// it is transient per-solve state (analyzers are single-goroutine),
+	// not configuration.
+	certify   bool
+	proofSink sat.ProofWriter
 
 	// Observability (all optional; nil = disabled). qs is the live
 	// registry entry of the query currently being verified (analyzers
@@ -439,7 +472,11 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	var entry *encodingEntry
 	var sp *obs.Span
 	var assumptions []*logic.Formula
-	if a.cache != nil {
+	var cert *certState
+	// Certification takes the fresh-encoder path even with a cache
+	// configured: the proof must start at clause one of this query's
+	// formula, not mid-life of a shared snapshot.
+	if a.cache != nil && !a.certify {
 		// Cached path: clone the shared structural snapshot (built and,
 		// under presimplify, simplified exactly once per structure) and
 		// solve with the failure budget as an assumption on the private
@@ -471,8 +508,10 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	} else {
 		sp = qspan.Start("build")
 		t0 := time.Now()
+		cert = a.beginCertify()
 		var delivered []*logic.Formula
 		enc, delivered = a.encodeStructure(q)
+		a.proofSink = nil
 		ph.Build = time.Since(t0)
 		sp.End()
 
@@ -499,7 +538,7 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 	a.armProgress(enc, sp)
 	t0 := time.Now()
 	out := a.solveBudgeted(q, enc, sp, assumptions...)
-	status := out.status
+	status := a.corruptStatus(out.status)
 	ph.Solve = time.Since(t0)
 	a.disarmProgress(enc)
 	stats := enc.Solver().Stats()
@@ -525,15 +564,25 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		t0 = time.Now()
 		v := a.extractVector(q, enc)
 		v = a.minimizeVector(q, v)
+		if a.faults.CorruptModelNow() {
+			a.corruptVector(&v)
+		}
 		ph.Decode = time.Since(t0)
 		sp.End()
 		res.Vector = &v
 	}
+	if cert != nil {
+		qs.SetPhase("certify")
+		sp = qspan.Start("certify")
+		a.certifyResult(q, enc, cert, nil, res)
+		sp.Annotate(obs.A("certified", res.Certified))
+		sp.End()
+	}
 	res.Phases = ph
 	res.Duration = time.Since(start)
-	qspan.Annotate(obs.A("status", status.String()))
+	qspan.Annotate(obs.A("status", res.Status.String()))
 	a.recordMetrics(res)
-	a.completeQuery(qs, qspan, status.String(), res.FailureReason)
+	a.completeQuery(qs, qspan, res.Status.String(), res.FailureReason)
 	return res, nil
 }
 
@@ -689,7 +738,7 @@ func (a *Analyzer) encode(q Query) *logic.Encoder {
 // consulted; the failure budget and the goal are NOT asserted, which is
 // what lets Sweep reuse one structural encoding across a whole k-sweep.
 func (a *Analyzer) encodeStructure(q Query) (*logic.Encoder, []*logic.Formula) {
-	enc := logic.NewEncoder()
+	enc := a.newEncoder()
 	secured := q.Property != Observability
 
 	// Device availability: statically down devices are fixed; the MTU

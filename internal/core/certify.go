@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scadaver/internal/logic"
+	"scadaver/internal/sat"
+	"scadaver/internal/sat/drat"
+	"scadaver/internal/scadanet"
+)
+
+// WithCertification makes every Verify and Sweep verdict of this
+// analyzer carry its own evidence instead of being trusted on the
+// solver's word (DESIGN.md §15):
+//
+//   - The solve is proof-logged from the encoder's birth: a DRAT-style
+//     checker (internal/sat/drat) replays every input clause and every
+//     derived addition — CDCL learning, preprocessing resolvents,
+//     strengthenings and failed literals included — as the solver emits
+//     them, so an Unsat answer is accepted only if the checker can
+//     certify the refutation (the empty clause for asserted budgets,
+//     RUP-ness of the negated budget assumption for Sweep).
+//   - A Sat answer is audited twice: the reported threat vector must
+//     violate the property under the direct evaluator within its
+//     failure budget, and the solver's full named model must satisfy a
+//     pristine re-encode of the query (fresh encoder, no preprocessing,
+//     no cache) solved under the model as unit assumptions.
+//   - Any divergence quarantines the query: one pristine re-solve with
+//     preprocessing, portfolio and cache all disabled, itself
+//     proof-checked, whose verdict replaces the suspect one.
+//
+// Certification bypasses the encoding cache for the certified solve
+// (the proof must start at clause one of this query's formula, not in
+// the middle of a shared snapshot's life) but leaves preprocessing and
+// portfolio escalation on: both are proof-logged, which is the point.
+// Threat enumeration (EnumerateThreats) is not certified — its blocking
+// clauses change the formula mid-stream; certify the individual
+// verdicts via Verify instead. Overhead is measured in EXPERIMENTS.md
+// §R3.
+func WithCertification(on bool) Option {
+	return func(a *Analyzer) { a.certify = on }
+}
+
+// certState is the certification context of one proof-logged solve: the
+// in-process DRAT checker receiving the solver's proof stream.
+type certState struct {
+	checker *drat.Checker
+}
+
+// newEncoder builds the encoder for a structural encoding, arming the
+// pending proof sink — if certification installed one — on the fresh
+// solver before any clause is asserted. logic.Encoder encodes eagerly
+// (Assert adds clauses to the solver immediately), so the hook must be
+// in place at encoder birth or the checker would miss input clauses.
+func (a *Analyzer) newEncoder() *logic.Encoder {
+	enc := logic.NewEncoder()
+	if a.proofSink != nil {
+		enc.Solver().SetProofHook(a.proofSink)
+	}
+	return enc
+}
+
+// beginCertify starts a certified solve: it creates the proof checker
+// and installs it as the analyzer's pending proof sink, to be picked up
+// by the next newEncoder call. Returns nil when certification is off.
+// The fault plan's proof-truncation hook, when armed, is interposed
+// between solver and checker so chaos tests can corrupt the stream.
+func (a *Analyzer) beginCertify() *certState {
+	if !a.certify {
+		return nil
+	}
+	c := &certState{checker: drat.New()}
+	var w sat.ProofWriter = c.checker
+	if drop := a.faults.ProofDropHook(); drop != nil {
+		w = proofDropper{drop: drop, next: c.checker}
+	}
+	a.proofSink = w
+	return c
+}
+
+// proofDropper interposes the fault plan's proof-truncation predicate
+// in front of the certification checker: once it fires, derived clause
+// additions stop reaching the checker (inputs and deletions still
+// flow), modeling a proof writer that silently lost derivation steps.
+type proofDropper struct {
+	drop func() bool
+	next sat.ProofWriter
+}
+
+// Step implements sat.ProofWriter.
+func (p proofDropper) Step(op sat.ProofOp, lits []sat.Lit) {
+	if op == sat.ProofAdd && p.drop() {
+		return
+	}
+	p.next.Step(op, lits)
+}
+
+// corruptStatus applies the fault plan's verdict-flip fault to a
+// decided solve status. Undecided statuses are never flipped (there is
+// no wrong answer to inject into "I don't know").
+func (a *Analyzer) corruptStatus(st sat.Status) sat.Status {
+	if st == sat.Unsolved || !a.faults.CorruptVerdict() {
+		return st
+	}
+	if st == sat.Sat {
+		return sat.Unsat
+	}
+	return sat.Sat
+}
+
+// corruptVector applies the fault plan's model corruption to a decoded
+// threat vector: the first failed element is dropped — an inclusion-
+// minimal witness stops violating the property once any element is
+// removed, so the corruption is guaranteed to be wrong — or, for an
+// empty vector, the first healthy IED is added.
+func (a *Analyzer) corruptVector(v *ThreatVector) {
+	switch {
+	case len(v.IEDs) > 0:
+		v.IEDs = v.IEDs[1:]
+	case len(v.RTUs) > 0:
+		v.RTUs = v.RTUs[1:]
+	case len(v.Links) > 0:
+		v.Links = v.Links[1:]
+	default:
+		for _, d := range a.fieldIEDs {
+			if !d.Down {
+				v.IEDs = append(v.IEDs, d.ID)
+				break
+			}
+		}
+	}
+}
+
+// certifyResult audits one decided verdict against its proof stream and
+// the direct evaluator, quarantining on divergence. assumptions are the
+// solver literals the solve assumed (the budget counter for Sweep;
+// empty when the budget was asserted): an Unsat-under-assumptions
+// answer is certified by RUP-ness of the negated assumption clause
+// rather than by the empty clause. Undecided verdicts are not audited —
+// there is no claim to certify.
+func (a *Analyzer) certifyResult(q Query, enc *logic.Encoder, cert *certState, assumptions []sat.Lit, res *Result) {
+	t0 := time.Now()
+	defer func() { res.Audit = time.Since(t0) }()
+	res.ProofClauses = uint64(cert.checker.Additions())
+	if res.Status == sat.Unsolved {
+		return
+	}
+	pl := map[string]string{"property": q.Property.String()}
+	a.metrics.Inc("scadaver_certify_checked_total", pl)
+	var err error
+	switch res.Status {
+	case sat.Sat:
+		err = a.auditSat(q, enc, res)
+	case sat.Unsat:
+		err = auditUnsat(cert.checker, assumptions)
+	}
+	if err == nil {
+		res.Certified = true
+		return
+	}
+	a.metrics.Inc("scadaver_certify_failed_total", pl)
+	a.quarantine(q, res, err)
+}
+
+// auditSat checks a Sat verdict from two independent directions: the
+// reported (minimized) threat vector must fit the failure budget and
+// violate the property under the direct evaluator, and the solver's
+// full named model — including values the preprocessor's variable
+// elimination reconstructed — must satisfy a pristine re-encode of the
+// query solved under that model as unit assumptions.
+func (a *Analyzer) auditSat(q Query, enc *logic.Encoder, res *Result) error {
+	if res.Vector == nil {
+		return fmt.Errorf("core: certify: sat verdict carries no threat vector")
+	}
+	v := *res.Vector
+	if q.Combined {
+		if n := len(v.IEDs) + len(v.RTUs); n > q.K {
+			return fmt.Errorf("core: certify: vector has %d device failures, budget K=%d", n, q.K)
+		}
+	} else {
+		if len(v.IEDs) > q.K1 || len(v.RTUs) > q.K2 {
+			return fmt.Errorf("core: certify: vector has (%d,%d) failures, budget (K1=%d,K2=%d)",
+				len(v.IEDs), len(v.RTUs), q.K1, q.K2)
+		}
+	}
+	if len(v.Links) > q.KL {
+		return fmt.Errorf("core: certify: vector has %d link failures, budget KL=%d", len(v.Links), q.KL)
+	}
+	f := Failures{Devices: map[scadanet.DeviceID]bool{}, Links: map[scadanet.LinkID]bool{}}
+	for _, id := range v.Devices() {
+		f.Devices[id] = true
+	}
+	for _, id := range v.Links {
+		f.Links[id] = true
+	}
+	if !a.violatedUnder(q, f) {
+		return fmt.Errorf("core: certify: vector %v does not violate %v under the direct evaluator", v, q)
+	}
+	model := enc.Model()
+	names := make([]string, 0, len(model))
+	for name := range model {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	assumptions := make([]*logic.Formula, 0, len(names))
+	for _, name := range names {
+		t := logic.V(name)
+		if !model[name] {
+			t = logic.Not(t)
+		}
+		assumptions = append(assumptions, t)
+	}
+	penc := a.encode(q)
+	if st := penc.Solve(assumptions...); st != sat.Sat {
+		return fmt.Errorf("core: certify: pristine re-encode is %v under the solver model", st)
+	}
+	return nil
+}
+
+// auditUnsat checks an Unsat verdict against the replayed proof: the
+// checker must have accepted every step, and the refutation must be
+// closed — the empty clause for asserted budgets, or the negated
+// assumption clause shown RUP for assumption-based solves (any model of
+// the formula satisfying the assumptions would contradict a RUP
+// consequence, so none exists).
+func auditUnsat(ck *drat.Checker, assumptions []sat.Lit) error {
+	if err := ck.Err(); err != nil {
+		return fmt.Errorf("core: certify: proof step rejected: %w", err)
+	}
+	if err := ck.VerifyUnsat(assumptions...); err != nil {
+		return fmt.Errorf("core: certify: refutation not certified: %w", err)
+	}
+	return nil
+}
+
+// quarantine handles a certification divergence: the suspect verdict is
+// discarded and the query re-solved from a pristine encoding —
+// preprocessing, portfolio and cache all off, serial, itself
+// proof-checked — whose verdict replaces the reported one. The
+// re-solve is bounded by the analyzer's conflict budget and interrupt
+// only; fault-injection hooks are deliberately not re-armed, so an
+// injected corruption cannot survive its own quarantine.
+func (a *Analyzer) quarantine(q Query, res *Result, cause error) {
+	pl := map[string]string{"property": q.Property.String()}
+	a.metrics.Inc("scadaver_certify_quarantine_total", pl)
+	res.Quarantined = true
+	res.CertifyError = cause.Error()
+
+	ck := drat.New()
+	a.proofSink = ck
+	enc := a.encode(q)
+	a.proofSink = nil
+	s := enc.Solver()
+	s.SetConflictBudget(a.conflictBudget)
+	s.SetInterrupt(a.interrupt)
+	st := enc.Solve()
+	s.SetConflictBudget(0)
+	s.SetInterrupt(nil)
+
+	orig := res.Status
+	var verr error
+	switch st {
+	case sat.Sat:
+		res.Status = sat.Sat
+		v := a.extractVector(q, enc)
+		v = a.minimizeVector(q, v)
+		res.Vector = &v
+		verr = a.auditSat(q, enc, res)
+	case sat.Unsat:
+		res.Status = sat.Unsat
+		res.Vector = nil
+		verr = auditUnsat(ck, nil)
+	default:
+		verr = fmt.Errorf("core: certify: quarantine re-solve undecided")
+	}
+	if st != sat.Unsolved && st != orig {
+		a.metrics.Inc("scadaver_certify_divergence_total", pl)
+	}
+	res.ProofClauses = uint64(ck.Additions())
+	res.Certified = verr == nil
+	if verr != nil {
+		res.CertifyError = fmt.Sprintf("%v; quarantine: %v", cause, verr)
+	}
+}

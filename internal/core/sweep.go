@@ -32,6 +32,12 @@ type Sweep struct {
 	prop Property
 	r    int
 	kl   int
+
+	// cert is the shared proof checker of a certified sweep (nil
+	// otherwise): one proof stream covers the whole sweep, and each
+	// per-k Unsat is certified via RUP-ness of its negated budget
+	// assumption (see certify.go).
+	cert *certState
 }
 
 // NewSweep prepares a reusable encoding of the property — with the fixed
@@ -48,21 +54,27 @@ func (a *Analyzer) NewSweep(p Property, r, kl int) (*Sweep, error) {
 		return nil, err
 	}
 	var enc *logic.Encoder
-	if a.cache != nil {
+	var cert *certState
+	// As in Verify, certification forces the fresh-encoder path: the
+	// sweep's proof stream must contain every input clause, so the
+	// checker is armed on the encoder from construction.
+	if a.cache != nil && !a.certify {
 		var err error
 		enc, _, _, err = a.snapshot(probe)
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		cert = a.beginCertify()
 		var delivered []*logic.Formula
 		enc, delivered = a.encodeStructure(probe)
+		a.proofSink = nil
 		enc.Assert(a.violationFormula(probe, delivered))
 		if a.presimplify {
 			enc.Simplify()
 		}
 	}
-	return &Sweep{a: a, enc: enc, prop: p, r: r, kl: kl}, nil
+	return &Sweep{a: a, enc: enc, prop: p, r: r, kl: kl, cert: cert}, nil
 }
 
 // VerifyK verifies the combined-budget query with at most k device
@@ -147,7 +159,7 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 	s.a.armProgress(s.enc, sp)
 	t0 = time.Now()
 	out := s.a.solveBudgeted(q, s.enc, sp, budget)
-	status := out.status
+	status := s.a.corruptStatus(out.status)
 	ph.Solve = time.Since(t0)
 	s.a.disarmProgress(s.enc)
 	stats := s.enc.Solver().Stats().Sub(before)
@@ -168,14 +180,30 @@ func (s *Sweep) verify(q Query) (*Result, error) {
 		t0 = time.Now()
 		v := s.a.extractVector(q, s.enc)
 		v = s.a.minimizeVector(q, v)
+		if s.a.faults.CorruptModelNow() {
+			s.a.corruptVector(&v)
+		}
 		ph.Decode = time.Since(t0)
 		sp.End()
 		res.Vector = &v
 	}
+	if s.cert != nil {
+		qs.SetPhase("certify")
+		sp = qspan.Start("certify")
+		// The budget was assumed, not asserted, so an Unsat at this k is
+		// certified by RUP-ness of its negated budget-counter literal.
+		var alits []sat.Lit
+		if status == sat.Unsat {
+			alits = []sat.Lit{s.enc.Lit(budget)}
+		}
+		s.a.certifyResult(q, s.enc, s.cert, alits, res)
+		sp.Annotate(obs.A("certified", res.Certified))
+		sp.End()
+	}
 	res.Phases = ph
 	res.Duration = time.Since(start)
-	qspan.Annotate(obs.A("status", status.String()))
+	qspan.Annotate(obs.A("status", res.Status.String()))
 	s.a.recordMetrics(res)
-	s.a.completeQuery(qs, qspan, status.String(), res.FailureReason)
+	s.a.completeQuery(qs, qspan, res.Status.String(), res.FailureReason)
 	return res, nil
 }

@@ -65,7 +65,12 @@ func registryTotals(reg *obs.Registry) (queries, conflicts, solveSec float64) {
 // row for each system in BoundaryOnly (default IEEE 118 — feasible at
 // the boundary since the portfolio, but its full k-sweep is not).
 // opt.Trace is threaded through so a recorded run can also produce a
-// full phase trace.
+// full phase trace. With opt.Certify, each system additionally gets a
+// "ksweep-certify" row — the same k-sweep with verdict certification
+// armed — while the base rows stay uncertified, so the certification
+// overhead (EXPERIMENTS.md §R3) reads directly as
+// ksweep-certify/ksweep and the base rows remain comparable to
+// earlier uncertified records.
 func BenchRecord(opt Options) (*BenchRun, error) {
 	boundaryOnly := opt.BoundaryOnly
 	if len(opt.Systems) == 0 {
@@ -74,6 +79,8 @@ func BenchRecord(opt Options) (*BenchRun, error) {
 			boundaryOnly = []string{"ieee118"}
 		}
 	}
+	certify := opt.Certify
+	opt.Certify = false
 	opt = opt.withDefaults()
 
 	run := &BenchRun{Schema: BenchSchema, Workers: core.NewRunner(opt.Workers).Workers()}
@@ -108,6 +115,32 @@ func BenchRecord(opt Options) (*BenchRun, error) {
 		if int(fig.Queries) != len(sr.Queries) {
 			return nil, fmt.Errorf("ksweep %s: metrics recorded %v queries, campaign ran %d",
 				sys, fig.Queries, len(sr.Queries))
+		}
+
+		if certify {
+			// The certified twin of the k-sweep just recorded: identical
+			// queries, every verdict proof-checked and audited.
+			creg := obs.NewRegistry()
+			cOpt := opt
+			cOpt.Certify = true
+			csr, err := KSweep(sys, opt.MaxK, opt.Workers, append(cOpt.CoreOptions(), core.WithMetrics(creg))...)
+			if err != nil {
+				return nil, fmt.Errorf("certified ksweep campaign %s: %w", sys, err)
+			}
+			for k, res := range csr.Results {
+				if res == nil || sr.Results[k] == nil {
+					continue
+				}
+				if res.Status != sr.Results[k].Status {
+					return nil, fmt.Errorf("certified ksweep %s: query %d verdict %v diverges from uncertified %v",
+						sys, k, res.Status, sr.Results[k].Status)
+				}
+				if !res.Certified {
+					return nil, fmt.Errorf("certified ksweep %s: query %d uncertified: %s",
+						sys, k, res.CertifyError)
+				}
+			}
+			run.Figures = append(run.Figures, benchFigure("ksweep-certify", sys, csr.Elapsed, creg))
 		}
 	}
 	for _, sys := range boundaryOnly {

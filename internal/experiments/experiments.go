@@ -88,6 +88,11 @@ type Options struct {
 	// PortfolioNoShare disables the learnt-clause exchange between
 	// replicas — the ablation leg of the §P3 methodology.
 	PortfolioNoShare bool
+	// Certify arms verdict certification in every campaign analyzer
+	// (core.WithCertification): proof-logged solves checked in-process,
+	// audited sat models, quarantine on divergence. The §R3 overhead
+	// ablation toggles this knob.
+	Certify bool
 	// Cache is the campaign's shared encoding cache; withDefaults
 	// creates one unless NoCache is set, and all workers clone from it.
 	Cache *core.EncodingCache
@@ -114,6 +119,9 @@ func (o Options) CoreOptions() []core.Option {
 	}
 	if o.Presimplify {
 		opts = append(opts, core.WithPresimplify(true))
+	}
+	if o.Certify {
+		opts = append(opts, core.WithCertification(true))
 	}
 	if o.Portfolio > 1 {
 		opts = append(opts, core.WithPortfolio(o.Portfolio))

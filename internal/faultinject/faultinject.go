@@ -50,6 +50,13 @@ type Faults struct {
 	streamDelay time.Duration // slow client: per-item stall (0 = off)
 	dropAfter   int64         // mid-stream disconnect after N items (< 0 = off)
 
+	// Verdict-corruption faults (see FlipVerdict, CorruptModel and
+	// DropProofStep): wrong answers injected after the solver decided,
+	// which only a certification layer can catch.
+	flipVerdict  int64 // verdict index to invert (< 0 = off)
+	corruptModel int64 // sat-model index to corrupt (< 0 = off)
+	dropProofAt  int64 // proof-addition index to truncate from (< 0 = off)
+
 	// Network-level faults (see transport.go), allocated on first arm so
 	// a plan without them carries no extra state.
 	netOnce  sync.Once
@@ -58,14 +65,20 @@ type Faults struct {
 	rngMu sync.Mutex
 	rng   uint64
 
-	panicFired atomic.Bool
-	writeIdx   atomic.Uint64
-	streamIdx  atomic.Int64
+	panicFired     atomic.Bool
+	writeIdx       atomic.Uint64
+	streamIdx      atomic.Int64
+	verdictIdx     atomic.Int64
+	modelIdx       atomic.Int64
+	proofDropFired atomic.Bool
 
 	stalls       atomic.Uint64
 	panics       atomic.Uint64
 	writeFaults  atomic.Uint64
 	streamFaults atomic.Uint64
+	verdictFlips atomic.Uint64
+	modelFaults  atomic.Uint64
+	proofDrops   atomic.Uint64
 }
 
 // New returns a plan with every fault disabled. The seed feeds Pick
@@ -77,6 +90,9 @@ func New(seed int64) *Faults {
 		panicTask:    -1,
 		panicReplica: -1,
 		dropAfter:    -1,
+		flipVerdict:  -1,
+		corruptModel: -1,
+		dropProofAt:  -1,
 		failedWrite:  map[uint64]bool{},
 	}
 }
@@ -208,6 +224,94 @@ func (f *Faults) CheckTask(i int) {
 	panic(ErrInjected)
 }
 
+// FlipVerdict arms verdict corruption: the n-th (0-based, counted
+// across the plan) decided solve verdict is inverted — Sat reported as
+// Unsat and vice versa — modeling a wrong answer escaping the solver
+// undetected. Without a certification layer the flipped verdict is
+// simply believed; with one it must be caught and quarantined. A
+// negative n disarms.
+func (f *Faults) FlipVerdict(n int) *Faults {
+	f.flipVerdict = int64(n)
+	return f
+}
+
+// CorruptVerdict reports whether the current decided verdict must be
+// inverted, advancing the plan's verdict counter. Callers invoke it
+// once per decided (Sat/Unsat) verdict.
+func (f *Faults) CorruptVerdict() bool {
+	if f == nil || f.flipVerdict < 0 {
+		return false
+	}
+	if f.verdictIdx.Add(1)-1 != f.flipVerdict {
+		return false
+	}
+	f.verdictFlips.Add(1)
+	return true
+}
+
+// CorruptModel arms witness corruption: the n-th (0-based, counted
+// across the plan) decoded sat model has one element of its threat
+// vector corrupted before it is reported, modeling a bad model readout.
+// A negative n disarms.
+func (f *Faults) CorruptModel(n int) *Faults {
+	f.corruptModel = int64(n)
+	return f
+}
+
+// CorruptModelNow reports whether the current decoded witness must be
+// corrupted, advancing the plan's model counter. Callers invoke it once
+// per decoded sat model.
+func (f *Faults) CorruptModelNow() bool {
+	if f == nil || f.corruptModel < 0 {
+		return false
+	}
+	if f.modelIdx.Add(1)-1 != f.corruptModel {
+		return false
+	}
+	f.modelFaults.Add(1)
+	return true
+}
+
+// DropProofStep arms proof-stream truncation: in the first certified
+// solve whose proof reaches the n-th (0-based) derived clause addition,
+// that addition and every later one are silently dropped before
+// reaching the proof checker — modeling a proof writer that crashed or
+// lost derivation steps. One-shot across the plan, so later solves (in
+// particular a quarantine re-solve) log complete proofs again. A
+// negative n disarms.
+func (f *Faults) DropProofStep(n int) *Faults {
+	f.dropProofAt = int64(n)
+	f.proofDropFired.Store(false)
+	return f
+}
+
+// ProofDropHook returns a per-stream proof-truncation predicate for
+// this plan, or nil when the fault is disarmed. Each certified solve
+// obtains its own hook and calls it once per derived clause addition;
+// the first stream to reach the armed step index claims the one-shot
+// fault and truncates its proof from there.
+func (f *Faults) ProofDropHook() func() bool {
+	if f == nil || f.dropProofAt < 0 {
+		return nil
+	}
+	at := f.dropProofAt
+	var seen int64
+	dropping := false
+	return func() bool {
+		if dropping {
+			f.proofDrops.Add(1)
+			return true
+		}
+		seen++
+		if seen-1 == at && !f.proofDropFired.Swap(true) {
+			dropping = true
+			f.proofDrops.Add(1)
+			return true
+		}
+		return false
+	}
+}
+
 // SlowClient arms HTTP-stream latency: every streamed response item
 // (a JSONL line of the enumeration endpoint) stalls for d before being
 // written, modeling a client that drains the response slowly. 0 disarms.
@@ -274,12 +378,15 @@ func (fw *faultyWriter) Write(p []byte) (int, error) {
 // Counts reports how many times each fault actually fired, for chaos
 // tests to assert the plan was exercised.
 type Counts struct {
-	SolverStalls    uint64
-	Panics          uint64
-	WriteFaults     uint64
-	StreamFaults    uint64
-	RefusedConnects uint64
-	ResponseCuts    uint64
+	SolverStalls      uint64
+	Panics            uint64
+	WriteFaults       uint64
+	StreamFaults      uint64
+	RefusedConnects   uint64
+	ResponseCuts      uint64
+	VerdictFlips      uint64
+	ModelCorruptions  uint64
+	DroppedProofSteps uint64
 }
 
 // Counts returns the current injection counters.
@@ -288,10 +395,13 @@ func (f *Faults) Counts() Counts {
 		return Counts{}
 	}
 	c := Counts{
-		SolverStalls: f.stalls.Load(),
-		Panics:       f.panics.Load(),
-		WriteFaults:  f.writeFaults.Load(),
-		StreamFaults: f.streamFaults.Load(),
+		SolverStalls:      f.stalls.Load(),
+		Panics:            f.panics.Load(),
+		WriteFaults:       f.writeFaults.Load(),
+		StreamFaults:      f.streamFaults.Load(),
+		VerdictFlips:      f.verdictFlips.Load(),
+		ModelCorruptions:  f.modelFaults.Load(),
+		DroppedProofSteps: f.proofDrops.Load(),
 	}
 	if n := f.netState; n != nil {
 		c.RefusedConnects = n.refused.Load()

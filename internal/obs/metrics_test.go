@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -187,5 +188,69 @@ func TestSetupEndpoints(t *testing.T) {
 	}
 	if err := closeObs(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCertifyCountersDeterministicRender populates the certification
+// counters the analyzer emits (insertion order deliberately scrambled
+// across properties) and asserts both exposition formats are
+// deterministic — repeated renders are byte-identical, series come out
+// sorted — and that the JSON snapshot carries exactly the values the
+// Prometheus text shows, so an attestation dashboard and a scraped
+// endpoint can never disagree.
+func TestCertifyCountersDeterministicRender(t *testing.T) {
+	names := []string{
+		"scadaver_certify_checked_total",
+		"scadaver_certify_failed_total",
+		"scadaver_certify_divergence_total",
+		"scadaver_certify_quarantine_total",
+	}
+	r := NewRegistry()
+	// Scrambled insertion: later property first, counters interleaved.
+	for i, prop := range []string{"secured-observability", "observability", "bad-data-detectability"} {
+		for j, name := range names {
+			r.Add(name, map[string]string{"property": prop}, float64(1+i+j))
+		}
+	}
+
+	render := func() (prom, js string) {
+		var pb, jb bytes.Buffer
+		if err := r.WritePrometheus(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return pb.String(), jb.String()
+	}
+	prom1, js1 := render()
+	prom2, js2 := render()
+	if prom1 != prom2 {
+		t.Fatal("Prometheus rendering is not deterministic across calls")
+	}
+	if js1 != js2 {
+		t.Fatal("JSON rendering is not deterministic across calls")
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(js1), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(snap.Counters); got != len(names)*3 {
+		t.Fatalf("snapshot has %d counter series, want %d", got, len(names)*3)
+	}
+	for i := 1; i < len(snap.Counters); i++ {
+		a, b := snap.Counters[i-1], snap.Counters[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Labels["property"] > b.Labels["property"]) {
+			t.Fatalf("snapshot series out of order: %s%v before %s%v", a.Name, a.Labels, b.Name, b.Labels)
+		}
+	}
+	// Every JSON series must appear verbatim in the Prometheus text with
+	// the same value.
+	for _, c := range snap.Counters {
+		line := fmt.Sprintf("%s{property=%q} %v", c.Name, c.Labels["property"], c.Value)
+		if !strings.Contains(prom1, line) {
+			t.Fatalf("prometheus output missing %q:\n%s", line, prom1)
+		}
 	}
 }

@@ -4,7 +4,8 @@ package sat
 // level: variables, root-level assignments, problem and learned clauses,
 // watches, activities, saved phases, and the elimination stack of a
 // previous Simplify all carry over; per-solve hooks (interrupt, conflict
-// hook, progress probe) and the cumulative statistics do not. The copy
+// hook, progress probe, proof writer) and the cumulative statistics do
+// not — portfolio replicas install their own recording proof hooks. The copy
 // shares no mutable state with the original, so clones may be solved
 // concurrently — this is what the encoding cache hands out per query.
 //

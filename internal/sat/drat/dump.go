@@ -1,0 +1,102 @@
+package drat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"scadaver/internal/sat"
+)
+
+// Dump buffers a proof stream as text: the input clauses as a DIMACS
+// CNF body and the derivation as DRAT lines ("d "-prefixed deletions),
+// the format external checkers such as drat-trim consume. Use it when
+// the in-process Checker's verdict needs independent confirmation:
+//
+//	dump := drat.NewDump()
+//	solver.SetProofHook(dump) // or drat.Tee(checker, dump)
+//	...
+//	dump.WriteDIMACS(cnfFile)
+//	dump.WriteProof(proofFile)
+type Dump struct {
+	inputs []string
+	steps  []string
+	maxVar int
+}
+
+// NewDump returns an empty dump.
+func NewDump() *Dump { return &Dump{} }
+
+// Step implements sat.ProofWriter.
+func (d *Dump) Step(op sat.ProofOp, lits []sat.Lit) {
+	for _, l := range lits {
+		if v := int(l.Var()) + 1; v > d.maxVar {
+			d.maxVar = v
+		}
+	}
+	switch op {
+	case sat.ProofInput:
+		d.inputs = append(d.inputs, dimacsLine("", lits))
+	case sat.ProofAdd:
+		d.steps = append(d.steps, dimacsLine("", lits))
+	case sat.ProofDelete:
+		d.steps = append(d.steps, dimacsLine("d ", lits))
+	}
+}
+
+// Inputs returns the number of buffered input clauses.
+func (d *Dump) Inputs() int { return len(d.inputs) }
+
+// WriteDIMACS writes the input formula in DIMACS CNF format.
+func (d *Dump) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", d.maxVar, len(d.inputs)); err != nil {
+		return err
+	}
+	for _, line := range d.inputs {
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteProof writes the derivation in DRAT text format.
+func (d *Dump) WriteProof(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, line := range d.steps {
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func dimacsLine(prefix string, lits []sat.Lit) string {
+	buf := make([]byte, 0, len(prefix)+4*len(lits)+3)
+	buf = append(buf, prefix...)
+	for _, l := range lits {
+		n := int(l.Var()) + 1
+		if l.Sign() {
+			n = -n
+		}
+		buf = strconv.AppendInt(buf, int64(n), 10)
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, '0', '\n')
+	return string(buf)
+}
+
+// Tee fans one proof stream out to several writers (e.g. an in-process
+// Checker plus a Dump for external re-checking).
+func Tee(ws ...sat.ProofWriter) sat.ProofWriter { return tee(ws) }
+
+type tee []sat.ProofWriter
+
+// Step implements sat.ProofWriter.
+func (t tee) Step(op sat.ProofOp, lits []sat.Lit) {
+	for _, w := range t {
+		w.Step(op, lits)
+	}
+}

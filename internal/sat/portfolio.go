@@ -235,6 +235,14 @@ func (r *exchangeRing) drain(cursor *uint64, self int) []sharedLearnt {
 // defensively — replicas never run variable elimination, so with the
 // current pipeline the filter never fires, but it keeps the importer
 // sound if that ever changes.
+//
+// Under an armed proof hook every import must itself be justified: the
+// clause was derived by ANOTHER replica, whose derivation this
+// replica's proof does not contain. The importer therefore RUP-checks
+// each candidate against the local database (rupImplied) and logs the
+// ones that pass as ordinary Add steps; candidates that are not yet
+// locally implied are dropped — sharing degrades instead of the proof
+// breaking. See DESIGN.md §15 for why this beats disabling sharing.
 func (s *Solver) importShared(ring *exchangeRing, cursor *uint64, self int) {
 	for _, e := range ring.drain(cursor, self) {
 		lits := make([]Lit, 0, len(e.lits))
@@ -259,15 +267,21 @@ func (s *Solver) importShared(ring *exchangeRing, cursor *uint64, self int) {
 		if skip {
 			continue
 		}
+		if s.proof != nil {
+			if !s.rupImplied(e.lits) {
+				continue
+			}
+			s.proofStep(ProofAdd, e.lits)
+		}
 		s.stats.ImportedClauses++
 		switch len(lits) {
 		case 0:
-			s.rootUnsat = true
+			s.markRootUnsat()
 			return
 		case 1:
 			s.uncheckedEnqueue(lits[0], nil)
 			if s.propagate() != nil {
-				s.rootUnsat = true
+				s.markRootUnsat()
 				return
 			}
 		default:
@@ -338,6 +352,18 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 	statuses := make([]Status, n)
 	panicked := make([]bool, n)
 
+	// Under an armed proof hook each replica logs into a private
+	// recorder (Clone deliberately does not copy the hook); the adopted
+	// replica's recording is replayed into the parent's writer after
+	// the race, so the emitted proof describes exactly the database the
+	// caller ends up observing. Replicas are clones of s, whose inputs
+	// and prior derivations the parent's proof already contains, so the
+	// replayed steps check against the right prefix.
+	var recorders []*proofRecorder
+	if s.proof != nil {
+		recorders = make([]*proofRecorder, n)
+	}
+
 	// makeReplica clones s and diversifies the clone lazily, only when
 	// the replica is actually admitted — replicas released by an already
 	// decided race never pay the clone. The mutex serializes Clone calls:
@@ -348,6 +374,11 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 		r := s.Clone()
 		cloneMu.Unlock()
 		strategyFor(id).apply(r)
+		if recorders != nil {
+			rec := &proofRecorder{}
+			recorders[id] = rec
+			r.SetProofHook(rec)
+		}
 		r.SetInterrupt(func() bool {
 			return done.Load() || (baseInterrupt != nil && baseInterrupt())
 		})
@@ -491,6 +522,9 @@ func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Stat
 		}
 	}
 	if pick >= 0 && replicas[pick] != nil {
+		if recorders != nil && recorders[pick] != nil {
+			recorders[pick].replay(s.proof)
+		}
 		s.adopt(replicas[pick], time.Since(start))
 	}
 	return status, pst

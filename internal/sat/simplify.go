@@ -69,7 +69,7 @@ func (s *Solver) Simplify() bool {
 		return false
 	}
 	if s.propagate() != nil {
-		s.rootUnsat = true
+		s.markRootUnsat()
 		return false
 	}
 
@@ -80,7 +80,7 @@ func (s *Solver) Simplify() bool {
 
 	p := newSimplifier(s)
 	if !p.run() {
-		s.rootUnsat = true
+		s.markRootUnsat()
 	}
 	p.rebuild()
 	return !s.rootUnsat
@@ -112,9 +112,12 @@ func (s *Solver) probeFailedLiterals(maxProbes int) {
 				continue
 			}
 			s.stats.FailedLits++
+			// A failed literal's negation is a RUP unit: assuming l and
+			// propagating is exactly the RUP check of {¬l}.
+			s.proofStep(ProofAdd, []Lit{l.Neg()})
 			s.uncheckedEnqueue(l.Neg(), nil)
 			if s.propagate() != nil {
-				s.rootUnsat = true
+				s.markRootUnsat()
 				return
 			}
 		}
@@ -171,8 +174,17 @@ func newSimplifier(s *Solver) *simplifier {
 		p.addClause(lits)
 	}
 	// The working set replaces the watched representation entirely.
+	// Discarded learned clauses are logged as deletions so a forward
+	// checker's database tracks the solver's.
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
+	}
+	if s.proof != nil {
+		for _, c := range s.learned {
+			if !c.deleted {
+				s.proofStep(ProofDelete, c.lits)
+			}
+		}
 	}
 	s.learned = nil
 	return p
@@ -183,7 +195,7 @@ func newSimplifier(s *Solver) *simplifier {
 func (p *simplifier) addClause(lits []Lit) {
 	switch len(lits) {
 	case 0:
-		p.s.rootUnsat = true
+		p.s.markRootUnsat()
 	case 1:
 		p.units = append(p.units, lits[0])
 	default:
@@ -221,6 +233,7 @@ func (p *simplifier) kill(ci int) {
 		return
 	}
 	c.dead = true
+	p.s.proofStep(ProofDelete, c.lits)
 	for _, l := range c.lits {
 		p.removeOcc(l, ci)
 	}
@@ -234,6 +247,14 @@ func (p *simplifier) removeLit(ci int, l Lit) bool {
 	if c.dead {
 		return true
 	}
+	// Proof: strengthening is an Add of the shorter clause followed by
+	// a Delete of the original (in that order — the Add is RUP while
+	// the original still backs it). The compaction below mutates c.lits
+	// in place, so the original is snapshotted first.
+	var orig []Lit
+	if p.s.proof != nil {
+		orig = append([]Lit(nil), c.lits...)
+	}
 	p.removeOcc(l, ci)
 	lits := c.lits[:0]
 	for _, q := range c.lits {
@@ -244,15 +265,23 @@ func (p *simplifier) removeLit(ci int, l Lit) bool {
 	c.lits = lits
 	switch len(lits) {
 	case 0:
-		p.s.rootUnsat = true
+		p.s.markRootUnsat()
 		return false
 	case 1:
+		if p.s.proof != nil {
+			p.s.proofStep(ProofAdd, lits)
+			p.s.proofStep(ProofDelete, orig)
+		}
 		p.units = append(p.units, lits[0])
 		// Detach the remaining occurrence; the pending root assignment
 		// subsumes the clause.
 		p.removeOcc(lits[0], ci)
 		c.dead = true
 		return true
+	}
+	if p.s.proof != nil {
+		p.s.proofStep(ProofAdd, lits)
+		p.s.proofStep(ProofDelete, orig)
 	}
 	p.push(ci)
 	return true
@@ -269,7 +298,7 @@ func (p *simplifier) drainUnits() bool {
 		case True:
 			continue
 		case False:
-			p.s.rootUnsat = true
+			p.s.markRootUnsat()
 			return false
 		}
 		p.s.uncheckedEnqueue(l, nil)
@@ -435,6 +464,14 @@ func (p *simplifier) tryEliminate(v Var) bool {
 		}
 	}
 
+	// Proof: resolvents are RUP while both parents are still present, so
+	// each addition is logged before the occurrence lists are deleted
+	// (the kills below log the Deletes). addClause does not emit.
+	if p.s.proof != nil {
+		for _, r := range resolvents {
+			p.s.proofStep(ProofAdd, r)
+		}
+	}
 	rec := elimRecord{v: v, pos: make([][]Lit, 0, len(pos))}
 	for _, ci := range pos {
 		rec.pos = append(rec.pos, append([]Lit(nil), p.cls[ci].lits...))

@@ -1,0 +1,91 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSimplifyModelReconstructionRandomized is the regression net for
+// eliminated-variable model reconstruction (extendModel): on randomized
+// satisfiable instances that Simplify is free to eliminate from (no
+// frozen variables), the Model()/Value() view after a Sat answer must
+// satisfy the ORIGINAL clause set — including every clause whose
+// variables were resolved away by bounded variable elimination. Planted
+// solutions keep the instances satisfiable; the cumulative ElimVars
+// assertion proves the scenario actually exercises BVE rather than
+// passing vacuously.
+func TestSimplifyModelReconstructionRandomized(t *testing.T) {
+	var eliminated uint64
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 8 + rng.Intn(13)
+		planted := make([]bool, nv)
+		for v := range planted {
+			planted[v] = rng.Intn(2) == 0
+		}
+		nc := nv + rng.Intn(2*nv)
+		cnf := make([][]Lit, 0, nc)
+		for i := 0; i < nc; i++ {
+			w := 2 + rng.Intn(2)
+			cl := make([]Lit, 0, w)
+			// One literal is made true under the planted assignment so
+			// the instance stays satisfiable; the rest are random.
+			anchor := Var(rng.Intn(nv))
+			cl = append(cl, MkLit(anchor, !planted[anchor]))
+			for len(cl) < w {
+				v := Var(rng.Intn(nv))
+				cl = append(cl, MkLit(v, rng.Intn(2) == 1))
+			}
+			cnf = append(cnf, cl)
+		}
+
+		s := New()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			if err := s.AddClause(cl...); err != nil {
+				t.Fatalf("seed %d: AddClause: %v", seed, err)
+			}
+		}
+		if !s.Simplify() {
+			t.Fatalf("seed %d: planted-satisfiable instance refuted by Simplify", seed)
+		}
+		eliminated += s.Stats().ElimVars
+		if st := s.Solve(); st != Sat {
+			t.Fatalf("seed %d: got %v, want sat", seed, st)
+		}
+
+		m := s.Model()
+		if len(m) != nv {
+			t.Fatalf("seed %d: model has %d vars, want %d", seed, len(m), nv)
+		}
+		for _, cl := range cnf {
+			ok := false
+			for _, l := range cl {
+				if m[l.Var()] != l.Sign() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("seed %d: model falsifies original clause %v", seed, cl)
+			}
+		}
+		// Value must agree with Model for every variable, eliminated
+		// ones included (both go through the reconstructed assignment).
+		for v := Var(0); int(v) < nv; v++ {
+			want := False
+			if m[v] {
+				want = True
+			}
+			if got := s.Value(v); got != want {
+				t.Fatalf("seed %d: Value(%d)=%v disagrees with Model()=%v (eliminated=%v)",
+					seed, v, got, m[v], s.Eliminated(v))
+			}
+		}
+	}
+	if eliminated == 0 {
+		t.Fatal("no variable was ever eliminated: the regression test is not exercising BVE")
+	}
+}

@@ -100,6 +100,12 @@ type Solver struct {
 	// disabled cost is one nil-check per restart/reduction.
 	eventHook func(Event)
 
+	// Proof logging seam (see proof.go): every clause-database change —
+	// inputs, learned clauses, pre-/inprocessing derivations, deletions
+	// — is narrated as a DRAT step when armed. Nil outside certified
+	// runs; the disabled cost is one nil-check per database change.
+	proof ProofWriter
+
 	rootUnsat bool
 	stats     Stats
 }
@@ -275,12 +281,17 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	if s.decisionLevel() != 0 {
 		s.cancelUntil(0)
 	}
-	// Normalize: sort, dedupe, drop root-false literals, detect tautology
-	// and root-true literals.
+	// Normalize in two passes. The first sorts, dedupes, and detects
+	// tautologies; the proof logs the clause at this point — before
+	// root-value filtering — so the recorded input formula is exactly
+	// what the caller asserted (the checker mirrors root units by its
+	// own propagation, making the filtered clause the solver stores
+	// propagation-equivalent). The second pass drops root-false
+	// literals and root-satisfied clauses.
 	tmp := make([]Lit, len(lits))
 	copy(tmp, lits)
 	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	out := tmp[:0]
+	ded := tmp[:0]
 	var prev Lit = LitUndef
 	for _, l := range tmp {
 		if int(l.Var()) >= len(s.assigns) || l < 0 {
@@ -295,6 +306,12 @@ func (s *Solver) AddClause(lits ...Lit) error {
 		if prev != LitUndef && l == prev.Neg() {
 			return nil // tautology
 		}
+		ded = append(ded, l)
+		prev = l
+	}
+	s.proofStep(ProofInput, ded)
+	out := ded[:0]
+	for _, l := range ded {
 		switch s.value(l) {
 		case True:
 			return nil // already satisfied at root
@@ -302,16 +319,15 @@ func (s *Solver) AddClause(lits ...Lit) error {
 			continue // drop
 		}
 		out = append(out, l)
-		prev = l
 	}
 	switch len(out) {
 	case 0:
-		s.rootUnsat = true
+		s.markRootUnsat()
 		return nil
 	case 1:
 		s.uncheckedEnqueue(out[0], nil)
 		if s.propagate() != nil {
-			s.rootUnsat = true
+			s.markRootUnsat()
 		}
 		return nil
 	}
@@ -595,6 +611,8 @@ func (s *Solver) computeLBD(lits []Lit) int32 {
 }
 
 func (s *Solver) record(lits []Lit) {
+	// First-UIP clauses (minimization included) are RUP by construction.
+	s.proofStep(ProofAdd, lits)
 	if len(lits) == 1 {
 		if s.learnHook != nil {
 			s.learnHook(lits, 1)
@@ -634,6 +652,7 @@ func (s *Solver) reduceDB() {
 		}
 		c.deleted = true
 		s.stats.Removed++
+		s.proofStep(ProofDelete, c.lits)
 	}
 	// Compact in place: kept aliases s.learned's backing array, so only
 	// the dropped tail needs clearing for the GC.
@@ -740,7 +759,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
-		s.rootUnsat = true
+		s.markRootUnsat()
 		return Unsat
 	}
 
@@ -770,7 +789,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.progress(s.progressSnapshot())
 			}
 			if s.decisionLevel() == 0 {
-				s.rootUnsat = true
+				s.markRootUnsat()
 				return Unsat
 			}
 			learnt, back := s.analyze(conflict)
@@ -805,7 +824,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 					return Unsat
 				}
 				if s.propagate() != nil {
-					s.rootUnsat = true
+					s.markRootUnsat()
 					return Unsat
 				}
 			} else if s.inprocess && s.stats.Restarts%inprocessEvery == 0 {
@@ -815,7 +834,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 					return Unsat
 				}
 				if s.propagate() != nil {
-					s.rootUnsat = true
+					s.markRootUnsat()
 					return Unsat
 				}
 			}

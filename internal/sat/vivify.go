@@ -38,6 +38,7 @@ func (s *Solver) simplifyRoots() {
 				if s.value(l) == True {
 					c.deleted = true
 					removed = true
+					s.proofStep(ProofDelete, c.lits)
 					break
 				}
 			}
@@ -118,6 +119,14 @@ func (s *Solver) detach(c *clause) {
 // false in every model falsifying the kept prefix, so removing them
 // preserves the clause's models.
 func (s *Solver) vivifyClause(c *clause) {
+	// Proof: a successful vivification logs the shortened clause before
+	// deleting the original (Add-before-Delete keeps the Add RUP); the
+	// original is snapshotted because the default case below overwrites
+	// c.lits in place.
+	var orig []Lit
+	if s.proof != nil {
+		orig = append([]Lit(nil), c.lits...)
+	}
 	// Resolve root-assigned literals first: a root-true literal makes the
 	// clause permanently satisfied, root-false literals are stripped.
 	lits := make([]Lit, 0, len(c.lits))
@@ -126,6 +135,7 @@ func (s *Solver) vivifyClause(c *clause) {
 		case True:
 			s.detach(c)
 			c.deleted = true
+			s.proofStep(ProofDelete, orig)
 			return
 		case False:
 			// strip
@@ -161,16 +171,24 @@ func (s *Solver) vivifyClause(c *clause) {
 	switch len(kept) {
 	case 0:
 		c.deleted = true
-		s.rootUnsat = true
+		s.markRootUnsat()
 	case 1:
 		// kept[0] was unassigned at the root when probing began, so it is
 		// still unassigned here: enqueue it as a root unit.
+		if s.proof != nil {
+			s.proofStep(ProofAdd, kept)
+			s.proofStep(ProofDelete, orig)
+		}
 		c.deleted = true
 		s.uncheckedEnqueue(kept[0], nil)
 		if s.propagate() != nil {
-			s.rootUnsat = true
+			s.markRootUnsat()
 		}
 	default:
+		if s.proof != nil {
+			s.proofStep(ProofAdd, kept)
+			s.proofStep(ProofDelete, orig)
+		}
 		c.lits = kept
 		if int32(len(kept)) < c.lbd {
 			c.lbd = int32(len(kept))

@@ -22,6 +22,8 @@ import (
 
 	"scadaver/internal/core"
 	"scadaver/internal/faultinject"
+	"scadaver/internal/obs"
+	"scadaver/internal/sat"
 )
 
 // TestChaosOverloadShedsWithBoundedLatency drives 4x queue-capacity
@@ -545,5 +547,207 @@ func TestChaosOverloadQueryRegistryBounded(t *testing.T) {
 	waitFor(t, 5*time.Second, func() bool { return len(s.Queries().Active()) == 0 })
 	if n := len(s.Queries().Completed()); n == 0 || n > 4 {
 		t.Fatalf("completed ring = %d after burst, want 1..4", n)
+	}
+}
+
+// certifyBoundary probes the grid config for the combined-observability
+// budget boundary and returns a query whose pristine verdict is Unsat
+// and one whose pristine verdict is Sat, with the ground-truth results
+// from an unfaulted direct analyzer.
+func certifyBoundary(t testing.TB) (unsatQ, satQ core.Query, unsatRes, satRes *core.Result) {
+	t.Helper()
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 8; k++ {
+		q := core.Query{Property: core.Observability, Combined: true, K: k}
+		res, err := a.Verify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Status {
+		case sat.Unsat:
+			unsatQ, unsatRes = q, res
+		case sat.Sat:
+			if satRes == nil {
+				satQ, satRes = q, res
+			}
+		}
+		if unsatRes != nil && satRes != nil {
+			return unsatQ, satQ, unsatRes, satRes
+		}
+	}
+	t.Fatal("test config has no Unsat/Sat boundary within k <= 8")
+	return
+}
+
+// TestChaosCertifyFlippedVerdictQuarantined arms the verdict-flip fault
+// on a certifying service and drives one verification per flip
+// direction through real HTTP. The certification audit must catch the
+// corrupted verdict, quarantine the query, and hand the client the
+// pristine re-solve's verdict with a certified attestation: a lying
+// solver must never produce an uncaught wrong answer at the API
+// boundary.
+func TestChaosCertifyFlippedVerdictQuarantined(t *testing.T) {
+	unsatQ, satQ, unsatRes, satRes := certifyBoundary(t)
+	cases := []struct {
+		name string
+		q    core.Query
+		want *core.Result
+	}{
+		{"unsat-flipped-to-sat", unsatQ, unsatRes},
+		{"sat-flipped-to-unsat", satQ, satRes},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			faults := faultinject.New(1).FlipVerdict(0)
+			reg := obs.NewRegistry()
+			_, ts := newTestServer(t, func(o *Options) {
+				o.Certify = true
+				o.Metrics = reg
+				o.Faults = faults
+			})
+
+			resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: tc.q})
+			if resp.StatusCode != http.StatusOK {
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				t.Fatalf("verify status = %d, body %s", resp.StatusCode, raw)
+			}
+			vr := decodeBody[VerifyResponse](t, resp)
+			if got := faults.Counts().VerdictFlips; got != 1 {
+				t.Fatalf("verdict flips = %d, want exactly 1 — the corruption never fired", got)
+			}
+			res := vr.Result
+			if res == nil {
+				t.Fatal("certified verify returned no result")
+			}
+			if res.Status != tc.want.Status {
+				t.Fatalf("served verdict %v, want the pristine verdict %v — the flip reached the client",
+					res.Status, tc.want.Status)
+			}
+			if vr.Resilient != tc.want.Resilient() {
+				t.Fatalf("served resilient=%v, ground truth %v", vr.Resilient, tc.want.Resilient())
+			}
+			if !res.Quarantined {
+				t.Fatal("flipped verdict was not quarantined")
+			}
+			if !vr.Certified || !res.Certified {
+				t.Fatalf("quarantined re-solve not certified (response %v, result %v): %s",
+					vr.Certified, res.Certified, res.CertifyError)
+			}
+			if res.CertifyError == "" {
+				t.Fatal("quarantined result carries no audit-failure cause")
+			}
+			pl := map[string]string{"property": tc.q.Property.String()}
+			if got := reg.Counter("scadaver_certify_quarantine_total", pl); got != 1 {
+				t.Fatalf("quarantine counter = %v, want 1", got)
+			}
+			if got := reg.Counter("scadaver_certify_divergence_total", pl); got != 1 {
+				t.Fatalf("divergence counter = %v, want 1", got)
+			}
+		})
+	}
+}
+
+// TestChaosCertifyCorruptedModelQuarantined arms the model-corruption
+// fault (the solver reports the right status but a wrong witness) on a
+// certifying service: the audit's witness re-check must catch it and
+// the quarantined re-solve must return a vector that actually violates
+// the property.
+func TestChaosCertifyCorruptedModelQuarantined(t *testing.T) {
+	_, satQ, _, satRes := certifyBoundary(t)
+	faults := faultinject.New(1).CorruptModel(0)
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, func(o *Options) {
+		o.Certify = true
+		o.Metrics = reg
+		o.Faults = faults
+	})
+
+	resp := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: satQ})
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("verify status = %d, body %s", resp.StatusCode, raw)
+	}
+	vr := decodeBody[VerifyResponse](t, resp)
+	if got := faults.Counts().ModelCorruptions; got != 1 {
+		t.Fatalf("model corruptions = %d, want exactly 1", got)
+	}
+	res := vr.Result
+	if res == nil || res.Status != satRes.Status {
+		t.Fatalf("served result %+v, want status %v", res, satRes.Status)
+	}
+	if !res.Quarantined || !res.Certified {
+		t.Fatalf("corrupted witness not quarantined+certified (quarantined=%v certified=%v): %s",
+			res.Quarantined, res.Certified, res.CertifyError)
+	}
+	pl := map[string]string{"property": satQ.Property.String()}
+	if got := reg.Counter("scadaver_certify_failed_total", pl); got == 0 {
+		t.Fatal("audit-failure counter never moved for a corrupted witness")
+	}
+}
+
+// TestChaosCertifySweepAttestation runs a clean certified sweep through
+// HTTP and asserts the aggregate attestation: every budget's verdict
+// matches an unfaulted direct sweep, the response is certified with a
+// nonzero proof-clause count, and the audit counters account for every
+// decided budget with zero quarantines.
+func TestChaosCertifySweepAttestation(t *testing.T) {
+	const maxK = 3
+	a, err := core.NewAnalyzer(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := a.NewSweep(core.Observability, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sw.VerifyRange(maxK, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	_, ts := newTestServer(t, func(o *Options) {
+		o.Certify = true
+		o.Metrics = reg
+	})
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Config: "grid", Property: core.Observability, MaxK: maxK})
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("sweep status = %d, body %s", resp.StatusCode, raw)
+	}
+	sr := decodeBody[SweepResponse](t, resp)
+	if len(sr.Results) != len(want) {
+		t.Fatalf("sweep returned %d results, want %d", len(sr.Results), len(want))
+	}
+	for k, res := range sr.Results {
+		if res.Status != want[k].Status {
+			t.Fatalf("k=%d: certified sweep status %v, direct sweep %v", k, res.Status, want[k].Status)
+		}
+		if !res.Certified || res.Quarantined {
+			t.Fatalf("k=%d: certified=%v quarantined=%v: %s", k, res.Certified, res.Quarantined, res.CertifyError)
+		}
+	}
+	if !sr.Certified {
+		t.Fatal("sweep aggregate attestation is uncertified")
+	}
+	if sr.ProofClauses == 0 {
+		t.Fatal("certified sweep reports zero proof clauses")
+	}
+	pl := map[string]string{"property": core.Observability.String()}
+	if got := reg.Counter("scadaver_certify_checked_total", pl); got != float64(len(want)) {
+		t.Fatalf("checked counter = %v, want %d (one audit per budget)", got, len(want))
+	}
+	for _, name := range []string{"scadaver_certify_failed_total",
+		"scadaver_certify_divergence_total", "scadaver_certify_quarantine_total"} {
+		if got := reg.Counter(name, pl); got != 0 {
+			t.Fatalf("%s = %v on a clean certified sweep, want 0", name, got)
+		}
 	}
 }

@@ -41,10 +41,19 @@ type VerifyRequest struct {
 	Budget BudgetSpec `json:"budget"`
 }
 
-// VerifyResponse is the body of a successful POST /v1/verify.
+// VerifyResponse is the body of a successful POST /v1/verify. On a
+// certifying service (Options.Certify) the attestation fields report
+// whether the verdict was independently checked, how many derived
+// proof clauses the in-process checker accepted, and the audit
+// overhead in milliseconds; they are zero otherwise. The cluster
+// coordinator relays member bodies verbatim, so the attestation of the
+// member that solved the query reaches the client unchanged.
 type VerifyResponse struct {
-	Resilient bool         `json:"resilient"`
-	Result    *core.Result `json:"result"`
+	Resilient    bool         `json:"resilient"`
+	Result       *core.Result `json:"result"`
+	Certified    bool         `json:"certified,omitempty"`
+	ProofClauses uint64       `json:"proofClauses,omitempty"`
+	AuditMs      float64      `json:"auditMs,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: verify every combined
@@ -69,6 +78,13 @@ type SweepRequest struct {
 type SweepResponse struct {
 	Results []*core.Result `json:"results"`
 	Resumed int            `json:"resumed,omitempty"`
+	// Certification attestation (Options.Certify): Certified only when
+	// every solved budget was certified (budgets resumed from a
+	// checkpoint re-use their recorded attestation); ProofClauses and
+	// AuditMs aggregate over the sweep.
+	Certified    bool    `json:"certified,omitempty"`
+	ProofClauses uint64  `json:"proofClauses,omitempty"`
+	AuditMs      float64 `json:"auditMs,omitempty"`
 }
 
 // EnumerateRequest is the body of POST /v1/enumerate. The response is
@@ -242,10 +258,17 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	s.brk.Record(out.Result.Status == sat.Unsolved)
 	s.respond(w, route, start, http.StatusOK, VerifyResponse{
-		Resilient: out.Result.Resilient(),
-		Result:    out.Result,
+		Resilient:    out.Result.Resilient(),
+		Result:       out.Result,
+		Certified:    out.Result.Certified,
+		ProofClauses: out.Result.ProofClauses,
+		AuditMs:      durationMs(out.Result.Audit),
 	})
 }
+
+// durationMs renders an audit duration as fractional milliseconds for
+// the attestation fields.
+func durationMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -319,7 +342,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.brk.Record(anyUnsolved(results))
-	s.respond(w, route, start, http.StatusOK, SweepResponse{Results: results, Resumed: resumed})
+	resp := SweepResponse{Results: results, Resumed: resumed, Certified: len(results) > 0}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if !res.Certified {
+			resp.Certified = false
+		}
+		resp.ProofClauses += res.ProofClauses
+		resp.AuditMs += durationMs(res.Audit)
+	}
+	s.respond(w, route, start, http.StatusOK, resp)
 }
 
 func anyUnsolved(results []*core.Result) bool {

@@ -126,6 +126,13 @@ type Options struct {
 	// preprocess) each structure exactly once — singleflight — instead
 	// of per request.
 	NoEncodingCache bool
+	// Certify makes every verdict this service reports carry a
+	// certification attestation (core.WithCertification): solves are
+	// proof-logged and checked in-process, sat models are audited, and
+	// diverging verdicts are quarantined and re-solved pristinely. The
+	// attestation surfaces in the certified/proofClauses/auditMs fields
+	// of /v1/verify and /v1/sweep responses.
+	Certify bool
 	// ErrorLog receives worker panics and drain progress (default:
 	// the standard logger).
 	ErrorLog *log.Logger
@@ -337,6 +344,9 @@ func (s *Server) analyzerOptions(b core.QueryBudget) []core.Option {
 	}
 	if s.opts.Presimplify {
 		opts = append(opts, core.WithPresimplify(true))
+	}
+	if s.opts.Certify {
+		opts = append(opts, core.WithCertification(true))
 	}
 	if s.opts.Portfolio > 1 {
 		opts = append(opts, core.WithPortfolio(s.opts.Portfolio))
