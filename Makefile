@@ -36,11 +36,14 @@ bench:
 # for the armed/ablated legs). -certify adds a ksweep-certify row per
 # system (the §R3 certification-overhead ablation) while leaving the
 # base rows uncertified and comparable to earlier records.
+# The record also carries the mutation-storm rows (mutate-incremental
+# vs mutate-cold on IEEE-57): the delta-aware re-verification headline.
 # BENCH_pr2.json is the retained pre-preprocessing baseline,
-# BENCH_pr5.json the pre-galloping-boundary-search one, and
-# BENCH_pr6.json the last pre-certification record.
+# BENCH_pr5.json the pre-galloping-boundary-search one,
+# BENCH_pr6.json the last pre-certification record, and
+# BENCH_pr9.json the last record before the delta cache.
 bench-record:
-	$(GO) run ./cmd/scada-bench -record BENCH_pr9.json -inputs 1 -runs 2 -maxk 4 -presimplify -certify
+	$(GO) run ./cmd/scada-bench -record BENCH_pr10.json -inputs 1 -runs 2 -maxk 4 -presimplify -certify
 
 # The chaos pass: the fault-tolerance suite (deterministic fault
 # injection, budget degradation, checkpoint/resume, panic isolation)
@@ -56,7 +59,7 @@ bench-record:
 chaos: chaos-cluster
 	$(GO) test -race -count=1 ./internal/faultinject ./internal/atomicio ./internal/sat/drat
 	$(GO) test -race -count=1 -run 'TestPortfolio|TestVivify|TestExchange' ./internal/sat
-	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio|TestFlight' ./internal/core
+	$(GO) test -race -count=1 -run 'TestChaos|TestBudget|TestCheckpoint|TestSweepVerifyRange|TestIEEE57EnumerationResume|TestPortfolio|TestFlight|TestDelta' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSetup|TestTracer|TestFlight' ./internal/obs
 	$(GO) test -race -count=1 -run 'TestChaos|TestBreaker|TestHandoff|TestRetryAfter' ./internal/serve
 	$(GO) test -race -count=1 ./cmd/scada-served

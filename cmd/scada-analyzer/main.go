@@ -79,6 +79,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		presimp    = fs.Bool("presimplify", false, "preprocess the CNF before search (unit propagation, subsumption, variable elimination)")
 		certify    = fs.Bool("certify", false, "certify every verdict: proof-log the solve and check it in-process (DRAT), audit sat models against a pristine re-encode, and quarantine+re-solve on divergence")
 		noCache    = fs.Bool("no-cache", false, "disable the cross-query encoding cache (re-encode the structure per query)")
+		mutateStr  = fs.String("mutate", "", "apply a mutation delta before verification (\"link-remove 7; device-down 3; key-rotate 4 256\"): the pre-mutation structure is verified first to warm the delta-aware encoding cache, then only the delta's dirty cone is re-encoded (see the delta/carried counters under -stats)")
 		portfolio  = fs.Int("portfolio", 0, "race N diversified solver replicas (clause sharing, inprocessing) per hard query; 0/1 = serial. Ignored by -sweep: like the encoding cache, the portfolio may surface different (equally valid) witness vectors, and sweep output is contracted to be identical across worker counts")
 		showVer    = fs.Bool("version", false, "print version and exit")
 	)
@@ -180,8 +181,16 @@ func run(args []string, out io.Writer) (retErr error) {
 	// than the from-scratch encodings that contract was defined over.
 	// Everywhere else (single queries, enumeration, hardening) the cache
 	// is on by default; -no-cache is the escape hatch.
+	var dcache *core.EncodingCache
 	if !*noCache && *sweepK < 0 {
-		opts = append(opts, core.WithEncodingCache(core.NewEncodingCache()))
+		if *mutateStr != "" {
+			// Delta-aware: -mutate evolves warm snapshots in place instead
+			// of cold re-encoding the mutated structure.
+			dcache = core.NewEncodingCache(core.CacheWithDelta())
+		} else {
+			dcache = core.NewEncodingCache()
+		}
+		opts = append(opts, core.WithEncodingCache(dcache))
 	}
 	if *presimp {
 		opts = append(opts, core.WithPresimplify(true))
@@ -201,6 +210,47 @@ func run(args []string, out io.Writer) (retErr error) {
 	analyzer, err := core.NewAnalyzer(cfg, opts...)
 	if err != nil {
 		return err
+	}
+
+	if *mutateStr != "" {
+		if *sweepK >= 0 {
+			return fmt.Errorf("-mutate is incompatible with -sweep (sweep campaigns run uncached)")
+		}
+		delta, err := scadanet.ParseDelta(*mutateStr)
+		if err != nil {
+			return err
+		}
+		next, dirty, err := cfg.Apply(delta)
+		if err != nil {
+			return err
+		}
+		if dcache != nil {
+			// Warm the delta-aware cache on the pre-mutation structure,
+			// then evolve it: the mutated verification below re-encodes
+			// only the dirty cone and carries root learnts over.
+			pre, err := analyzer.Verify(q)
+			if err != nil {
+				return err
+			}
+			ms, err := dcache.Mutate(cfg, next, opts...)
+			if err != nil {
+				return err
+			}
+			if !*jsonOut {
+				fmt.Fprintf(out, "pre-mutation: %v\n", pre)
+				fmt.Fprintf(out, "mutation: %d groups reused, %d re-encoded, %d learnts carried\n",
+					ms.DeltaReuse, ms.DeltaReencoded, ms.CarriedLearnts)
+			}
+		}
+		if !*jsonOut {
+			fmt.Fprintf(out, "delta: %s\n", delta)
+			fmt.Fprintf(out, "dirty cone: devices=%v links=%v topology=%v\n",
+				dirty.Devices, dirty.Links, dirty.Topology)
+		}
+		cfg = next
+		if analyzer, err = core.NewAnalyzer(cfg, opts...); err != nil {
+			return err
+		}
 	}
 
 	if !*jsonOut {

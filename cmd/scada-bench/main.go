@@ -8,6 +8,7 @@
 //	scada-bench -fig 5a [-inputs 3] [-runs 5] [-workers N]
 //	scada-bench -fig all
 //	scada-bench -fig sweep [-bus ieee57] [-maxk 8] [-workers N]
+//	scada-bench -fig mutate [-bus ieee57] [-steps 10]
 //	scada-bench -record BENCH_pr2.json [-maxk 4]
 //
 // -record FILE runs the recorded benchmark campaign (boundary + k-sweep
@@ -48,11 +49,12 @@ func main() {
 func run(args []string, w io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("scada-bench", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all | sweep")
+		fig        = fs.String("fig", "all", "figure: 5a | 5b | 6a | 6b | 7a | 7b | case | all | sweep | mutate")
 		inputs     = fs.Int("inputs", 3, "random inputs per point")
 		runs       = fs.Int("runs", 5, "timed runs per input")
 		workers    = fs.Int("workers", 0, "verification worker-pool size (0 = GOMAXPROCS)")
-		bus        = fs.String("bus", "ieee57", "bus system for -fig sweep")
+		bus        = fs.String("bus", "ieee57", "bus system for -fig sweep and -fig mutate")
+		steps      = fs.Int("steps", 10, "random single-link deltas for -fig mutate")
 		maxK       = fs.Int("maxk", 8, "largest failure budget for -fig sweep and -record")
 		record     = fs.String("record", "", "run the recorded benchmark campaign and write BENCH JSON to this file")
 		systems    = fs.String("systems", "", "for -record: comma-separated bus systems (empty = ieee14,ieee30,ieee57 plus an ieee118 boundary-only row)")
@@ -122,6 +124,17 @@ func run(args []string, w io.Writer) (retErr error) {
 
 	want := func(name string) bool { return *fig == name || *fig == "all" }
 	ran := false
+
+	// Like the sweep, the mutation storm is a performance campaign, not
+	// a paper figure, so "all" does not include it.
+	if *fig == "mutate" {
+		mr, err := experiments.MutationStorm(*bus, *steps, opt)
+		if err != nil {
+			return err
+		}
+		experiments.PrintMutationStorm(w, mr)
+		return nil
+	}
 
 	// The sweep is a performance campaign, not a paper figure, so "all"
 	// does not include it.

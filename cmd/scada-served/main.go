@@ -15,6 +15,8 @@
 //	POST /v1/verify     one resiliency query        → JSON result
 //	POST /v1/sweep      combined budgets k = 0..K   → JSON results
 //	POST /v1/enumerate  threat vectors              → JSONL stream (resumable by requestId)
+//	PATCH /v1/configs/{name}  apply a mutation delta → re-verify and publish, JSON verdicts
+//	GET  /v1/subscribe  ?config=NAME                → JSONL stream of re-verification verdicts
 //	GET  /v1/queries    live + recent query introspection → JSON
 //	GET  /v1/queries/{id}/watch  one query's progress → JSONL stream
 //	GET  /healthz       liveness
@@ -137,6 +139,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		presimp      = fs.Bool("presimplify", false, "preprocess each structural CNF before search (amortized via the shared encoding cache)")
 		certify      = fs.Bool("certify", false, "certify every verdict (proof-logged solves checked in-process, sat-model audits, quarantine on divergence); responses carry certified/proofClauses/auditMs attestation")
 		noCache      = fs.Bool("no-cache", false, "disable the service-wide encoding cache (re-encode the structure per request)")
+		cacheEntries = fs.Int("cache-entries", 0, "encoding-cache entry cap, LRU-evicted beyond it (0 = default 256)")
+		maxSubs      = fs.Int("max-subscribers", 0, "concurrent GET /v1/subscribe watchers per config; excess shed with 503 (0 = default 64)")
 		drainTimeout = fs.Duration("drain-timeout", 20*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)
@@ -191,6 +195,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		QueryHistory:     *queryHistory,
 		Presimplify:      *presimp,
 		NoEncodingCache:  *noCache,
+		CacheEntries:     *cacheEntries,
+		MaxSubscribers:   *maxSubs,
 		Certify:          *certify,
 	})
 	if err != nil {

@@ -243,6 +243,8 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("POST /v1/verify", c.handleVerify)
 	c.mux.HandleFunc("POST /v1/sweep", c.handleSweep)
 	c.mux.HandleFunc("POST /v1/enumerate", c.handleEnumerate)
+	c.mux.HandleFunc("PATCH /v1/configs/{name}", c.handlePatchConfig)
+	c.mux.HandleFunc("GET /v1/subscribe", c.handleSubscribe)
 	c.mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
 	c.mux.HandleFunc("GET /v1/cluster/members", c.handleMembers)
 	c.mux.HandleFunc("DELETE /v1/cluster/members/{name}", c.handleLeave)
@@ -437,9 +439,9 @@ func retryableStatus(code int) bool {
 
 // forwardOnce sends one attempt of a unary forward and accounts its
 // latency under the member's label.
-func (c *Coordinator) forwardOnce(ctx context.Context, m *memberState, path string, body []byte, timeout time.Duration) (*http.Response, error) {
+func (c *Coordinator) forwardOnce(ctx context.Context, m *memberState, method, path string, body []byte, timeout time.Duration) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.URL+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, m.URL+path, bytes.NewReader(body))
 	if err != nil {
 		cancel()
 		return nil, err
@@ -480,6 +482,8 @@ func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, route, key
 		return
 	}
 	var lastErr error
+	var shedCode int
+	var shedRetryAfter string
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		if attempt > 0 {
 			c.reg.Inc("scadaver_cluster_failovers_total", nil)
@@ -488,7 +492,7 @@ func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, route, key
 			}
 		}
 		m := cands[attempt%len(cands)]
-		resp, err := c.forwardOnce(r.Context(), m, r.URL.Path, body, timeout)
+		resp, err := c.forwardOnce(r.Context(), m, r.Method, r.URL.Path, body, timeout)
 		if err != nil {
 			lastErr = fmt.Errorf("member %s: %w", m.Name, err)
 			c.opts.ErrorLog.Printf("cluster: %s attempt %d on %s failed: %v", route, attempt+1, m.Name, err)
@@ -496,12 +500,26 @@ func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, route, key
 		}
 		if retryableStatus(resp.StatusCode) && attempt+1 < c.opts.Attempts {
 			lastErr = fmt.Errorf("member %s: status %d", m.Name, resp.StatusCode)
+			shedCode, shedRetryAfter = resp.StatusCode, resp.Header.Get("Retry-After")
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			resp.Body.Close()
 			continue
 		}
 		relayResponse(w, resp)
 		c.accountForward(route, m.Name, resp.StatusCode)
+		return
+	}
+	// Exhausted. If any member answered at all it answered with a shed
+	// (429/503) — relay that verdict and its Retry-After instead of a
+	// proxy error: "the cluster is overloaded, retry later" is
+	// actionable in a way 502 is not, and the dead member a final
+	// attempt happened to land on should not mask it.
+	if shedCode != 0 {
+		if shedRetryAfter != "" {
+			w.Header().Set("Retry-After", shedRetryAfter)
+		}
+		writeError(w, shedCode, "all %d attempts failed, last: %v", c.opts.Attempts, lastErr)
+		c.accountForward(route, "", shedCode)
 		return
 	}
 	writeError(w, http.StatusBadGateway, "all %d attempts failed, last: %v", c.opts.Attempts, lastErr)
@@ -555,6 +573,88 @@ func (c *Coordinator) handleVerify(w http.ResponseWriter, r *http.Request) {
 	c.forward(w, r, "verify", routingKey("verify", req.Config, req.Query), body, c.opts.AttemptTimeout)
 }
 
+// configKey routes everything about one named configuration — mutation
+// and subscription alike — to the same ring owner, so the member whose
+// delta-aware encoding cache evolved under a PATCH is also the member
+// whose re-verification verdicts the watchers stream.
+func configKey(name string) string { return routingKey("config", name) }
+
+// handlePatchConfig relays a configuration mutation to the config's
+// ring owner. A mutation is not idempotent — a delta applied twice is a
+// different (or invalid) delta — so unlike the verify walk there is no
+// failover: one attempt on the owner, and a transport error is the
+// client's to retry against the still-live prior version.
+func (c *Coordinator) handlePatchConfig(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	cands := c.candidates(configKey(r.PathValue("name")))
+	if len(cands) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no cluster members")
+		return
+	}
+	m := cands[0]
+	resp, err := c.forwardOnce(r.Context(), m, http.MethodPatch, r.URL.Path, body, c.opts.AttemptTimeout)
+	if err != nil {
+		c.opts.ErrorLog.Printf("cluster: patch on %s failed: %v", m.Name, err)
+		writeError(w, http.StatusBadGateway, "member %s: %v", m.Name, err)
+		c.accountForward("patch", m.Name, http.StatusBadGateway)
+		return
+	}
+	relayResponse(w, resp)
+	c.accountForward("patch", m.Name, resp.StatusCode)
+}
+
+// handleSubscribe relays a mutation-event stream from the config's ring
+// owner — the same member PATCHes route to — copying JSONL lines
+// through with a flush per line. The stream lives until the client
+// disconnects, the owner drains, or StreamTimeout bounds it; a client
+// that loses the stream reconnects and gets a fresh greeting.
+func (c *Coordinator) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("config")
+	cands := c.candidates(configKey(name))
+	if len(cands) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no cluster members")
+		return
+	}
+	m := cands[0]
+	resp, err := c.forwardOnce(r.Context(), m, http.MethodGet,
+		"/v1/subscribe?config="+url.QueryEscape(name), nil, c.opts.StreamTimeout)
+	if err != nil {
+		c.opts.ErrorLog.Printf("cluster: subscribe on %s failed: %v", m.Name, err)
+		writeError(w, http.StatusBadGateway, "member %s: %v", m.Name, err)
+		c.accountForward("subscribe", m.Name, http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		relayResponse(w, resp)
+		c.accountForward("subscribe", m.Name, resp.StatusCode)
+		return
+	}
+	defer resp.Body.Close()
+	flusher, _ := w.(http.Flusher)
+	c.startStream(w)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if _, err := w.Write(append(bytes.Clone(line), '\n')); err != nil {
+			break // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	c.accountForward("subscribe", m.Name, http.StatusOK)
+}
+
 // assignRequestID gives a coordinator-owned ID to a campaign the client
 // did not name, so failover can re-issue it — and a member checkpoint
 // can carry it — under a stable identity.
@@ -604,7 +704,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			// so the new owner re-solves only the missing budgets.
 			c.carrySweepCheckpoint(r.Context(), prev, m, req.RequestID)
 		}
-		resp, err := c.forwardOnce(r.Context(), m, "/v1/sweep", body, c.opts.StreamTimeout)
+		resp, err := c.forwardOnce(r.Context(), m, http.MethodPost, "/v1/sweep", body, c.opts.StreamTimeout)
 		if err != nil {
 			lastErr = fmt.Errorf("member %s: %w", m.Name, err)
 			c.opts.ErrorLog.Printf("cluster: sweep attempt %d on %s failed: %v", attempt+1, m.Name, err)
@@ -752,7 +852,7 @@ func (c *Coordinator) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		}
 		prev = m
 
-		resp, err := c.forwardOnce(r.Context(), m, "/v1/enumerate", body, c.opts.StreamTimeout)
+		resp, err := c.forwardOnce(r.Context(), m, http.MethodPost, "/v1/enumerate", body, c.opts.StreamTimeout)
 		if err != nil {
 			lastErr = fmt.Errorf("member %s: %w", m.Name, err)
 			c.opts.ErrorLog.Printf("cluster: enumerate attempt %d on %s failed: %v", attempt+1, m.Name, err)

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -270,4 +272,94 @@ func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// TestCoordinatorRelaysPatchAndSubscribe asserts config-name affinity
+// for live mutation: a subscriber through the coordinator streams the
+// greeting and, after a PATCH relayed through the coordinator, the
+// mutation event — both served by the same ring owner, so the verdicts
+// come from the member whose delta-aware cache evolved.
+func TestCoordinatorRelaysPatchAndSubscribe(t *testing.T) {
+	cfg := testConfig(t)
+	_, m1, _ := newMember(t, cfg, nil)
+	_, m2, _ := newMember(t, cfg, nil)
+	_, coord := newTestCoordinator(t, []Member{
+		{Name: "m1", URL: m1.URL}, {Name: "m2", URL: m2.URL}}, nil)
+
+	sub, err := http.Get(coord.URL + "/v1/subscribe?config=grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Body.Close()
+	if sub.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe via coordinator = %d", sub.StatusCode)
+	}
+	lines := bufio.NewScanner(sub.Body)
+	if !lines.Scan() {
+		t.Fatalf("no greeting line: %v", lines.Err())
+	}
+	var hello serve.MutationEvent
+	if err := json.Unmarshal(lines.Bytes(), &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Config != "grid" || hello.Version != 1 {
+		t.Fatalf("greeting = %+v, want grid v1", hello)
+	}
+
+	victim := cfg.Net.Links()[0].ID
+	raw, err := json.Marshal(serve.PatchRequest{
+		Delta: fmt.Sprintf("link-remove %d", victim)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq, err := http.NewRequest(http.MethodPatch, coord.URL+"/v1/configs/grid", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		t.Fatalf("PATCH via coordinator = %d, body %s", presp.StatusCode, body)
+	}
+	ev := decodeBody[serve.MutationEvent](t, presp)
+	if ev.Version != 2 || len(ev.Verdicts) != 3 {
+		t.Fatalf("relayed PATCH response = %+v, want v2 with 3 verdicts", ev)
+	}
+
+	// The same event arrives on the relayed stream: PATCH and subscribe
+	// landed on the same ring owner.
+	if !lines.Scan() {
+		t.Fatalf("no mutation event on relayed stream: %v", lines.Err())
+	}
+	var streamed serve.MutationEvent
+	if err := json.Unmarshal(lines.Bytes(), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Version != ev.Version || len(streamed.Verdicts) != len(ev.Verdicts) {
+		t.Fatalf("streamed event %+v != PATCH response %+v", streamed, ev)
+	}
+
+	// An invalid delta relays the member's 422 through unchanged.
+	badRaw, _ := json.Marshal(serve.PatchRequest{Delta: "link-remove 9999"})
+	breq, err := http.NewRequest(http.MethodPatch, coord.URL+"/v1/configs/grid", bytes.NewReader(badRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid relayed PATCH = %d, want 422 (body %s)", bresp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown link") {
+		t.Fatalf("relayed 422 body %q lacks the sentinel", body)
+	}
 }

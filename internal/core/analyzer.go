@@ -164,6 +164,17 @@ type PhaseTimes struct {
 	Preprocess time.Duration `json:"preprocessNanos,omitempty"`
 	Solve      time.Duration `json:"solveNanos"`
 	Decode     time.Duration `json:"decodeNanos"`
+
+	// Delta-cache accounting (delta-aware EncodingCache only; see
+	// DESIGN.md §16). The first query to consume an evolved snapshot
+	// claims the mutation's counters, mirroring how the builder query
+	// carries the snapshot's one-off preprocessing cost: DeltaReuse
+	// constraint groups survived the config delta verbatim,
+	// DeltaReencoded were rebuilt inside the dirty cone, and
+	// CarriedLearnts learnt clauses passed the RUP carryover gate.
+	DeltaReuse     uint64 `json:"deltaReuse,omitempty"`
+	DeltaReencoded uint64 `json:"deltaReencoded,omitempty"`
+	CarriedLearnts uint64 `json:"carriedLearnts,omitempty"`
 }
 
 // Sum returns the total time attributed to phases; the gap to
@@ -179,6 +190,10 @@ func (p PhaseTimes) String() string {
 		msf(p.Build), msf(p.Encode), msf(p.Solve), msf(p.Decode))
 	if p.Preprocess > 0 {
 		s += fmt.Sprintf(" preprocess=%.2fms", msf(p.Preprocess))
+	}
+	if p.DeltaReuse > 0 || p.DeltaReencoded > 0 {
+		s += fmt.Sprintf(" delta=%d/%d carried=%d",
+			p.DeltaReuse, p.DeltaReuse+p.DeltaReencoded, p.CarriedLearnts)
 	}
 	return s
 }
@@ -502,9 +517,31 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		qs.SetPhase("encode")
 		sp = qspan.Start("encode")
 		t0 = time.Now()
-		assumptions = append(assumptions, a.budgetFormula(q))
-		ph.Encode = time.Since(t0)
-		sp.End()
+		budget := a.budgetFormula(q)
+		if a.presimplify && entry != nil && entry.delta.Load() != nil {
+			// Delta snapshot: the clone is private, so the budget can be
+			// ASSERTED rather than assumed — and that is what makes the
+			// cheap preprocessing below possible. Under an assumption the
+			// budget's clauses stay guarded and root probing cannot fire
+			// them; asserted, specializing and probing the combined
+			// formula derives the same interface facts a cold
+			// presimplified encode gets from its full Simplify, which is
+			// what lets the solve finish at propagation depth.
+			enc.Assert(budget)
+			ph.Encode = time.Since(t0)
+			sp.End()
+			qs.SetPhase("preprocess")
+			sp = qspan.Start("preprocess")
+			t0 = time.Now()
+			enc.Solver().ReduceRoot()
+			enc.Solver().ProbeRoot(queryProbeLimit)
+			ph.Preprocess = time.Since(t0)
+			sp.End()
+		} else {
+			assumptions = append(assumptions, budget)
+			ph.Encode = time.Since(t0)
+			sp.End()
+		}
 	} else {
 		sp = qspan.Start("build")
 		t0 := time.Now()
@@ -546,6 +583,21 @@ func (a *Analyzer) Verify(q Query) (*Result, error) {
 		// The builder query carries the snapshot's one-time preprocessing
 		// counters so campaign sums account for the work exactly once.
 		addPreprocessStats(&stats, entry.pre)
+	}
+	if entry != nil {
+		if st := entry.delta.Load(); st != nil {
+			// Feed this solve's learnt clauses back into the lineage's
+			// carryover stash (bounded to the snapshot's own variables so a
+			// budget-counter auxiliary never leaks across generations) and
+			// let the first query on an evolved snapshot claim the
+			// mutation's accounting.
+			st.harvest(enc, entry.harvestMax)
+		}
+		if ms, ok := entry.claimDelta(); ok {
+			ph.DeltaReuse += ms.DeltaReuse
+			ph.DeltaReencoded += ms.DeltaReencoded
+			ph.CarriedLearnts += ms.CarriedLearnts
+		}
 	}
 	sp.Annotate(obs.A("status", status.String()), obs.A("conflicts", stats.Conflicts),
 		obs.A("attempts", out.attempts))

@@ -2,10 +2,15 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"scadaver/internal/logic"
+	"scadaver/internal/obs"
 	"scadaver/internal/sat"
+	"scadaver/internal/scadanet"
 )
 
 // EncodingVersion identifies the CNF encoding scheme — the clause shapes
@@ -53,22 +58,80 @@ func WithEncodingCache(c *EncodingCache) Option {
 type EncodingCache struct {
 	mu      sync.Mutex
 	entries map[string]*encodingEntry
+	tick    uint64 // LRU clock, under mu
+
+	limit int           // max entries (0 = unbounded)
+	reg   *obs.Registry // eviction/delta counters (nil = none)
+	delta bool          // delta-aware mode (guarded groups + Mutate)
+}
+
+// CacheOption configures an EncodingCache at construction.
+type CacheOption func(*EncodingCache)
+
+// CacheWithLimit bounds the cache to n entries, evicting the least
+// recently used snapshot when a new structure would exceed the bound
+// (n <= 0 keeps the cache unbounded). Queries holding a clone of an
+// evicted snapshot are unaffected; the next request for that structure
+// rebuilds it. Evictions increment
+// scadaver_encoding_cache_evictions_total when a registry is attached.
+func CacheWithLimit(n int) CacheOption {
+	return func(c *EncodingCache) { c.limit = n }
+}
+
+// CacheWithMetrics attaches a metrics registry for the cache-level
+// counter families: scadaver_encoding_cache_evictions_total, and in
+// delta mode scadaver_delta_reuse_total,
+// scadaver_delta_reencoded_total and scadaver_carried_learnts_total.
+func CacheWithMetrics(reg *obs.Registry) CacheOption {
+	return func(c *EncodingCache) { c.reg = reg }
+}
+
+// CacheWithDelta switches the cache to delta-aware snapshots (see
+// delta.go): structural encodings are built as activation-literal
+// guarded groups, and Mutate evolves them in place under configuration
+// deltas instead of discarding them. Plain caches (the default) keep
+// the original monolithic snapshot layout byte-for-byte.
+func CacheWithDelta() CacheOption {
+	return func(c *EncodingCache) { c.delta = true }
 }
 
 // encodingEntry is one built snapshot: the base encoder (structure +
 // negated property asserted, optionally simplified; the failure budget
 // is NOT included), plus the preprocessing counters and duration its
-// construction accrued, reported once by the query that built it.
+// construction accrued, reported once by the query that built it. In
+// delta mode the entry additionally carries its evolvable deltaState
+// (atomically published; cleared when a mutation moves the lineage to
+// the successor fingerprint's entry) and the harvest variable bound of
+// the sealed snapshot the entry serves.
 type encodingEntry struct {
 	once sync.Once
 	enc  *logic.Encoder
 	pre  sat.Stats
+
+	delta      atomic.Pointer[deltaState]
+	harvestMax int
+
+	lastUsed uint64 // LRU tick, under the cache mutex
+}
+
+// claimDelta hands the entry's pending mutation counters to the first
+// query consuming an evolved snapshot (false for plain entries, or when
+// a prior query already claimed them).
+func (e *encodingEntry) claimDelta() (MutationStats, bool) {
+	if st := e.delta.Load(); st != nil {
+		return st.claim()
+	}
+	return MutationStats{}, false
 }
 
 // NewEncodingCache returns an empty cache, ready to be shared across
 // analyzers and goroutines.
-func NewEncodingCache() *EncodingCache {
-	return &EncodingCache{entries: make(map[string]*encodingEntry)}
+func NewEncodingCache(opts ...CacheOption) *EncodingCache {
+	c := &EncodingCache{entries: make(map[string]*encodingEntry)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Len reports how many distinct structural encodings the cache holds.
@@ -85,8 +148,142 @@ func (c *EncodingCache) entry(key string) *encodingEntry {
 	if !ok {
 		e = &encodingEntry{}
 		c.entries[key] = e
+		c.evictLocked(key)
 	}
+	c.tick++
+	e.lastUsed = c.tick
 	return e
+}
+
+// evictLocked enforces the entry cap after an insert, dropping the
+// least recently used entry other than the one just added. Callers
+// hold c.mu.
+func (c *EncodingCache) evictLocked(justAdded string) {
+	for c.limit > 0 && len(c.entries) > c.limit {
+		victim := ""
+		var oldest uint64
+		for key, e := range c.entries {
+			if key == justAdded {
+				continue
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim, oldest = key, e.lastUsed
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(c.entries, victim)
+		c.reg.Inc("scadaver_encoding_cache_evictions_total", nil)
+	}
+}
+
+// Mutate evolves the cache under a configuration delta: every delta-
+// aware entry keyed to the old configuration's fingerprint is diffed
+// against the mutated configuration (content-signature driven — see
+// deltaGroupSpecs), its dirty groups retired and re-encoded, its learnt
+// stash pruned and re-imported, and the evolved state republished under
+// the new configuration's fingerprint so subsequent queries on the
+// mutated configuration hit warm snapshots. The superseded entries keep
+// serving their (still valid) old-configuration snapshots, but lose
+// evolvability: a lineage moves forward, never forks.
+//
+// aopts must carry the same analyzer options the querying analyzers use
+// (policy, maxPaths, presimplify, faults) — they shape both the
+// fingerprint and the group inventory. On a no-op delta (identical
+// canonical configurations, e.g. a key rotation to the same bits) the
+// entries are reused verbatim and counted as full reuse.
+func (c *EncodingCache) Mutate(old, next *scadanet.Config, aopts ...Option) (MutationStats, error) {
+	var total MutationStats
+	if c == nil || !c.delta {
+		return total, nil
+	}
+	oldA, err := NewAnalyzer(old, aopts...)
+	if err != nil {
+		return total, fmt.Errorf("core: mutate (old config): %w", err)
+	}
+	nextA, err := NewAnalyzer(next, aopts...)
+	if err != nil {
+		return total, fmt.Errorf("core: mutate (mutated config): %w", err)
+	}
+	oldFP, err := oldA.encodingFingerprint()
+	if err != nil {
+		return total, err
+	}
+	newFP, err := nextA.encodingFingerprint()
+	if err != nil {
+		return total, err
+	}
+
+	type candidate struct {
+		key string
+		e   *encodingEntry
+		st  *deltaState
+	}
+	prefix := oldFP + "|"
+	c.mu.Lock()
+	var cands []candidate
+	for key, e := range c.entries {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if st := e.delta.Load(); st != nil {
+			cands = append(cands, candidate{key, e, st})
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+
+	if oldFP == newFP {
+		// Canonically identical configurations: every snapshot is exact
+		// as-is, which is the strongest possible reuse.
+		for _, cd := range cands {
+			n := uint64(cd.st.activeGroups())
+			cd.st.mu.Lock()
+			cd.st.pending.DeltaReuse += n
+			cd.st.hasPending = true
+			cd.st.mu.Unlock()
+			total.DeltaReuse += n
+			total.Entries++
+		}
+		c.recordMutation(total)
+		return total, nil
+	}
+
+	for _, cd := range cands {
+		ms := cd.st.evolve(nextA)
+		total.add(ms)
+		total.Entries++
+
+		ne := &encodingEntry{}
+		ne.once.Do(func() {}) // pre-built: the evolved seal is the snapshot
+		cd.st.mu.Lock()
+		ne.enc = cd.st.sealed
+		ne.harvestMax = cd.st.sealedVars
+		cd.st.mu.Unlock()
+		ne.delta.Store(cd.st)
+
+		newKey := newFP + "|" + strings.TrimPrefix(cd.key, prefix)
+		c.mu.Lock()
+		cd.e.delta.Store(nil) // the old entry degrades to a static snapshot
+		c.tick++
+		ne.lastUsed = c.tick
+		c.entries[newKey] = ne
+		c.evictLocked(newKey)
+		c.mu.Unlock()
+	}
+	c.recordMutation(total)
+	return total, nil
+}
+
+// recordMutation folds one Mutate's counters into the cache registry.
+func (c *EncodingCache) recordMutation(ms MutationStats) {
+	if c.reg == nil || ms.Entries == 0 {
+		return
+	}
+	c.reg.Add("scadaver_delta_reuse_total", nil, float64(ms.DeltaReuse))
+	c.reg.Add("scadaver_delta_reencoded_total", nil, float64(ms.DeltaReencoded))
+	c.reg.Add("scadaver_carried_learnts_total", nil, float64(ms.CarriedLearnts))
 }
 
 // encodingKey derives the cache key for q's structural encoding. The
@@ -95,6 +292,18 @@ func (c *EncodingCache) entry(key string) *encodingEntry {
 // encodeStructure and violationFormula consult (property, R, KL) plus
 // the preprocessing mode and encoding version.
 func (a *Analyzer) encodingKey(q Query) (string, error) {
+	fp, err := a.encodingFingerprint()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|v%d|prop%d|r%d|kl%d|simp%t",
+		fp, EncodingVersion, q.Property, q.R, q.KL, a.presimplify), nil
+}
+
+// encodingFingerprint memoizes the analyzer's share of the cache key:
+// the configuration/policy/maxPaths fingerprint. Mutate uses it to pair
+// old- and new-configuration entries without a probe query.
+func (a *Analyzer) encodingFingerprint() (string, error) {
 	if a.encFP == "" {
 		fp, err := CampaignFingerprint(a.cfg, "encoding", a.policy, a.maxPaths)
 		if err != nil {
@@ -102,8 +311,7 @@ func (a *Analyzer) encodingKey(q Query) (string, error) {
 		}
 		a.encFP = fp
 	}
-	return fmt.Sprintf("%s|v%d|prop%d|r%d|kl%d|simp%t",
-		a.encFP, EncodingVersion, q.Property, q.R, q.KL, a.presimplify), nil
+	return a.encFP, nil
 }
 
 // snapshot returns a private clone of the shared structural encoding
@@ -125,6 +333,18 @@ func (a *Analyzer) snapshot(q Query) (*logic.Encoder, bool, *encodingEntry, erro
 		// Canonicalize to the structure-relevant fields so the snapshot is
 		// visibly independent of the device-failure budget.
 		probe := Query{Property: q.Property, Combined: true, R: q.R, KL: q.KL}
+		if a.cache.delta {
+			// Delta mode: build the guarded-group master and serve its
+			// sealed snapshot (see delta.go). Logically equivalent to the
+			// monolithic encoding over the named variables, but evolvable
+			// under EncodingCache.Mutate.
+			st := a.buildDeltaState(probe)
+			e.pre = st.sealed.Solver().Stats()
+			e.enc = st.sealed
+			e.harvestMax = st.sealedVars
+			e.delta.Store(st)
+			return
+		}
 		enc, delivered := a.encodeStructure(probe)
 		enc.Assert(a.violationFormula(probe, delivered))
 		if a.presimplify {

@@ -148,6 +148,25 @@ func BenchRecord(opt Options) (*BenchRun, error) {
 			return nil, err
 		}
 	}
+
+	// Mutation-storm rows: the delta-aware re-verification headline.
+	// Random single-link deltas on IEEE-57, re-verified incrementally
+	// (mutate-incremental: the delta cache evolves warm snapshots) and
+	// cold (mutate-cold: full re-encode per step); both legs' verdicts
+	// are checked identical inside the campaign, and the wall-time ratio
+	// is the optimization's recorded speedup.
+	for _, sys := range opt.Systems {
+		if sys != "ieee57" {
+			continue
+		}
+		storm, err := MutationStorm(sys, 10, opt)
+		if err != nil {
+			return nil, fmt.Errorf("mutation storm %s: %w", sys, err)
+		}
+		run.Figures = append(run.Figures,
+			benchFigure("mutate-incremental", sys, storm.Incremental, storm.IncReg),
+			benchFigure("mutate-cold", sys, storm.Cold, storm.ColdReg))
+	}
 	run.TotalWallMs = ms(time.Since(start))
 	return run, nil
 }

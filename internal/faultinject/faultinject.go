@@ -39,12 +39,13 @@ var ErrInjected = errors.New("faultinject: injected fault")
 type Faults struct {
 	seed uint64
 
-	stallAfter   uint64 // solver stall: give up after N conflicts (0 = off)
-	panicTask    int64  // task index to panic on (< 0 = off)
-	panicReplica int64  // portfolio replica index to panic on (< 0 = off)
-	panicEvery   bool   // panic on every matching task, not just once
-	solveDelay   time.Duration
-	failedWrite  map[uint64]bool // global write indices that fail
+	stallAfter    uint64 // solver stall: give up after N conflicts (0 = off)
+	panicTask     int64  // task index to panic on (< 0 = off)
+	panicReplica  int64  // portfolio replica index to panic on (< 0 = off)
+	panicEvery    bool   // panic on every matching task, not just once
+	solveDelay    time.Duration
+	mutationDelay time.Duration   // config-mutation stall (0 = off)
+	failedWrite   map[uint64]bool // global write indices that fail
 
 	// HTTP-layer faults (see BeforeStreamItem).
 	streamDelay time.Duration // slow client: per-item stall (0 = off)
@@ -72,13 +73,14 @@ type Faults struct {
 	modelIdx       atomic.Int64
 	proofDropFired atomic.Bool
 
-	stalls       atomic.Uint64
-	panics       atomic.Uint64
-	writeFaults  atomic.Uint64
-	streamFaults atomic.Uint64
-	verdictFlips atomic.Uint64
-	modelFaults  atomic.Uint64
-	proofDrops   atomic.Uint64
+	stalls         atomic.Uint64
+	mutationStalls atomic.Uint64
+	panics         atomic.Uint64
+	writeFaults    atomic.Uint64
+	streamFaults   atomic.Uint64
+	verdictFlips   atomic.Uint64
+	modelFaults    atomic.Uint64
+	proofDrops     atomic.Uint64
 }
 
 // New returns a plan with every fault disabled. The seed feeds Pick
@@ -312,6 +314,27 @@ func (f *Faults) ProofDropHook() func() bool {
 	}
 }
 
+// StallMutations arms config-mutation latency: every delta-aware cache
+// evolution (core.EncodingCache.Mutate) stalls for d before diffing
+// constraint groups, modeling a mutation that lands mid-campaign while
+// queries against the previous snapshot are still in flight. 0 disarms.
+func (f *Faults) StallMutations(d time.Duration) *Faults {
+	f.mutationDelay = d
+	return f
+}
+
+// BeforeMutation blocks for the armed mutation delay (a no-op
+// otherwise) and counts the stall. The delta cache calls it while
+// holding the per-lineage evolution lock, so an armed stall widens the
+// window in which concurrent queries race the mutation.
+func (f *Faults) BeforeMutation() {
+	if f == nil || f.mutationDelay <= 0 {
+		return
+	}
+	f.mutationStalls.Add(1)
+	time.Sleep(f.mutationDelay)
+}
+
 // SlowClient arms HTTP-stream latency: every streamed response item
 // (a JSONL line of the enumeration endpoint) stalls for d before being
 // written, modeling a client that drains the response slowly. 0 disarms.
@@ -379,6 +402,7 @@ func (fw *faultyWriter) Write(p []byte) (int, error) {
 // tests to assert the plan was exercised.
 type Counts struct {
 	SolverStalls      uint64
+	MutationStalls    uint64
 	Panics            uint64
 	WriteFaults       uint64
 	StreamFaults      uint64
@@ -396,6 +420,7 @@ func (f *Faults) Counts() Counts {
 	}
 	c := Counts{
 		SolverStalls:      f.stalls.Load(),
+		MutationStalls:    f.mutationStalls.Load(),
 		Panics:            f.panics.Load(),
 		WriteFaults:       f.writeFaults.Load(),
 		StreamFaults:      f.streamFaults.Load(),

@@ -268,6 +268,32 @@ func (e *Encoder) Assert(f *Formula) {
 // AssertNot requires f to be false in every model.
 func (e *Encoder) AssertNot(f *Formula) { e.mustAdd(e.Lit(f).Neg()) }
 
+// AssertGuarded requires f to hold whenever the selector formula sel
+// holds: every emitted clause carries ¬sel as an activation literal.
+// While sel is free the guarded constraints are inert (a model may set
+// sel false), so a database of guarded groups is a sound weakening of
+// any subset of them; asserting sel as a unit activates the group, and
+// asserting ¬sel permanently retires it. This is the delta-aware
+// encoding cache's mechanism for disabling stale constraint groups
+// without rebuilding the CNF (DESIGN.md §16). Top-level conjunctions
+// are split like Assert's, so each conjunct gets its own short guarded
+// clause instead of one deep Tseitin tree.
+func (e *Encoder) AssertGuarded(sel, f *Formula) {
+	if f.kind == kindAnd {
+		for _, k := range f.kids {
+			e.AssertGuarded(sel, k)
+		}
+		return
+	}
+	if f.kind == kindConst {
+		if !f.b {
+			e.Assert(Not(sel))
+		}
+		return
+	}
+	e.mustAdd(e.Lit(sel).Neg(), e.Lit(f))
+}
+
 // Solve decides the asserted constraints, optionally under assumption
 // formulas (each assumption is encoded and passed to the SAT core as an
 // assumption literal, so it does not permanently constrain the

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"scadaver/internal/matrix"
 )
@@ -64,6 +65,14 @@ type MeasurementSet struct {
 	System  *BusSystem // nil for sets parsed from explicit Jacobians
 	NStates int
 	Msrs    []Measurement
+
+	// UniqueGroups memo. Every analyzer built over this set recomputes
+	// the partition otherwise, and the delta path builds one analyzer per
+	// mutation over a shared, immutable measurement set — the row
+	// canonicalization is the single most expensive part of analyzer
+	// construction there. Msrs must not change after the first call.
+	uniqueOnce   sync.Once
+	uniqueGroups [][]int
 }
 
 // FullMeasurementSet builds the maximum measurement set of a bus system:
@@ -167,8 +176,15 @@ func (ms *MeasurementSet) StateSets() [][]int {
 // UMsrSet_E groups: two measurements represent the same electrical
 // component when their Jacobian rows are equal or exactly opposite
 // (forward vs backward flow on one line). Groups are returned in order
-// of first appearance.
+// of first appearance. The partition is computed once and memoized
+// (measurement sets are immutable after construction); callers must
+// treat the returned slices as read-only.
 func (ms *MeasurementSet) UniqueGroups() [][]int {
+	ms.uniqueOnce.Do(func() { ms.uniqueGroups = ms.uniqueGroupsSlow() })
+	return ms.uniqueGroups
+}
+
+func (ms *MeasurementSet) uniqueGroupsSlow() [][]int {
 	keyOf := func(row []float64) string {
 		// Canonicalize sign by the first structural non-zero.
 		sign := 1.0

@@ -49,21 +49,65 @@ func (s *Solver) Clone() *Solver {
 			n.order.push(v)
 		}
 	}
-	for _, c := range s.clauses {
-		if c.deleted {
-			continue
+	// The delta cache clones per sealed snapshot and again per query, so
+	// this copy is hot. Arena allocation keeps it cheap: one clause slab
+	// and one literal slab per database (two allocations instead of two
+	// PER CLAUSE), and the watch lists are pre-partitioned from a shared
+	// watcher buffer so attach never grows a slice. Each clause's literal
+	// slice is capacity-clipped to its segment: in-place shrinks (vivify,
+	// ReduceRoot) stay inside it, and an append-growth would copy out
+	// rather than stomp its neighbor.
+	live, nlits := 0, 0
+	count := func(src []*clause) {
+		for _, c := range src {
+			if !c.deleted {
+				live++
+				nlits += len(c.lits)
+			}
 		}
-		cc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd}
-		n.clauses = append(n.clauses, cc)
-		n.attach(cc)
 	}
-	for _, c := range s.learned {
-		if c.deleted {
-			continue
+	count(s.clauses)
+	count(s.learned)
+	if live > 0 {
+		arena := make([]clause, 0, live)
+		lits := make([]Lit, 0, nlits)
+		wcount := make([]int32, 2*nv)
+		copyDB := func(src []*clause, learned bool) []*clause {
+			out := make([]*clause, 0, len(src))
+			for _, c := range src {
+				if c.deleted {
+					continue
+				}
+				lo := len(lits)
+				lits = append(lits, c.lits...)
+				arena = append(arena, clause{
+					lits: lits[lo:len(lits):len(lits)],
+					act:  c.act, lbd: c.lbd, learned: learned,
+				})
+				cc := &arena[len(arena)-1]
+				out = append(out, cc)
+				wcount[cc.lits[0].Neg()]++
+				wcount[cc.lits[1].Neg()]++
+			}
+			return out
 		}
-		cc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd, learned: true}
-		n.learned = append(n.learned, cc)
-		n.attach(cc)
+		n.clauses = copyDB(s.clauses, false)
+		n.learned = copyDB(s.learned, true)
+		wbuf := make([]watcher, 2*live)
+		off := 0
+		for i, w := range wcount {
+			if w == 0 {
+				continue
+			}
+			n.watches[i] = wbuf[off : off : off+int(w)]
+			off += int(w)
+		}
+		for _, c := range n.clauses {
+			n.attach(c)
+		}
+		for _, c := range n.learned {
+			n.attach(c)
+		}
 	}
 	n.stats.MaxVars = nv
 	return n

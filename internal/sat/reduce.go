@@ -1,0 +1,119 @@
+package sat
+
+import "time"
+
+// ReduceRoot applies the root-level assignment to the problem clause
+// database: it propagates to fixpoint, deletes every root-satisfied
+// clause, and strips root-false literals from the rest. This is the
+// cheap, linear tail of Simplify — no probing, no subsumption, no
+// variable elimination — for callers that have just asserted a batch of
+// units over an already-preprocessed database and want the clauses
+// specialized under them (the delta cache runs it per sealed snapshot:
+// asserting the guard selectors turns every (¬sel ∨ C) into C and every
+// retired group into satisfied clauses, at unit-propagation cost rather
+// than a full preprocessing pass; see DESIGN.md §16).
+//
+// Strengthening never produces a unit or empty clause: after propagate
+// reaches fixpoint without conflict, any non-satisfied clause has at
+// least two non-false literals (the watch invariant would have
+// propagated or conflicted otherwise), so the pass needs no inner
+// propagation loop. Learned clauses are left alone — the intended call
+// point is before any search or import has populated them.
+//
+// It reports false when propagation proves the database unsatisfiable
+// at the root, mirroring Simplify.
+func (s *Solver) ReduceRoot() bool {
+	start := time.Now()
+	defer func() { s.stats.SimplifyTime += time.Since(start) }()
+
+	s.cancelUntil(0)
+	if s.rootUnsat {
+		return false
+	}
+	if s.propagate() != nil {
+		s.markRootUnsat()
+		return false
+	}
+
+	kept := s.clauses[:0]
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		satisfied := false
+		falseLits := 0
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case True:
+				satisfied = true
+			case False:
+				falseLits++
+			}
+			if satisfied {
+				break
+			}
+		}
+		switch {
+		case satisfied:
+			s.detach(c)
+			s.proofStep(ProofDelete, c.lits)
+			c.deleted = true
+		case falseLits > 0:
+			// Detach while the watched literals are still at positions 0
+			// and 1, then rebuild the literal slice; the survivors are all
+			// root-unassigned, so any two of them may be watched.
+			s.detach(c)
+			lits := make([]Lit, 0, len(c.lits)-falseLits)
+			for _, l := range c.lits {
+				if s.value(l) != False {
+					lits = append(lits, l)
+				}
+			}
+			// Add-before-Delete keeps the proof step RUP: assuming the
+			// strengthened clause false falsifies the original under the
+			// root units already on the trail.
+			s.proofStep(ProofAdd, lits)
+			s.proofStep(ProofDelete, c.lits)
+			c.lits = lits
+			s.attach(c)
+			kept = append(kept, c)
+		default:
+			kept = append(kept, c)
+		}
+	}
+	s.clauses = kept
+
+	// Root assignments are now facts of the database, not consequences of
+	// clauses that may have just been strengthened away; drop the reason
+	// pointers like Simplify's rebuild does.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.qhead = len(s.trail)
+	return true
+}
+
+// ProbeRoot runs bounded failed-literal probing at the root level (the
+// probing stage of Simplify on its own): each candidate literal is
+// assumed and propagated, and a conflict fixes its negation as a root
+// unit. Low-numbered variables are probed first, which on the encoder's
+// numbering means the named structural interface — exactly the
+// variables the per-query budget clauses will constrain — so units
+// derived here are the ones that let a later solve finish at
+// propagation depth. Reports false when probing proves the database
+// unsatisfiable.
+func (s *Solver) ProbeRoot(maxProbes int) bool {
+	start := time.Now()
+	defer func() { s.stats.SimplifyTime += time.Since(start) }()
+
+	s.cancelUntil(0)
+	if s.rootUnsat {
+		return false
+	}
+	if s.propagate() != nil {
+		s.markRootUnsat()
+		return false
+	}
+	s.probeFailedLiterals(maxProbes)
+	return !s.rootUnsat
+}

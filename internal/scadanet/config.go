@@ -150,6 +150,36 @@ func ParseConfig(r io.Reader) (*Config, error) {
 				return nil, fail("security profile for nonexistent link %d-%d", a, b)
 			}
 			l.Profiles = append(l.Profiles, profiles...)
+		case "down":
+			// Out-of-service marks written by mutated configurations
+			// (device-down ops). Omitted entirely when nothing is down, so
+			// pre-mutation configs keep their canonical text (and thereby
+			// their campaign fingerprints) byte-for-byte.
+			switch {
+			case len(fields) == 2 && fields[0] == "device":
+				id, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return nil, fail("bad device ID %q", fields[1])
+				}
+				d := cfg.Net.Device(DeviceID(id))
+				if d == nil {
+					return nil, fail("down mark for unknown device %d", id)
+				}
+				d.Down = true
+			case len(fields) == 3 && fields[0] == "link":
+				a, err1 := strconv.Atoi(fields[1])
+				b, err2 := strconv.Atoi(fields[2])
+				if err1 != nil || err2 != nil {
+					return nil, fail("bad link endpoints %q", line)
+				}
+				l := cfg.Net.LinkBetween(DeviceID(a), DeviceID(b))
+				if l == nil {
+					return nil, fail("down mark for nonexistent link %d-%d", a, b)
+				}
+				l.Down = true
+			default:
+				return nil, fail("down line wants 'device ID' or 'link A B', got %q", line)
+			}
 		case "resiliency":
 			if len(fields) < 2 || len(fields) > 3 {
 				return nil, fail("resiliency wants 'k1 k2 [r]', got %q", line)
@@ -241,6 +271,7 @@ func (c *Config) Clone() *Config {
 //	[measurements]   ied z1 z2 ...       (IED → measurement IDs)
 //	[protocols]      device proto ...    (optional)
 //	[security]       a b algo bits ...   (pairwise profiles, optional)
+//	[down]           device ID | link a b (out-of-service marks, optional)
 //	[resiliency]     k1 k2 [r]
 func WriteConfig(w io.Writer, c *Config) error {
 	bw := bufio.NewWriter(w)
@@ -323,6 +354,36 @@ func WriteConfig(w io.Writer, c *Config) error {
 			wroteSec = true
 		}
 		fmt.Fprintf(bw, "%d %d %s\n", l.A, l.B, secpolicy.FormatProfiles(l.Profiles))
+	}
+
+	// Down marks distinguish a mutated configuration from its healthy
+	// twin in the canonical text — without them, configurations that
+	// differ only in out-of-service state would alias to one campaign
+	// fingerprint. The section is omitted when everything is up, keeping
+	// the canonical text of unmutated configs unchanged.
+	wroteDown := false
+	down := func() {
+		if !wroteDown {
+			fmt.Fprintln(bw, "[down]")
+			wroteDown = true
+		}
+	}
+	ids := []int{}
+	for _, d := range c.Net.Devices() {
+		if d.Down {
+			ids = append(ids, int(d.ID))
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		down()
+		fmt.Fprintf(bw, "device %d\n", id)
+	}
+	for _, l := range c.Net.Links() {
+		if l.Down {
+			down()
+			fmt.Fprintf(bw, "link %d %d\n", l.A, l.B)
+		}
 	}
 
 	fmt.Fprintln(bw, "[resiliency]")

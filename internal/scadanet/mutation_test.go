@@ -1,0 +1,200 @@
+package scadanet
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"scadaver/internal/powergrid"
+)
+
+// mutationTestConfig builds a small valid config: MTU 1, RTU 2, IEDs
+// 3-4, links 1-2, 2-3, 2-4, IED 3 → z1, IED 4 → z2.
+func mutationTestConfig(t *testing.T) *Config {
+	t.Helper()
+	net := NewNetwork()
+	for _, d := range []Device{
+		{ID: 1, Kind: MTU}, {ID: 2, Kind: RTU}, {ID: 3, Kind: IED}, {ID: 4, Kind: IED},
+	} {
+		if _, err := net.AddDevice(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]DeviceID{{1, 2}, {2, 3}, {2, 4}} {
+		if _, err := net.AddLink(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AssignMeasurements(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AssignMeasurements(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := powergrid.FromJacobian([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Msrs: ms, Net: net, K1: 1, K2: 1, R: 1}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestApplyDeviceDownUp(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	next, dirty, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpDeviceDown, Device: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !next.Net.Device(3).Down {
+		t.Fatal("device 3 not down in mutated config")
+	}
+	if cfg.Net.Device(3).Down {
+		t.Fatal("Apply mutated the receiver")
+	}
+	if len(dirty.Devices) != 1 || dirty.Devices[0] != 3 || dirty.Topology {
+		t.Fatalf("dirty = %+v, want device 3 only", dirty)
+	}
+	up, _, err := next.Apply(Delta{Ops: []Op{{Kind: OpDeviceUp, Device: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Net.Device(3).Down {
+		t.Fatal("device 3 still down after device-up")
+	}
+}
+
+func TestApplyDeviceDownOnMTU(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	if _, _, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpDeviceDown, Device: 1}}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("device-down on MTU: got %v, want ErrBadDelta", err)
+	}
+}
+
+func TestApplyLinkAddRemove(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	next, dirty, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpLinkAdd, A: 1, B: 3, Profiles: []string{"hmac", "128"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Net.Links()) != 4 || len(cfg.Net.Links()) != 3 {
+		t.Fatalf("links: next %d (want 4), receiver %d (want 3)",
+			len(next.Net.Links()), len(cfg.Net.Links()))
+	}
+	if !dirty.Topology || len(dirty.Links) != 1 {
+		t.Fatalf("dirty = %+v, want one topology-dirty link", dirty)
+	}
+	added := next.Net.Link(dirty.Links[0])
+	if added == nil || len(added.Profiles) != 1 {
+		t.Fatalf("added link %v missing its profile", added)
+	}
+
+	removed, dirty, err := next.Apply(Delta{Ops: []Op{{Kind: OpLinkRemove, Link: dirty.Links[0]}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed.Net.Links()) != 3 || !dirty.Topology {
+		t.Fatalf("after remove: %d links, dirty %+v", len(removed.Net.Links()), dirty)
+	}
+	if _, _, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpLinkRemove, Link: 99}}}); !errors.Is(err, ErrUnknownLink) {
+		t.Fatalf("removing unknown link: got %v, want ErrUnknownLink", err)
+	}
+}
+
+func TestApplyKeyRotateAndReprofile(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	l := cfg.Net.Links()[1] // 2-3
+	if _, _, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpKeyRotate, Link: l.ID, KeyBits: 256}}}); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("key-rotate on profile-less link: got %v, want ErrBadDelta", err)
+	}
+	prof, _, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpLinkReprofile, Link: l.ID, Profiles: []string{"hmac", "64"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, dirty, err := prof.Apply(Delta{Ops: []Op{{Kind: OpKeyRotate, Link: l.ID, KeyBits: 256}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rotated.Net.Link(l.ID).Profiles[0].KeyBits; got != 256 {
+		t.Fatalf("rotated key bits = %d, want 256", got)
+	}
+	if len(dirty.Links) != 1 || dirty.Links[0] != l.ID || dirty.Topology {
+		t.Fatalf("dirty = %+v, want link %d only", dirty, l.ID)
+	}
+}
+
+func TestApplyAtomicOnInvalidResult(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	// Removing link 1-2 orphans the field side from the MTU but stays
+	// valid; a dangling link-add must fail atomically instead.
+	_, _, err := cfg.Apply(Delta{Ops: []Op{
+		{Kind: OpDeviceDown, Device: 3},
+		{Kind: OpLinkAdd, A: 2, B: 42},
+	}})
+	if !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("got %v, want ErrUnknownDevice", err)
+	}
+	if cfg.Net.Device(3).Down {
+		t.Fatal("failed delta leaked its first op into the receiver")
+	}
+}
+
+func TestParseDeltaRoundTrip(t *testing.T) {
+	in := "link-remove 2; device-down 3; link-add 1 4 hmac 128; key-rotate 1 256; link-reprofile 3 aes 192; device-up 4"
+	d, err := ParseDelta(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Ops) != 6 {
+		t.Fatalf("parsed %d ops, want 6", len(d.Ops))
+	}
+	if d.String() != in {
+		t.Fatalf("round trip:\n got %q\nwant %q", d.String(), in)
+	}
+	for _, bad := range []string{"", "frobnicate 3", "link-add 1", "key-rotate 1 many", "device-down"} {
+		if _, err := ParseDelta(bad); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("ParseDelta(%q): got %v, want ErrBadDelta", bad, err)
+		}
+	}
+}
+
+func TestDownSectionRoundTrip(t *testing.T) {
+	cfg := mutationTestConfig(t)
+	next, _, err := cfg.Apply(Delta{Ops: []Op{{Kind: OpDeviceDown, Device: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.Net.Links()[0].Down = true
+
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, next); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "[down]") || !strings.Contains(text, "device 4") || !strings.Contains(text, "link 1 2") {
+		t.Fatalf("serialized config missing down marks:\n%s", text)
+	}
+	parsed, err := ParseConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Net.Device(4).Down {
+		t.Fatal("parsed config lost device down mark")
+	}
+	if !parsed.Net.LinkBetween(1, 2).Down {
+		t.Fatal("parsed config lost link down mark")
+	}
+
+	// A config with nothing down keeps its canonical text (and thereby
+	// its campaign fingerprint) free of the [down] section.
+	buf.Reset()
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "[down]") {
+		t.Fatal("healthy config serialized a [down] section")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"scadaver/internal/secpolicy"
 )
@@ -15,6 +16,23 @@ type Network struct {
 	links   []*Link
 	msrOf   map[DeviceID][]int // IED -> 1-based measurement IDs
 	nextLnk LinkID
+
+	// Path-enumeration memos, guarded by pathMu and invalidated by the
+	// link mutators. The delta cache re-derives every IED's path
+	// signature per mutation, so without the memo each evolve rebuilds
+	// the adjacency index and re-runs the DFS once per IED — the single
+	// hottest non-solver cost of an incremental re-verify. Callers must
+	// treat returned path slices as read-only (Paths already demanded
+	// that implicitly: the inner link pointers are shared either way).
+	pathMu   sync.Mutex
+	adjMemo  map[DeviceID][]*Link
+	pathMemo map[pathKey][][]*Link
+}
+
+// pathKey identifies one memoized Paths result.
+type pathKey struct {
+	ied      DeviceID
+	maxPaths int
 }
 
 // Validation errors.
@@ -43,7 +61,15 @@ func (n *Network) AddDevice(d Device) (*Device, error) {
 	cp.Protocols = append([]Protocol(nil), d.Protocols...)
 	cp.Profiles = append([]secpolicy.Profile(nil), d.Profiles...)
 	n.devices[d.ID] = &cp
+	n.invalidatePaths()
 	return &cp, nil
+}
+
+// invalidatePaths drops the path memos after a topology mutation.
+func (n *Network) invalidatePaths() {
+	n.pathMu.Lock()
+	n.adjMemo, n.pathMemo = nil, nil
+	n.pathMu.Unlock()
 }
 
 // AddLink registers a link between two existing devices and returns it.
@@ -57,6 +83,7 @@ func (n *Network) AddLink(a, b DeviceID, profiles ...secpolicy.Profile) (*Link, 
 	n.nextLnk++
 	l := &Link{ID: n.nextLnk, A: a, B: b, Profiles: append([]secpolicy.Profile(nil), profiles...)}
 	n.links = append(n.links, l)
+	n.invalidatePaths()
 	return l, nil
 }
 
@@ -112,12 +139,23 @@ func (n *Network) LinkBetween(a, b DeviceID) *Link {
 	return nil
 }
 
+// Link returns the link with the given ID, or nil.
+func (n *Network) Link(id LinkID) *Link {
+	for _, l := range n.links {
+		if l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
 // RemoveLink deletes the identified link (used by the hardening example
 // and topology rewires such as the paper's Fig. 4 variant).
 func (n *Network) RemoveLink(id LinkID) bool {
 	for i, l := range n.links {
 		if l.ID == id {
 			n.links = append(n.links[:i], n.links[i+1:]...)
+			n.invalidatePaths()
 			return true
 		}
 	}
@@ -221,7 +259,9 @@ func (n *Network) HopPairing(l *Link) (protoOK, cryptoOK bool) {
 
 // Paths enumerates simple communication paths from the given IED to the
 // MTU as link sequences. Intermediate nodes must be RTUs or routers.
-// maxPaths bounds the enumeration (0 means DefaultMaxPaths).
+// maxPaths bounds the enumeration (0 means DefaultMaxPaths). Results
+// (and the adjacency index behind them) are memoized until the next
+// topology mutation; callers must treat them as read-only.
 func (n *Network) Paths(ied DeviceID, maxPaths int) [][]*Link {
 	if maxPaths <= 0 {
 		maxPaths = DefaultMaxPaths
@@ -234,11 +274,22 @@ func (n *Network) Paths(ied DeviceID, maxPaths int) [][]*Link {
 	if start == nil || start.Kind != IED {
 		return nil
 	}
-	adj := map[DeviceID][]*Link{}
-	for _, l := range n.links {
-		adj[l.A] = append(adj[l.A], l)
-		adj[l.B] = append(adj[l.B], l)
+	key := pathKey{ied: ied, maxPaths: maxPaths}
+	n.pathMu.Lock()
+	if paths, ok := n.pathMemo[key]; ok {
+		n.pathMu.Unlock()
+		return paths
 	}
+	if n.adjMemo == nil {
+		adj := make(map[DeviceID][]*Link, len(n.devices))
+		for _, l := range n.links {
+			adj[l.A] = append(adj[l.A], l)
+			adj[l.B] = append(adj[l.B], l)
+		}
+		n.adjMemo = adj
+	}
+	adj := n.adjMemo
+	n.pathMu.Unlock()
 
 	var out [][]*Link
 	visited := map[DeviceID]bool{ied: true}
@@ -271,6 +322,12 @@ func (n *Network) Paths(ied DeviceID, maxPaths int) [][]*Link {
 		}
 	}
 	dfs(ied)
+	n.pathMu.Lock()
+	if n.pathMemo == nil {
+		n.pathMemo = make(map[pathKey][][]*Link)
+	}
+	n.pathMemo[key] = out
+	n.pathMu.Unlock()
 	return out
 }
 

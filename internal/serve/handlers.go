@@ -160,13 +160,15 @@ func decode(r *http.Request, into any) error {
 	return dec.Decode(into)
 }
 
-// lookupConfig resolves a request's named configuration.
+// lookupConfig resolves a request's named configuration — the
+// currently published version, so verification always sees the latest
+// successfully re-verified mutation.
 func (s *Server) lookupConfig(name string) (*scadanet.Config, error) {
-	cfg, ok := s.opts.Configs[name]
+	sc, ok := s.configs[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown config %q", name)
 	}
-	return cfg, nil
+	return sc.cur.Load().cfg, nil
 }
 
 // classify maps a finished job's error to an HTTP status — panic →
@@ -194,6 +196,13 @@ func (s *Server) classify(j *job) (int, error) {
 	case errors.Is(j.err, core.ErrBadQuery), errors.Is(j.err, core.ErrBadBudget):
 		s.brk.Cancel()
 		return http.StatusBadRequest, j.err
+	case errors.Is(j.err, scadanet.ErrBadDelta), errors.Is(j.err, scadanet.ErrUnknownDevice),
+		errors.Is(j.err, scadanet.ErrUnknownLink), errors.Is(j.err, scadanet.ErrNoMTU),
+		errors.Is(j.err, scadanet.ErrMultipleMTU), errors.Is(j.err, scadanet.ErrNotIED):
+		// A semantically invalid delta is the client's fault: the prior
+		// configuration version stays live and the breaker sees nothing.
+		s.brk.Cancel()
+		return http.StatusUnprocessableEntity, j.err
 	case errors.Is(j.err, faultinject.ErrInjected):
 		// An injected mid-stream disconnect is a client fault, exactly
 		// like the real disconnect it models.

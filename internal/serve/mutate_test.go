@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"scadaver/internal/core"
+	"scadaver/internal/obs"
+	"scadaver/internal/scadanet"
+)
+
+func patchJSON(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPatchConfigReverifiesAndPublishes exercises the whole PATCH
+// pipeline: the delta applies, the delta-aware cache evolves instead of
+// cold re-encoding (DeltaReuse > 0), the verdicts match an independent
+// cold analysis of the mutated configuration, and later requests verify
+// against the published new version.
+func TestPatchConfigReverifiesAndPublishes(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cfg := testConfig(t) // same deterministic synth config the server serves as "grid"
+	victim := cfg.Net.Links()[0].ID
+
+	// Warm the cache so the mutation has a lineage to evolve.
+	warm := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+		Config: "grid",
+		Query:  core.Query{Property: core.Observability, Combined: true, K: 1},
+	})
+	io.Copy(io.Discard, warm.Body) //nolint:errcheck
+	warm.Body.Close()
+
+	resp := patchJSON(t, ts.URL+"/v1/configs/grid", PatchRequest{
+		Delta: fmt.Sprintf("link-remove %d", victim),
+		K:     1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PATCH status = %d, body %s", resp.StatusCode, body)
+	}
+	ev := decodeBody[MutationEvent](t, resp)
+	if ev.Version != 2 {
+		t.Fatalf("published version = %d, want 2", ev.Version)
+	}
+	if len(ev.Verdicts) != 3 {
+		t.Fatalf("got %d verdicts, want 3", len(ev.Verdicts))
+	}
+	if ev.Mutation.DeltaReuse == 0 {
+		t.Fatalf("mutation reused no groups: %+v", ev.Mutation)
+	}
+	if len(ev.Dirty.Links) != 1 || ev.Dirty.Links[0] != victim {
+		t.Fatalf("dirty cone = %+v, want link %d", ev.Dirty, victim)
+	}
+
+	// Cold re-analysis of the same mutated configuration must agree.
+	mutated, _, err := cfg.Apply(scadanet.Delta{Ops: []scadanet.Op{
+		{Kind: scadanet.OpLinkRemove, Link: victim},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ev.Verdicts {
+		want, err := a.Verify(v.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != want.Status || v.Resilient != want.Resilient() {
+			t.Fatalf("%s: served verdict (%v, resilient=%v) != cold verdict (%v, resilient=%v)",
+				v.Property, v.Status, v.Resilient, want.Status, want.Resilient())
+		}
+	}
+
+	// The new version is live: a plain verify now sees the mutated grid.
+	q := core.Query{Property: core.Observability, Combined: true, K: 1}
+	after := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{Config: "grid", Query: q})
+	if after.StatusCode != http.StatusOK {
+		t.Fatalf("verify after PATCH: status %d", after.StatusCode)
+	}
+	got := decodeBody[VerifyResponse](t, after)
+	want, err := a.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.Status != want.Status || got.Resilient != want.Resilient() {
+		t.Fatalf("post-PATCH verify (%v, resilient=%v) != mutated-config verdict (%v, resilient=%v)",
+			got.Result.Status, got.Resilient, want.Status, want.Resilient())
+	}
+}
+
+// TestPatchInvalidDeltaKeepsPriorVersion drives the delta analogs of
+// the testdata/configs/bad corpus through PATCH: every defect class
+// must yield 422 with the loader's sentinel wrapped in the body, and
+// the prior configuration version must stay live throughout.
+func TestPatchInvalidDeltaKeepsPriorVersion(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	realLink := testConfig(t).Net.Links()[0].ID
+	cases := []struct {
+		name string
+		req  PatchRequest
+		want string // sentinel text expected in the error body
+	}{
+		{
+			// dangling-link.scada analog: an op naming a device the
+			// configuration does not have.
+			name: "unknown device",
+			req:  PatchRequest{Ops: []scadanet.Op{{Kind: scadanet.OpDeviceDown, Device: 9999}}},
+			want: "unknown device",
+		},
+		{
+			name: "unknown link",
+			req:  PatchRequest{Ops: []scadanet.Op{{Kind: scadanet.OpLinkRemove, Link: 9999}}},
+			want: "unknown link",
+		},
+		{
+			// nan-key-bits.scada analog: a rotation to a nonsensical key
+			// length.
+			name: "bad key bits",
+			req:  PatchRequest{Ops: []scadanet.Op{{Kind: scadanet.OpKeyRotate, Link: realLink, KeyBits: -5}}},
+			want: "bad mutation delta",
+		},
+		{
+			name: "empty delta",
+			req:  PatchRequest{},
+			want: "empty delta",
+		},
+		{
+			name: "unparseable textual delta",
+			req:  PatchRequest{Delta: "key-rotate 0 nan"},
+			want: "bad mutation delta",
+		},
+	}
+	for _, tc := range cases {
+		resp := patchJSON(t, ts.URL+"/v1/configs/grid", tc.req)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: status = %d, want 422 (body %s)", tc.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Fatalf("%s: body %q does not wrap sentinel %q", tc.name, body, tc.want)
+		}
+	}
+
+	// No version was published: the subscribe greeting still reports the
+	// boot version, and the original configuration still verifies.
+	resp, err := http.Get(ts.URL + "/v1/subscribe?config=grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hello MutationEvent
+	if err := json.NewDecoder(bufio.NewReader(resp.Body)).Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Version != 1 {
+		t.Fatalf("after invalid PATCHes version = %d, want 1 (prior version must stay live)", hello.Version)
+	}
+	verify := postJSON(t, ts.URL+"/v1/verify", VerifyRequest{
+		Config: "grid",
+		Query:  core.Query{Property: core.Observability, Combined: true, K: 0},
+	})
+	defer verify.Body.Close()
+	if verify.StatusCode != http.StatusOK {
+		t.Fatalf("verify after invalid PATCHes: status %d", verify.StatusCode)
+	}
+
+	// PATCH against a config that does not exist is 404, not 422.
+	missing := patchJSON(t, ts.URL+"/v1/configs/nope", cases[0].req)
+	io.Copy(io.Discard, missing.Body) //nolint:errcheck
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("PATCH unknown config: status = %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestSubscribeStreamsMutationEvents opens a watcher, mutates the
+// configuration, and asserts the re-verification verdicts arrive on the
+// stream as JSONL.
+func TestSubscribeStreamsMutationEvents(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/subscribe?config=grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("subscribe Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no greeting line: %v", sc.Err())
+	}
+	var hello MutationEvent
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Config != "grid" || hello.Version != 1 {
+		t.Fatalf("greeting = %+v, want grid v1", hello)
+	}
+
+	victim := testConfig(t).Net.Links()[0].ID
+	patch := patchJSON(t, ts.URL+"/v1/configs/grid", PatchRequest{
+		Delta: fmt.Sprintf("link-remove %d", victim),
+	})
+	io.Copy(io.Discard, patch.Body) //nolint:errcheck
+	patch.Body.Close()
+	if patch.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH status = %d", patch.StatusCode)
+	}
+
+	if !sc.Scan() {
+		t.Fatalf("no mutation event after PATCH: %v", sc.Err())
+	}
+	var ev MutationEvent
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Version != 2 || len(ev.Verdicts) != 3 || ev.Delta == "" {
+		t.Fatalf("streamed event = %+v, want v2 with 3 verdicts and a delta", ev)
+	}
+
+	// Unknown config: 404 before any stream is committed.
+	bad, err := http.Get(ts.URL + "/v1/subscribe?config=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body) //nolint:errcheck
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusNotFound {
+		t.Fatalf("subscribe unknown config: status = %d, want 404", bad.StatusCode)
+	}
+}
+
+// TestSubscribeCapSheds asserts the per-config subscriber bound: one
+// watcher fits, the second is shed with 503 and a Retry-After hint.
+func TestSubscribeCapSheds(t *testing.T) {
+	_, ts := newTestServer(t, func(o *Options) { o.MaxSubscribers = 1 })
+
+	first, err := http.Get(ts.URL + "/v1/subscribe?config=grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Body.Close()
+	// Read the greeting so the subscription is fully established.
+	if !bufio.NewScanner(first.Body).Scan() {
+		t.Fatal("no greeting on first subscriber")
+	}
+
+	second, err := http.Get(ts.URL + "/v1/subscribe?config=grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, second.Body) //nolint:errcheck
+	second.Body.Close()
+	if second.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second subscriber: status = %d, want 503", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Fatal("shed subscriber carries no Retry-After hint")
+	}
+}
+
+// TestMutationHubDropOldest exercises the bounded fan-out directly: a
+// subscriber that never reads keeps only the newest subscriberBuffer
+// events, the oldest are dropped and counted, and publishing never
+// blocks.
+func TestMutationHubDropOldest(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := newMutationHub("grid", 4, reg)
+	_, ch, err := h.subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const published = subscriberBuffer + 5
+	for i := 1; i <= published; i++ {
+		h.publish(MutationEvent{Config: "grid", Version: i})
+	}
+	if got := len(ch); got != subscriberBuffer {
+		t.Fatalf("backlog = %d, want %d", got, subscriberBuffer)
+	}
+	dropped := reg.Counter("scadaver_subscribe_dropped_total", map[string]string{"config": "grid"})
+	if dropped != float64(published-subscriberBuffer) {
+		t.Fatalf("dropped counter = %v, want %d", dropped, published-subscriberBuffer)
+	}
+	// The survivors are the newest events, in order.
+	first := <-ch
+	if first.Version != published-subscriberBuffer+1 {
+		t.Fatalf("oldest surviving event = v%d, want v%d (drop-oldest)", first.Version, published-subscriberBuffer+1)
+	}
+}

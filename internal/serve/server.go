@@ -81,6 +81,17 @@ type Options struct {
 	// uniformly one of 4..6.
 	RetryAfter time.Duration
 
+	// MaxSubscribers caps concurrent GET /v1/subscribe streams per
+	// configuration (default 64); a subscriber beyond the cap is shed
+	// with 503 Retry-After.
+	MaxSubscribers int
+	// CacheEntries bounds the service-wide encoding cache (default 256
+	// entries, LRU): the cache keeps at most this many distinct
+	// (structure, options) snapshots, evicting the least recently used
+	// and counting evictions in
+	// scadaver_encoding_cache_evictions_total.
+	CacheEntries int
+
 	// QueryHistory bounds how many completed queries GET /v1/queries
 	// retains (default obs.DefaultQueryHistory). Active queries are
 	// bounded by the worker pool, so the introspection plane's memory
@@ -176,6 +187,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.MaxSubscribers <= 0 {
+		o.MaxSubscribers = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
 	}
@@ -194,6 +211,12 @@ type Server struct {
 	brk   *breaker
 	mux   *http.ServeMux
 	cache *core.EncodingCache // nil when NoEncodingCache
+
+	// configs is the versioned configuration registry: one slot per
+	// served name, each holding the atomically-published current version
+	// and the mutation-event hub. The map itself is immutable after New;
+	// PATCH swaps versions inside a slot.
+	configs map[string]*servedConfig
 
 	// queries is the live query registry behind GET /v1/queries and the
 	// per-query flight recorders; every worker analyzer reports into it.
@@ -247,7 +270,20 @@ func New(opts Options) (*Server, error) {
 		quit: make(chan struct{}),
 	}
 	if !opts.NoEncodingCache {
-		s.cache = core.NewEncodingCache()
+		// Delta-aware and bounded: mutations evolve snapshots in place
+		// (DESIGN.md §16) instead of cold re-encoding, and the LRU cap
+		// keeps a mutation-heavy service's memory fixed.
+		s.cache = core.NewEncodingCache(
+			core.CacheWithDelta(),
+			core.CacheWithLimit(opts.CacheEntries),
+			core.CacheWithMetrics(opts.Metrics),
+		)
+	}
+	s.configs = make(map[string]*servedConfig, len(opts.Configs))
+	for name, cfg := range opts.Configs {
+		sc := &servedConfig{name: name, hub: newMutationHub(name, opts.MaxSubscribers, opts.Metrics)}
+		sc.cur.Store(&configVersion{cfg: cfg, version: 1})
+		s.configs[name] = sc
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.brk = newBreaker(breakerOptions{
@@ -298,6 +334,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("PATCH /v1/configs/{name}", s.handlePatchConfig)
+	// Subscribe bypasses admission like the introspection routes: a
+	// watcher must be able to observe re-verification verdicts exactly
+	// when the service is busy. It is bounded by MaxSubscribers instead.
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	// Introspection routes bypass admission: an operator must be able
 	// to see what the service is doing precisely when it is overloaded.
 	s.mux.HandleFunc("GET /v1/queries", s.handleQueries)
